@@ -1,0 +1,46 @@
+// Ablation: degrees of dependability of the commitment plug-in (extends
+// §8.5 with the realizations the paper lists but does not plot).
+//
+//   2PC              blocking on any participant failure, no logging
+//   2PC + WAL        crash-recovery 2PC: every state change logged (§5.3)
+//   Paxos Commit     coordinator-failure tolerant, majority acceptors
+//   AM-Cast          genuine multicast, non-disaster-tolerant
+//   AM-Cast (FT)     disaster-tolerant genuine multicast (6 delays)
+//
+// All five terminate the same protocol (P-Store's versioning and
+// certification), so every difference below is the price of dependability.
+#include "bench_common.h"
+
+using namespace gdur;
+
+int main() {
+  harness::print_header(
+      "Dependability ablation — P-Store termination variants, Workload A, 4 "
+      "sites, DP, 90% read-only");
+
+  struct Variant {
+    const char* label;
+    const char* protocol;
+    bool durable;
+  };
+  const Variant variants[] = {
+      {"2PC", "P-Store+2PC", false},
+      {"2PC+WAL", "P-Store+2PC", true},
+      {"PaxosCommit", "P-Store+Paxos", false},
+      {"AM-Cast", "P-Store", false},
+      {"AM-Cast-FT", "P-Store-FT", false},
+  };
+
+  for (const auto& v : variants) {
+    for (const int clients : {128, 512, 1024, 2048}) {
+      auto cfg = bench::base_config(4, 1, workload::WorkloadSpec::A(0.9));
+      cfg.clients = clients;
+      cfg.cluster.durable = v.durable;
+      auto spec = protocols::by_name(v.protocol);
+      spec.name = v.label;
+      harness::print_result(harness::run_experiment(spec, cfg));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/bench/*.cpp)
+foreach(src ${BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_link_libraries(${name} PRIVATE gdur benchmark::benchmark)
+  # Benchmarks land alone in build/bench/ so `for b in build/bench/*` works.
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_compile_definitions(${name} PRIVATE
+    GDUR_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+endforeach()

@@ -1,0 +1,94 @@
+// Example: watching consistency anomalies appear and disappear as the
+// criterion changes — the "jungle of consistency criteria" of the paper's
+// introduction, made concrete.
+//
+// We run the same contended banking-style workload under five protocols and
+// feed the recorded histories to the checker, reporting which anomalies
+// (write-skew cycles, lost updates, fractured reads) each criterion admits.
+//
+//   $ ./examples/consistency_anomalies
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "protocols/protocols.h"
+#include "workload/client.h"
+
+using namespace gdur;
+
+namespace {
+
+struct Report {
+  std::size_t committed = 0;
+  double abort_pct = 0;
+  bool serializable = false;
+  bool update_serializable = false;
+  bool no_lost_updates = false;   // ww exclusion
+  bool no_fractured_reads = false;
+};
+
+Report run(const core::ProtocolSpec& spec) {
+  core::ClusterConfig cfg;
+  cfg.sites = 4;
+  cfg.objects_per_site = 32;  // 128 hot "accounts": anomalies show quickly
+  core::Cluster cluster(cfg, spec);
+
+  checker::History history;
+  history.attach(cluster);
+  harness::Metrics metrics;
+
+  std::vector<std::unique_ptr<workload::ClientActor>> clients;
+  for (int i = 0; i < 24; ++i) {
+    clients.push_back(std::make_unique<workload::ClientActor>(
+        cluster, static_cast<SiteId>(i % 4), workload::WorkloadSpec::B(0.5),
+        metrics, mix64(7'000 + i)));
+    clients.back()->set_observer(
+        [&](const core::TxnRecord& t, bool committed) {
+          history.record_txn(t, committed, cluster.simulator().now());
+        });
+    clients.back()->start(i * microseconds(503));
+  }
+  cluster.simulator().run_until(seconds(2));
+
+  Report r;
+  r.committed = history.committed_count();
+  r.abort_pct = metrics.abort_ratio_pct();
+  r.serializable = history.check_serializable().ok;
+  r.update_serializable = history.check_update_serializable().ok;
+  r.no_lost_updates = history.check_ww_exclusion().ok;
+  r.no_fractured_reads = history.check_consistent_snapshots().ok;
+  return r;
+}
+
+const char* mark(bool ok) { return ok ? "  yes" : "   NO"; }
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# The same contended workload, five criteria (128 objects, 24 "
+      "clients, 50%% updates)\n\n");
+  std::printf("%-10s %9s %8s %6s %6s %9s %10s\n", "protocol", "committed",
+              "abort%", "SER", "US", "ww-excl", "no-fract");
+  for (const char* name : {"P-Store", "GMU", "Walter", "Jessy2pc", "RAMP",
+                           "RC"}) {
+    const auto r = run(protocols::by_name(name));
+    std::printf("%-10s %9zu %7.1f%% %6s %6s %9s %10s\n", name, r.committed,
+                r.abort_pct, mark(r.serializable),
+                mark(r.update_serializable), mark(r.no_lost_updates),
+                mark(r.no_fractured_reads));
+  }
+  std::printf(
+      "\n# Reading the table:\n"
+      "#  * P-Store (SER) serializes everything — and pays with the abort\n"
+      "#    rate. (ww-excl can still fail under SER: concurrent blind writes\n"
+      "#    are fine when serialized; they are not lost updates.)\n"
+      "#  * GMU (US) keeps updates serializable; queries may observe\n"
+      "#    non-monotonic (but consistent) snapshots.\n"
+      "#  * Walter (PSI) / Jessy2pc (NMSI) allow write skew (SER may fail)\n"
+      "#    but never lose an update or fracture a snapshot.\n"
+      "#  * RAMP only promises atomic visibility: concurrent writes race.\n"
+      "#  * RC promises nothing beyond reading committed data.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// gdur_bench — command-line experiment runner.
+//
+// The Swiss-army knife a downstream user reaches for first: pick a
+// protocol, a workload, a cluster shape and a load, get the paper-style
+// metrics row. Every option maps 1:1 to a knob of the harness.
+//
+//   $ ./examples/gdur_bench --protocol Walter --workload A --ro 0.9 \
+//         --sites 4 --rf 1 --clients 256 --window 3 --seed 7
+//   $ ./examples/gdur_bench --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "protocols/protocols.h"
+
+using namespace gdur;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --protocol NAME   protocol to run (default Jessy2pc; --list shows all)\n"
+      "  --workload A|B|C  YCSB-like workload of Table 3 (default A)\n"
+      "  --ro FRACTION     read-only transaction ratio (default 0.9)\n"
+      "  --locality FRAC   fraction of single-site transactions (default 0)\n"
+      "  --sites N         number of sites (default 4)\n"
+      "  --rf N            replication factor: 1=DP, 2=DT (default 1)\n"
+      "  --objects N       objects per site (default 100000)\n"
+      "  --clients N       closed-loop client threads (default 256)\n"
+      "  --sweep           sweep clients {64,128,...,2048} instead\n"
+      "  --window SECONDS  measurement window (default 3)\n"
+      "  --durable         enable the write-ahead persistence layer\n"
+      "  --seed N          random seed (default 1)\n"
+      "  --list            list available protocols and exit\n",
+      argv0);
+}
+
+const char* kProtocols[] = {"P-Store",     "S-DUR",      "GMU",
+                            "Serrano",     "Walter",     "Jessy2pc",
+                            "RC",          "GMU*",       "GMU**",
+                            "P-Store-LA",  "P-Store+2PC", "P-Store-FT",
+                            "P-Store+Paxos", "RAMP"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string protocol = "Jessy2pc";
+  char workload = 'A';
+  double ro = 0.9;
+  double locality = 0.0;
+  harness::ExperimentConfig cfg;
+  cfg.clients = 256;
+  cfg.window = seconds(3);
+  bool sweep = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") protocol = next();
+    else if (arg == "--workload") workload = next()[0];
+    else if (arg == "--ro") ro = std::atof(next());
+    else if (arg == "--locality") locality = std::atof(next());
+    else if (arg == "--sites") cfg.cluster.sites = std::atoi(next());
+    else if (arg == "--rf") cfg.cluster.replication = std::atoi(next());
+    else if (arg == "--objects")
+      cfg.cluster.objects_per_site = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--clients") cfg.clients = std::atoi(next());
+    else if (arg == "--sweep") sweep = true;
+    else if (arg == "--window") cfg.window = seconds(std::atof(next()));
+    else if (arg == "--durable") cfg.cluster.durable = true;
+    else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--list") {
+      for (const char* p : kProtocols) std::printf("%s\n", p);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  cfg.workload = workload == 'B'   ? workload::WorkloadSpec::B(ro)
+                 : workload == 'C' ? workload::WorkloadSpec::C(ro)
+                                   : workload::WorkloadSpec::A(ro);
+  cfg.workload.locality = locality;
+
+  core::ProtocolSpec spec;
+  try {
+    spec = protocols::by_name(protocol);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (try --list)\n", e.what());
+    return 2;
+  }
+
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "%s, workload %c, %.0f%% read-only, %d sites, rf=%d%s",
+                protocol.c_str(), workload, ro * 100, cfg.cluster.sites,
+                cfg.cluster.replication, cfg.cluster.durable ? ", durable" : "");
+  harness::print_header(title);
+  if (sweep) {
+    for (const auto& r : harness::run_sweep(
+             spec, cfg, {64, 128, 256, 512, 1024, 2048}))
+      harness::print_result(r);
+  } else {
+    harness::print_result(harness::run_experiment(spec, cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: designing a *new* transactional protocol with G-DUR plug-ins.
+//
+// This is the workflow §8.3-8.4 of the paper advocates: start from an
+// existing protocol, swap realization points, and measure the effect —
+// here we build "Walter-GC", a PSI protocol that replaces Walter's 2PC
+// commitment with genuine atomic multicast ordering, and compare the two
+// variants plus the original on one workload. The whole protocol fits in
+// a dozen lines of plug-in configuration.
+//
+//   $ ./examples/protocol_designer
+#include <cstdio>
+
+#include "core/certifiers.h"
+#include "harness/experiment.h"
+#include "protocols/protocols.h"
+
+using namespace gdur;
+
+namespace {
+
+/// A new protocol assembled from library plug-ins: PSI semantics (VTS
+/// snapshots + write-write certification + background propagation, like
+/// Walter) but terminated through genuine atomic multicast with a-priori
+/// conflict ordering (like P-Store). Under contention, ordering
+/// write-write conflicts instead of preemptively aborting them should trade
+/// latency for a lower abort rate.
+core::ProtocolSpec walter_gc() {
+  auto s = protocols::walter();
+  s.name = "Walter-GC";
+  s.ac = core::AcKind::kGroupComm;
+  s.xcast = core::XcastKind::kAtomicMulticast;
+  s.vote_snd = core::VoteScope::kCertifying;
+  s.vote_recv = core::VoteScope::kWriteSet;
+  return s;
+}
+
+void run(const core::ProtocolSpec& spec, harness::ExperimentConfig cfg) {
+  for (int clients : {128, 512, 1024}) {
+    cfg.clients = clients;
+    harness::print_result(harness::run_experiment(spec, cfg));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  harness::ExperimentConfig cfg;
+  cfg.cluster.sites = 4;
+  cfg.cluster.objects_per_site = 2'500;  // contended: aborts matter
+  cfg.workload = workload::WorkloadSpec::C(0.7);
+  cfg.warmup = seconds(0.5);
+  cfg.window = seconds(2);
+
+  harness::print_header(
+      "Designing a protocol: Walter (2PC) vs Walter-GC (atomic multicast), "
+      "zipfian workload C, 70% read-only");
+  run(protocols::walter(), cfg);
+  run(walter_gc(), cfg);
+  run(protocols::jessy2pc(), cfg);
+
+  std::printf(
+      "# Walter-GC pays multicast ordering latency but avoids 2PC's\n"
+      "# preemptive aborts under write contention — the same trade-off the\n"
+      "# paper quantifies in §8.5, demonstrated here on a protocol that did\n"
+      "# not exist before this file.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// History recording and consistency checking.
+//
+// A History collects every terminated transaction (from the client side)
+// plus every version install (from the replica side) and can then verify
+// the guarantees each protocol claims:
+//
+//   check_read_committed   every version read was written by a committed
+//                          transaction (or is the initial version)
+//   check_serializable     the direct serialization graph (wr, ww, rw
+//                          edges) over committed transactions is acyclic
+//                          — P-Store, S-DUR (SER)
+//   check_update_serializable
+//                          the DSG restricted to update transactions is
+//                          acyclic, and every query reads a consistent
+//                          (possibly stale) snapshot — GMU (US),
+//                          and also implied by SER
+//   check_ww_exclusion     no two time-overlapping committed transactions
+//                          wrote the same object — SI / PSI / NMSI
+//                          (Serrano, Walter, Jessy2pc)
+//   check_consistent_snapshots
+//                          no transaction observes a fractured snapshot:
+//                          if T read x before W's write and W wrote both
+//                          x and y, T must not read y from W or later
+//
+// The checks are deliberately conservative (they may accept a borderline
+// history) but every violation they report is a real one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/transaction.h"
+
+namespace gdur::checker {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  // description of the first violation found
+};
+
+struct TxnOutcome {
+  core::TxnRecord txn;
+  bool committed = false;
+  SimTime response_time = 0;
+};
+
+class History {
+ public:
+  /// Starts recording installs from `cluster`. Transaction outcomes are fed
+  /// via record_txn (wire it to ClientActor::set_observer).
+  void attach(core::Cluster& cluster);
+
+  void record_txn(const core::TxnRecord& t, bool committed, SimTime response);
+  void record_install(const core::Cluster::InstallEvent& e);
+
+  [[nodiscard]] std::size_t committed_count() const;
+  [[nodiscard]] std::size_t total_count() const { return txns_.size(); }
+  [[nodiscard]] const std::vector<TxnOutcome>& txns() const { return txns_; }
+
+  [[nodiscard]] CheckResult check_read_committed() const;
+  [[nodiscard]] CheckResult check_serializable() const;
+  [[nodiscard]] CheckResult check_update_serializable() const;
+  [[nodiscard]] CheckResult check_ww_exclusion() const;
+  [[nodiscard]] CheckResult check_consistent_snapshots() const;
+
+  /// Runs every check a criterion requires.
+  [[nodiscard]] CheckResult check_criterion(const std::string& criterion) const;
+
+ private:
+  /// Version order of one object: writers in install order at the object's
+  /// primary site.
+  struct ObjectOrder {
+    std::vector<TxnId> writers;  // position = version index (0-based)
+  };
+
+  [[nodiscard]] CheckResult acyclic_dsg(bool updates_only) const;
+  void build_orders() const;
+
+  std::vector<TxnOutcome> txns_;
+  std::vector<core::Cluster::InstallEvent> installs_;
+  const core::Cluster* cluster_ = nullptr;
+
+  // Lazily built caches.
+  mutable bool built_ = false;
+  mutable std::unordered_map<ObjectId, ObjectOrder> orders_;
+  mutable std::unordered_map<TxnId, std::size_t> committed_index_;
+};
+
+}  // namespace gdur::checker

@@ -1,0 +1,58 @@
+#include "comm/atomic_broadcast.h"
+
+namespace gdur::comm {
+
+AtomicBroadcast::AtomicBroadcast(net::Transport& transport, DeliverFn deliver,
+                                 SiteId sequencer)
+    : net_(transport),
+      deliver_(std::move(deliver)),
+      sequencer_(sequencer),
+      majority_(transport.sites() / 2 + 1),
+      states_(static_cast<std::size_t>(transport.sites())) {}
+
+void AtomicBroadcast::broadcast(McastMsg msg) {
+  // Step 1: ship the message to the sequencer.
+  net_.send(msg.origin, sequencer_, msg.bytes, [this, msg = std::move(msg)] {
+    const std::uint64_t seq = next_seq_++;
+    // Step 2: the sequencer assigns the order and forwards to everyone.
+    for (SiteId d = 0; d < static_cast<SiteId>(net_.sites()); ++d) {
+      net_.send(sequencer_, d, msg.bytes + net::wire::control(),
+                [this, d, seq, msg] { on_sequenced(d, seq, msg); });
+    }
+  });
+}
+
+void AtomicBroadcast::on_sequenced(SiteId at, std::uint64_t seq,
+                                   const McastMsg& msg) {
+  Slot& slot = states_[at].slots[seq];
+  slot.msg = msg;
+  slot.sequenced = true;
+  // Step 3: acknowledge to everyone (uniformity).
+  for (SiteId d = 0; d < static_cast<SiteId>(net_.sites()); ++d) {
+    net_.send(at, d, net::wire::control(),
+              [this, d, seq] { on_ack(d, seq); });
+  }
+  try_deliver(at);
+}
+
+void AtomicBroadcast::on_ack(SiteId at, std::uint64_t seq) {
+  ++states_[at].slots[seq].acks;
+  try_deliver(at);
+}
+
+void AtomicBroadcast::try_deliver(SiteId at) {
+  SiteState& st = states_[at];
+  for (;;) {
+    auto it = st.slots.find(st.next);
+    if (it == st.slots.end() || !it->second.sequenced ||
+        it->second.acks < majority_) {
+      return;
+    }
+    const McastMsg msg = std::move(it->second.msg);
+    st.slots.erase(it);
+    ++st.next;
+    deliver_(at, msg);
+  }
+}
+
+}  // namespace gdur::comm

@@ -1,0 +1,37 @@
+// Common message type for the group-communication primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdur::comm {
+
+/// A multicast message. The payload is opaque to the communication layer;
+/// `bytes` is its analytic wire size (see net::wire).
+struct McastMsg {
+  std::uint64_t id = 0;             // globally unique (caller-assigned)
+  SiteId origin = kNoSite;          // sending site
+  std::vector<SiteId> dests;        // destination sites, sorted, unique
+  /// Sites whose timestamp proposals order the message (SkeenMulticast).
+  /// Destinations are replica *groups*: one member per group — its primary
+  /// — proposes on the group's behalf, so the failure of another member
+  /// does not block ordering. Empty means every destination proposes.
+  std::vector<SiteId> proposers;
+  std::uint64_t bytes = 0;          // payload wire size
+  std::shared_ptr<const void> payload;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return *static_cast<const T*>(payload.get());
+  }
+};
+
+/// Invoked when `msg` is delivered at site `at`. Delivery order is the
+/// whole point of each primitive; see the class comments.
+using DeliverFn = std::function<void(SiteId at, const McastMsg& msg)>;
+
+}  // namespace gdur::comm

@@ -1,0 +1,12 @@
+#include "comm/reliable_multicast.h"
+
+namespace gdur::comm {
+
+void ReliableMulticast::multicast(const McastMsg& msg) {
+  for (SiteId d : msg.dests) {
+    net_.send(msg.origin, d, msg.bytes,
+              [this, d, msg] { deliver_(d, msg); });
+  }
+}
+
+}  // namespace gdur::comm

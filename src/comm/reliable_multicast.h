@@ -1,0 +1,26 @@
+// Reliable multicast (M-Cast in the paper's pseudo-code).
+//
+// No ordering guarantee beyond the transport's per-link FIFO. Used for the
+// background propagation of version metadata in Walter and S-DUR
+// (post_commit), and as the dissemination step of two-phase commit.
+#pragma once
+
+#include "comm/mcast_msg.h"
+#include "net/transport.h"
+
+namespace gdur::comm {
+
+class ReliableMulticast {
+ public:
+  ReliableMulticast(net::Transport& transport, DeliverFn deliver)
+      : net_(transport), deliver_(std::move(deliver)) {}
+
+  /// Sends `msg` to every destination in msg.dests.
+  void multicast(const McastMsg& msg);
+
+ private:
+  net::Transport& net_;
+  DeliverFn deliver_;
+};
+
+}  // namespace gdur::comm

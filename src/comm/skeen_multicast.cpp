@@ -1,0 +1,133 @@
+#include "comm/skeen_multicast.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdur::comm {
+
+SkeenMulticast::SkeenMulticast(net::Transport& transport, DeliverFn deliver,
+                               bool fault_tolerant)
+    : net_(transport),
+      deliver_(std::move(deliver)),
+      ft_(fault_tolerant),
+      states_(static_cast<std::size_t>(transport.sites())) {}
+
+void SkeenMulticast::multicast(const McastMsg& msg) {
+  assert(!msg.dests.empty());
+  assert(std::is_sorted(msg.dests.begin(), msg.dests.end()));
+  for (SiteId d : msg.dests) {
+    net_.send(msg.origin, d, msg.bytes, [this, d, msg] { on_step1(d, msg); });
+  }
+}
+
+void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
+  SiteState& st = states_[at];
+  const std::vector<SiteId>& proposers =
+      msg.proposers.empty() ? msg.dests : msg.proposers;
+  const bool is_proposer =
+      std::find(proposers.begin(), proposers.end(), at) != proposers.end();
+
+  st.clock += 1;
+  Pending& p = st.pending[msg.id];
+  p.msg = msg;
+  p.proposals_needed = static_cast<int>(proposers.size());
+  if (is_proposer) p.bound = TsKey{st.clock, at};
+
+  // Apply proposals that raced ahead of the message.
+  if (auto it = st.early.find(msg.id); it != st.early.end()) {
+    for (const TsKey& k : it->second) on_proposal(at, msg.id, k);
+    st.early.erase(msg.id);
+  }
+
+  if (!is_proposer) {
+    try_deliver(at);  // the early proposals may already have finalized it
+    return;
+  }
+
+  const TsKey prop = TsKey{st.clock, at};
+  const auto dests = msg.dests;  // copy: p may be invalidated later
+  const std::uint64_t id = msg.id;
+  if (ft_) {
+    // Log the proposal at a witness before announcing it (2 extra delays).
+    const SiteId w = witness(at);
+    net_.send(at, w, net::wire::control(), [this, at, w, id, prop, dests] {
+      net_.send(w, at, net::wire::control(),
+                [this, at, id, prop, dests] { send_proposal(at, id, prop, dests); });
+    });
+  } else {
+    send_proposal(at, id, prop, dests);
+  }
+}
+
+void SkeenMulticast::send_proposal(SiteId at, std::uint64_t id, TsKey prop,
+                                   const std::vector<SiteId>& dests) {
+  for (SiteId d : dests) {
+    if (d == at) {
+      on_proposal(at, id, prop);
+    } else {
+      net_.send(at, d, net::wire::control() + 16,
+                [this, d, id, prop] { on_proposal(d, id, prop); });
+    }
+  }
+}
+
+void SkeenMulticast::on_proposal(SiteId at, std::uint64_t id, TsKey prop) {
+  SiteState& st = states_[at];
+  auto it = st.pending.find(id);
+  if (it == st.pending.end()) {
+    st.early[id].push_back(prop);
+    return;
+  }
+  Pending& p = it->second;
+  ++p.proposals;
+  p.final_key = std::max(p.final_key, prop);
+  p.bound = std::max(p.bound, prop);  // lower bound on the final key
+  if (p.proposals == p.proposals_needed) finalize(at, p);
+}
+
+void SkeenMulticast::finalize(SiteId at, Pending& p) {
+  SiteState& st = states_[at];
+  st.clock = std::max(st.clock, p.final_key.ts);
+  if (ft_) {
+    // Log the delivery decision at the witness before it takes effect.
+    p.delivered_blocked = true;
+    const SiteId w = witness(at);
+    const std::uint64_t id = p.msg.id;
+    net_.send(at, w, net::wire::control(), [this, at, w, id] {
+      net_.send(w, at, net::wire::control(), [this, at, id] {
+        auto it = states_[at].pending.find(id);
+        if (it == states_[at].pending.end()) return;
+        it->second.finalized = true;
+        it->second.delivered_blocked = false;
+        try_deliver(at);
+      });
+    });
+  } else {
+    p.finalized = true;
+    try_deliver(at);
+  }
+}
+
+void SkeenMulticast::try_deliver(SiteId at) {
+  SiteState& st = states_[at];
+  for (;;) {
+    // The candidate is the pending message with the smallest key, where a
+    // finalized message is keyed by its final timestamp and an unfinalized
+    // one by this site's proposal (a lower bound on its eventual final key).
+    const Pending* best = nullptr;
+    TsKey best_key{};
+    for (const auto& [id, p] : st.pending) {
+      const TsKey key = p.finalized ? p.final_key : p.bound;
+      if (best == nullptr || key < best_key) {
+        best = &p;
+        best_key = key;
+      }
+    }
+    if (best == nullptr || !best->finalized || best->delivered_blocked) return;
+    const McastMsg msg = best->msg;
+    st.pending.erase(msg.id);
+    deliver_(at, msg);
+  }
+}
+
+}  // namespace gdur::comm

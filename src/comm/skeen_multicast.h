@@ -1,0 +1,86 @@
+// Genuine atomic multicast (AM-Cast / AMpw-Cast), Skeen's algorithm.
+//
+// Only the destinations of a message take steps — the primitive is genuine,
+// which is exactly the property P-Store's commitment needs (§6.1). Each
+// destination proposes a Lamport timestamp, the final timestamp is the
+// maximum proposal, and a site delivers a finalized message once no other
+// pending message can end up with a smaller timestamp. Messages with
+// intersecting destination sets are delivered in the same relative order at
+// every common destination (pairwise ordering); because proposals are
+// exchanged among *all* destinations, the order is in fact total per
+// destination set — a strict superset of the AMpw-Cast contract S-DUR needs.
+//
+// Cost (r = |dests|): 2 message delays and r + r^2 messages without fault
+// tolerance. With `fault_tolerant = true`, every proposal and every delivery
+// decision is first logged at a witness site through a round trip, modeling
+// the intra-group consensus of a disaster-tolerant genuine multicast: 6
+// delays and Ω(r^2) messages, the figures the paper quotes from Schiper's
+// thesis in §5.3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/mcast_msg.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace gdur::comm {
+
+class SkeenMulticast {
+ public:
+  SkeenMulticast(net::Transport& transport, DeliverFn deliver,
+                 bool fault_tolerant = false);
+
+  /// Multicasts `msg` to msg.dests (sorted, unique, non-empty).
+  void multicast(const McastMsg& msg);
+
+ private:
+  /// (timestamp, site) pairs; proposals from one site are strictly
+  /// increasing, so keys of finalized messages are unique.
+  struct TsKey {
+    std::uint64_t ts;
+    SiteId site;
+    friend auto operator<=>(const TsKey&, const TsKey&) = default;
+  };
+
+  struct Pending {
+    McastMsg msg;
+    TsKey bound{};              // lower bound on the final key: this site's
+                                // own proposal, or the best proposal heard
+    TsKey final_key{};          // max proposal once finalized
+    bool finalized = false;
+    bool delivered_blocked = false;  // FT: waiting for delivery log
+    int proposals = 0;               // proposals received so far
+    int proposals_needed = 0;
+  };
+
+  struct SiteState {
+    std::uint64_t clock = 0;
+    std::unordered_map<std::uint64_t, Pending> pending;  // msg id -> state
+    // Proposals that arrived before the message itself (links from distinct
+    // sources are not mutually ordered).
+    std::unordered_map<std::uint64_t, std::vector<TsKey>> early;
+  };
+
+  void on_step1(SiteId at, const McastMsg& msg);
+  void send_proposal(SiteId at, std::uint64_t id, TsKey prop,
+                     const std::vector<SiteId>& dests);
+  void on_proposal(SiteId at, std::uint64_t id, TsKey prop);
+  void finalize(SiteId at, Pending& p);
+  void try_deliver(SiteId at);
+
+  /// The witness used for FT logging: the next site, cyclically.
+  [[nodiscard]] SiteId witness(SiteId s) const {
+    return static_cast<SiteId>((s + 1) % static_cast<SiteId>(net_.sites()));
+  }
+
+  net::Transport& net_;
+  DeliverFn deliver_;
+  bool ft_;
+  std::vector<SiteState> states_;
+};
+
+}  // namespace gdur::comm

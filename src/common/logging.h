@@ -1,0 +1,47 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded, so no synchronization is needed. Logging
+// defaults to Warn so benchmarks stay quiet; tests can raise verbosity to
+// trace protocol decisions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace gdur {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, fmt);
+  } else {
+    detail::log_line(level, detail::format(fmt, std::forward<Args>(args)...));
+  }
+}
+
+#define GDUR_TRACE(...) ::gdur::log(::gdur::LogLevel::kTrace, __VA_ARGS__)
+#define GDUR_DEBUG(...) ::gdur::log(::gdur::LogLevel::kDebug, __VA_ARGS__)
+#define GDUR_INFO(...) ::gdur::log(::gdur::LogLevel::kInfo, __VA_ARGS__)
+#define GDUR_WARN(...) ::gdur::log(::gdur::LogLevel::kWarn, __VA_ARGS__)
+#define GDUR_ERROR(...) ::gdur::log(::gdur::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace gdur

@@ -1,0 +1,81 @@
+// A small sorted set of ObjectIds.
+//
+// Transactions in the paper's workloads touch 2-4 objects, so read/write
+// sets are tiny; a sorted vector beats hash sets on every operation we need
+// (membership, intersection emptiness, union) while staying deterministic to
+// iterate.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdur {
+
+class ObjSet {
+ public:
+  ObjSet() = default;
+  ObjSet(std::initializer_list<ObjectId> ids) {
+    for (auto id : ids) insert(id);
+  }
+
+  /// Inserts `id`; returns false if it was already present.
+  bool insert(ObjectId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) return false;
+    ids_.insert(it, id);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  void clear() { ids_.clear(); }
+
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+
+  /// True iff this set and `other` share no element. This is the hot
+  /// operation behind every commute()/certify() plug-in.
+  [[nodiscard]] bool disjoint(const ObjSet& other) const {
+    auto a = ids_.begin();
+    auto b = other.ids_.begin();
+    while (a != ids_.end() && b != other.ids_.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const ObjSet& other) const {
+    return !disjoint(other);
+  }
+
+  /// Set union, returned by value.
+  [[nodiscard]] ObjSet unioned(const ObjSet& other) const {
+    ObjSet out;
+    out.ids_.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                   other.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  void merge(const ObjSet& other) { *this = unioned(other); }
+
+  friend bool operator==(const ObjSet&, const ObjSet&) = default;
+
+ private:
+  std::vector<ObjectId> ids_;
+};
+
+}  // namespace gdur

@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace gdur {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  // Expand the single seed with splitmix64, per the xoshiro authors' advice.
+  for (auto& s : s_) {
+    seed = mix64(seed);
+    s = seed;
+  }
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+namespace {
+// zeta(n) is O(n); memoize it so that constructing thousands of generators
+// over the same key space (one per client thread) stays cheap.
+double zeta(std::uint64_t n, double theta) {
+  struct Key {
+    std::uint64_t n;
+    double theta;
+    bool operator==(const Key&) const = default;
+  };
+  static std::vector<std::pair<Key, double>> cache;
+  const Key key{n, theta};
+  for (const auto& [k, v] : cache)
+    if (k == key) return v;
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  cache.emplace_back(key, sum);
+  return sum;
+}
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = zeta(n, theta);
+  zeta2theta_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::uint64_t ZipfianGenerator::next_scrambled(Rng& rng) {
+  return mix64(next(rng)) % n_;
+}
+
+}  // namespace gdur

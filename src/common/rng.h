@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the middleware (workload keys, network jitter,
+// replica selection) flows through Rng so that a run is a pure function of
+// its seed. We use xoshiro256** which is fast, high quality, and trivially
+// seedable from a single 64-bit value.
+#pragma once
+
+#include <cstdint>
+
+namespace gdur {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian-distributed keys in [0, n), exponent `theta` (YCSB uses 0.99).
+/// Uses the Gray et al. rejection-free method with precomputed zeta values,
+/// plus the YCSB-style scrambling hash so that popular keys are spread over
+/// the key space (and therefore over partitions).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  /// Next zipfian sample in [0, n), *unscrambled*: 0 is the hottest key.
+  std::uint64_t next(Rng& rng);
+
+  /// Next sample, scrambled over the key space as YCSB does.
+  std::uint64_t next_scrambled(Rng& rng);
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// 64-bit finalizer hash (splitmix64 mixer); used for key scrambling and
+/// partition placement.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace gdur

@@ -1,0 +1,31 @@
+// Simulated-time units. All simulation timestamps are signed 64-bit
+// nanosecond counts; helpers below build durations readably.
+#pragma once
+
+#include <cstdint>
+
+namespace gdur {
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A duration in simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(double us) {
+  return static_cast<SimDuration>(us * 1e3);
+}
+constexpr SimDuration milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9);
+}
+
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+}  // namespace gdur

@@ -1,0 +1,46 @@
+// Core identifier types shared across every G-DUR module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gdur {
+
+/// Identifies a site (datacenter). The paper runs one replica per site, so a
+/// SiteId doubles as a replica/process id in this implementation.
+using SiteId = std::uint32_t;
+
+/// Identifies a logical object (a key in the store). Objects are mapped to
+/// partitions, and partitions to sites, by the store::Partitioner.
+using ObjectId = std::uint64_t;
+
+/// Identifies a data partition.
+using PartitionId = std::uint32_t;
+
+constexpr SiteId kNoSite = ~SiteId{0};
+
+/// Globally unique transaction identifier: the coordinating site plus a
+/// per-coordinator sequence number.
+struct TxnId {
+  SiteId coord = kNoSite;
+  std::uint64_t seq = 0;
+
+  friend auto operator<=>(const TxnId&, const TxnId&) = default;
+
+  [[nodiscard]] bool valid() const { return coord != kNoSite; }
+  [[nodiscard]] std::string str() const {
+    return "T" + std::to_string(coord) + "." + std::to_string(seq);
+  }
+};
+
+}  // namespace gdur
+
+template <>
+struct std::hash<gdur::TxnId> {
+  std::size_t operator()(const gdur::TxnId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.coord) << 48) ^ id.seq);
+  }
+};

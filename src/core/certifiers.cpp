@@ -1,0 +1,88 @@
+#include "core/certifiers.h"
+
+#include "core/cluster.h"
+#include "core/replica.h"
+
+namespace gdur::core::certifiers {
+
+bool always(const CertContext&) { return true; }
+
+bool reads_latest(const CertContext& ctx) {
+  const auto& part = ctx.replica.cluster().partitioner();
+  for (const ReadEntry& r : ctx.txn.reads) {
+    if (!part.is_local(ctx.replica.site(), r.obj)) continue;
+    if (ctx.replica.latest_pidx(r.obj) != r.pidx) return false;
+  }
+  return true;
+}
+
+bool ww_visible(const CertContext& ctx) {
+  auto& cl = ctx.replica.cluster();
+  const auto& part = cl.partitioner();
+  for (ObjectId o : ctx.txn.ws) {
+    if (!part.is_local(ctx.replica.site(), o)) continue;
+    const auto* chain = ctx.replica.db().chain(o);
+    if (chain == nullptr || chain->empty()) continue;
+    if (!cl.oracle().visible(chain->latest(), part.partition_of(o),
+                             ctx.txn.snap))
+      return false;
+  }
+  return true;
+}
+
+bool ww_nmsi(const CertContext& ctx) {
+  auto& cl = ctx.replica.cluster();
+  const auto& part = cl.partitioner();
+  for (ObjectId o : ctx.txn.ws) {
+    if (!part.is_local(ctx.replica.site(), o)) continue;
+    const auto* chain = ctx.replica.db().chain(o);
+    if (chain == nullptr || chain->empty()) continue;
+    const auto& latest = chain->latest();
+    if (latest.commit_time <= ctx.txn.begin_time) continue;  // not concurrent
+    if (!cl.oracle().visible(latest, part.partition_of(o), ctx.txn.snap))
+      return false;
+  }
+  return true;
+}
+
+bool ww_all_objects(const CertContext& ctx) {
+  for (ObjectId o : ctx.txn.ws) {
+    if (ctx.replica.latest_seq_of(o) > ctx.txn.snap.start_seq) return false;
+  }
+  return true;
+}
+
+bool sdur(const CertContext& ctx) {
+  // S-DUR treats Tj as concurrent with Ti when Tj is not contained in Ti's
+  // snapshot; a committed concurrent transaction must conflict with Ti
+  // neither read-write nor write-read (Alg. 6 line 7).
+  auto& cl = ctx.replica.cluster();
+  const auto& part = cl.partitioner();
+  const SiteId here = ctx.replica.site();
+
+  // (1) rs(Ti) ∩ ws(Tj) = ∅: no committed version of an object Ti read may
+  //     lie outside Ti's snapshot.
+  for (const ReadEntry& r : ctx.txn.reads) {
+    if (!part.is_local(here, r.obj)) continue;
+    const auto* chain = ctx.replica.db().chain(r.obj);
+    if (chain == nullptr) continue;
+    const PartitionId p = part.partition_of(r.obj);
+    for (std::size_t i = 0; i < chain->size(); ++i) {
+      if (!cl.oracle().visible(chain->at(i), p, ctx.txn.snap)) return false;
+    }
+  }
+
+  // (2) ws(Ti) ∩ rs(Tj) = ∅: no committed update transaction outside Ti's
+  //     snapshot may have read an object Ti writes.
+  for (ObjectId o : ctx.txn.ws) {
+    if (!part.is_local(here, o)) continue;
+    const auto* readers = ctx.replica.recent_readers(o);
+    if (readers == nullptr) continue;
+    for (const auto& rd : *readers) {
+      if (rd.seq > ctx.txn.snap.vts[rd.origin]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gdur::core::certifiers

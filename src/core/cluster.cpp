@@ -1,0 +1,212 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/wire.h"
+
+namespace gdur::core {
+
+namespace {
+std::uint64_t mcast_id_of(const TxnId& id) {
+  return (static_cast<std::uint64_t>(id.coord) << 44) ^ id.seq;
+}
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
+    : spec_(std::move(spec)),
+      part_(cfg.sites, cfg.replication,
+            cfg.objects_per_site * static_cast<std::uint64_t>(cfg.sites),
+            cfg.partitions_per_site) {
+  assert(spec_.commute && "protocol must define commute()");
+  assert(spec_.certify && "protocol must define certify()");
+
+  auto topo = net::Topology::geo(cfg.sites, cfg.min_latency, cfg.max_latency,
+                                 cfg.seed * 31 + 7);
+  net_ = std::make_unique<net::Transport>(sim_, std::move(topo), cfg.cost,
+                                          cfg.cores_per_site,
+                                          cfg.seed * 131 + 11);
+  oracle_ = versioning::make_oracle(spec_.theta, part_);
+
+  replicas_.reserve(static_cast<std::size_t>(cfg.sites));
+  for (SiteId s = 0; s < static_cast<SiteId>(cfg.sites); ++s)
+    replicas_.push_back(std::make_unique<Replica>(*this, s));
+
+  const auto deliver_term = [this](SiteId at, const comm::McastMsg& m) {
+    replicas_[at]->on_term_delivered(
+        std::static_pointer_cast<const TxnRecord>(m.payload));
+  };
+  ab_ = std::make_unique<comm::AtomicBroadcast>(*net_, deliver_term);
+  skeen_ = std::make_unique<comm::SkeenMulticast>(*net_, deliver_term,
+                                                  spec_.ft_multicast);
+  rm_term_ = std::make_unique<comm::ReliableMulticast>(*net_, deliver_term);
+  rm_bg_ = std::make_unique<comm::ReliableMulticast>(
+      *net_, [this](SiteId at, const comm::McastMsg& m) {
+        oracle_->on_propagate(at, m.as<versioning::Stamp>());
+      });
+
+  if (cfg.durable) {
+    wals_.reserve(static_cast<std::size_t>(cfg.sites));
+    for (int s = 0; s < cfg.sites; ++s)
+      wals_.push_back(std::make_unique<store::WriteAheadLog>(sim_, cfg.wal));
+  }
+}
+
+std::uint64_t Cluster::meta_bytes() const {
+  return spec_.send_metadata ? oracle_->metadata_bytes() : 0;
+}
+
+std::uint64_t Cluster::term_bytes(const TxnRecord& t) const {
+  return net::wire::termination(t.rs.size(), t.ws.size(), meta_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Client API.
+// ---------------------------------------------------------------------------
+
+void Cluster::begin(SiteId coord, std::function<void(MutTxnPtr)> cb) {
+  net_->client_send(coord, net::wire::control(), [this, coord,
+                                                  cb = std::move(cb)] {
+    replicas_[coord]->exec_begin([this, coord, cb](MutTxnPtr t) {
+      net_->send_to_client(coord, net::wire::control(),
+                           [cb, t = std::move(t)] { cb(t); });
+    });
+  });
+}
+
+void Cluster::read(SiteId coord, const MutTxnPtr& t, ObjectId x,
+                   std::function<void(bool)> cb) {
+  net_->client_send(coord, net::wire::control() + net::wire::kKey,
+                    [this, coord, t, x, cb = std::move(cb)] {
+                      replicas_[coord]->exec_read(t, x, [this, coord,
+                                                         cb](bool ok) {
+                        net_->send_to_client(
+                            coord, net::wire::read_reply(0),
+                            [cb, ok] { cb(ok); });
+                      });
+                    });
+}
+
+void Cluster::write(SiteId coord, const MutTxnPtr& t, ObjectId x,
+                    std::function<void()> cb) {
+  net_->client_send(
+      coord, net::wire::control() + net::wire::kKey + net::wire::kPayload,
+      [this, coord, t, x, cb = std::move(cb)] {
+        replicas_[coord]->exec_write(t, x, [this, coord, cb] {
+          net_->send_to_client(coord, net::wire::control(), [cb] { cb(); });
+        });
+      });
+}
+
+void Cluster::commit(SiteId coord, const MutTxnPtr& t,
+                     std::function<void(bool)> cb) {
+  net_->client_send(coord, net::wire::control(),
+                    [this, coord, t, cb = std::move(cb)] {
+                      replicas_[coord]->exec_commit(t, [this, coord,
+                                                        cb](bool committed) {
+                        net_->send_to_client(coord, net::wire::decision(),
+                                             [cb, committed] { cb(committed); });
+                      });
+                    });
+}
+
+// ---------------------------------------------------------------------------
+// Termination wiring.
+// ---------------------------------------------------------------------------
+
+void Cluster::xcast_term(const TxnPtr& t, std::vector<SiteId> dests) {
+  assert(!dests.empty());
+  comm::McastMsg msg;
+  msg.id = mcast_id_of(t->id);
+  msg.origin = t->id.coord;
+  msg.dests = std::move(dests);
+  msg.bytes = term_bytes(*t);
+  msg.payload = t;
+  if (spec_.ac == AcKind::kGroupComm &&
+      spec_.xcast != XcastKind::kAtomicBroadcast) {
+    // Genuine multicast addresses replica groups: the primary of each
+    // certifying partition proposes on its group's behalf, so the failure
+    // of another group member cannot block ordering.
+    const auto cs = certifying_objects(spec_, *t, part_);
+    std::vector<SiteId> proposers;
+    for (ObjectId o : cs.objs) {
+      const SiteId prim = part_.primary_of(part_.partition_of(o));
+      if (std::find(proposers.begin(), proposers.end(), prim) ==
+          proposers.end())
+        proposers.push_back(prim);
+    }
+    std::sort(proposers.begin(), proposers.end());
+    msg.proposers = std::move(proposers);
+  }
+
+  if (spec_.ac == AcKind::kTwoPhaseCommit ||
+      spec_.ac == AcKind::kPaxosCommit) {
+    rm_term_->multicast(msg);
+    return;
+  }
+  switch (spec_.xcast) {
+    case XcastKind::kAtomicBroadcast:
+      ab_->broadcast(std::move(msg));
+      break;
+    case XcastKind::kAtomicMulticast:
+    case XcastKind::kPairwiseMulticast:
+      skeen_->multicast(msg);
+      break;
+  }
+}
+
+void Cluster::send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote) {
+  net_->send(from, to, net::wire::vote(),
+             [this, to, t, vote, from] { replicas_[to]->on_vote(t, from, vote); });
+}
+
+void Cluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
+                            bool commit) {
+  net_->send(from, to, net::wire::decision(),
+             [this, to, t, commit] { replicas_[to]->on_decision(t, commit); });
+}
+
+void Cluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
+                            SiteId participant, bool vote) {
+  net_->send(from, acceptor, net::wire::vote(),
+             [this, acceptor, t, participant, vote] {
+               replicas_[acceptor]->on_paxos_2a(t, participant, vote);
+             });
+}
+
+void Cluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
+                            SiteId participant, bool vote, SiteId acceptor) {
+  net_->send(from, to, net::wire::vote(),
+             [this, to, t, participant, vote, acceptor] {
+               replicas_[to]->on_paxos_2b(t, participant, vote, acceptor);
+             });
+}
+
+void Cluster::propagate_stamp(SiteId from, const TxnRecord& t,
+                              const std::vector<SiteId>& dests) {
+  if (dests.empty()) return;
+  comm::McastMsg msg;
+  msg.id = (0x8000'0000'0000'0000ULL | ++mcast_ids_);
+  msg.origin = from;
+  msg.dests = dests;
+  msg.bytes = net::wire::control() + 16;
+  msg.payload = std::make_shared<versioning::Stamp>(t.stamp);
+  rm_bg_->multicast(msg);
+}
+
+SiteId Cluster::nearest_replica(SiteId from, ObjectId x) const {
+  const auto replicas = part_.replicas_of_object(x);
+  SiteId best = replicas.front();
+  SimDuration best_lat = net_->topology().latency(from, best);
+  for (SiteId r : replicas) {
+    const SimDuration l = net_->topology().latency(from, r);
+    if (r == from) return r;
+    if (l < best_lat) {
+      best = r;
+      best_lat = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace gdur::core

@@ -1,0 +1,137 @@
+// Cluster — an assembled G-DUR deployment.
+//
+// Owns the simulator, the transport, the versioning oracle, the replicas,
+// and the group-communication primitives, wired according to one
+// ProtocolSpec. The client-facing API (begin/read/write/commit) models
+// client machines co-located with each site, as in the paper's testbed:
+// every operation is a LAN round trip to the coordinating replica.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/atomic_broadcast.h"
+#include "comm/reliable_multicast.h"
+#include "comm/skeen_multicast.h"
+#include "core/protocol_spec.h"
+#include "core/replica.h"
+#include "core/transaction.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "store/partitioner.h"
+#include "store/wal.h"
+#include "versioning/oracle.h"
+
+namespace gdur::core {
+
+struct ClusterConfig {
+  int sites = 4;
+  int replication = 1;  // 1 = Disaster Prone, 2 = Disaster Tolerant (§8.1)
+  std::uint64_t objects_per_site = 100'000;
+  int partitions_per_site = 1;
+  int cores_per_site = 4;
+  sim::CostModel cost{};
+  SimDuration min_latency = milliseconds(10);
+  SimDuration max_latency = milliseconds(20);
+  std::uint64_t seed = 1;
+  /// Durable mode (§7's persistence layer): termination-protocol state
+  /// changes are logged to a per-site write-ahead log before they take
+  /// effect, as §5.3 requires for 2PC in the crash-recovery model.
+  bool durable = false;
+  store::WalConfig wal{};
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& cfg, ProtocolSpec spec);
+
+  // ------------------------------------------------------------------
+  // Client API (each call is one client->replica->client round trip).
+  // ------------------------------------------------------------------
+  void begin(SiteId coord, std::function<void(MutTxnPtr)> cb);
+  void read(SiteId coord, const MutTxnPtr& t, ObjectId x,
+            std::function<void(bool)> cb);
+  void write(SiteId coord, const MutTxnPtr& t, ObjectId x,
+             std::function<void()> cb);
+  void commit(SiteId coord, const MutTxnPtr& t, std::function<void(bool)> cb);
+
+  // ------------------------------------------------------------------
+  // Wiring used by Replica and by protocol plug-ins.
+  // ------------------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Transport& transport() { return *net_; }
+  [[nodiscard]] const store::Partitioner& partitioner() const { return part_; }
+  [[nodiscard]] versioning::VersionOracle& oracle() { return *oracle_; }
+  [[nodiscard]] const ProtocolSpec& spec() const { return spec_; }
+  [[nodiscard]] Replica& replica(SiteId s) { return *replicas_[s]; }
+  [[nodiscard]] int sites() const { return part_.sites(); }
+
+  /// Versioning metadata bytes attached to messages under this spec.
+  [[nodiscard]] std::uint64_t meta_bytes() const;
+
+  /// Per-site write-ahead log, or nullptr when running in-memory.
+  [[nodiscard]] store::WriteAheadLog* wal(SiteId s) {
+    return wals_.empty() ? nullptr : wals_[s].get();
+  }
+
+  /// Propagates `t` to replicas(certifying_obj(t)) with the spec's xcast
+  /// (Algorithm 2 line 15). `dests` must be the sorted destination sites.
+  void xcast_term(const TxnPtr& t, std::vector<SiteId> dests);
+
+  void send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote);
+  void send_decision(SiteId from, SiteId to, const TxnPtr& t, bool commit);
+
+  /// Paxos Commit messaging (AC = paxos): a participant's vote travels to
+  /// every acceptor (2a), acceptances travel to the coordinator (2b).
+  void send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
+                     SiteId participant, bool vote);
+  void send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
+                     SiteId participant, bool vote, SiteId acceptor);
+
+  /// Background propagation of a commit's version number (Walter / S-DUR
+  /// post_commit): `dests` learn t.stamp via oracle().on_propagate.
+  void propagate_stamp(SiteId from, const TxnRecord& t,
+                       const std::vector<SiteId>& dests);
+
+  /// Replica of `x` closest to `from` (for remote reads).
+  [[nodiscard]] SiteId nearest_replica(SiteId from, ObjectId x) const;
+
+  /// A committed version installed at a replica (for history checking).
+  struct InstallEvent {
+    ObjectId obj;
+    TxnId writer;
+    std::uint64_t pidx;
+    SiteId site;
+    SimTime time;
+  };
+  /// Observer invoked on every version install (tests/checker only; adds
+  /// no cost when unset).
+  void set_install_observer(std::function<void(const InstallEvent&)> obs) {
+    install_observer_ = std::move(obs);
+  }
+  [[nodiscard]] const std::function<void(const InstallEvent&)>&
+  install_observer() const {
+    return install_observer_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t term_bytes(const TxnRecord& t) const;
+
+  ProtocolSpec spec_;
+  sim::Simulator sim_;
+  store::Partitioner part_;
+  std::unique_ptr<net::Transport> net_;
+  std::unique_ptr<versioning::VersionOracle> oracle_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  std::unique_ptr<comm::AtomicBroadcast> ab_;
+  std::unique_ptr<comm::SkeenMulticast> skeen_;
+  std::unique_ptr<comm::ReliableMulticast> rm_term_;
+  std::unique_ptr<comm::ReliableMulticast> rm_bg_;
+  std::uint64_t mcast_ids_ = 0;
+  std::vector<std::unique_ptr<store::WriteAheadLog>> wals_;
+  std::function<void(const InstallEvent&)> install_observer_;
+};
+
+}  // namespace gdur::core

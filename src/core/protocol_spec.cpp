@@ -1,0 +1,48 @@
+#include "core/protocol_spec.h"
+
+namespace gdur::core {
+
+CertifyingSet certifying_objects(const ProtocolSpec& spec, const TxnRecord& t,
+                                 const store::Partitioner& part) {
+  if (spec.certifying_override) {
+    if (auto objs = spec.certifying_override(t, part))
+      return CertifyingSet{.all = false, .objs = *std::move(objs)};
+  }
+  if (t.read_only() && spec.wait_free_queries) return {};
+  switch (spec.certifying) {
+    case CertScope::kNone:
+      return {};
+    case CertScope::kWriteSet:
+      return {.all = false, .objs = t.ws};
+    case CertScope::kReadWriteSet:
+      return {.all = false, .objs = t.rs.unioned(t.ws)};
+    case CertScope::kAllObjects:
+      return {.all = true, .objs = {}};
+  }
+  return {};
+}
+
+ObjSet vote_objects(VoteScope scope, const CertifyingSet& certifying,
+                    const TxnRecord& t) {
+  switch (scope) {
+    case VoteScope::kCertifying:
+      return certifying.objs;
+    case VoteScope::kWriteSet:
+      return t.ws;
+    case VoteScope::kLocalObjects:
+      return {};
+  }
+  return {};
+}
+
+bool commute_rw_disjoint(const TxnRecord& a, const TxnRecord& b) {
+  return a.rs.disjoint(b.ws) && b.rs.disjoint(a.ws);
+}
+
+bool commute_ww_disjoint(const TxnRecord& a, const TxnRecord& b) {
+  return a.ws.disjoint(b.ws);
+}
+
+bool commute_always(const TxnRecord&, const TxnRecord&) { return true; }
+
+}  // namespace gdur::core

@@ -1,0 +1,575 @@
+#include "core/replica.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "common/logging.h"
+#include "core/cluster.h"
+#include "net/wire.h"
+
+namespace gdur::core {
+
+Replica::Replica(Cluster& cluster, SiteId id) : cl_(cluster), id_(id) {}
+
+std::uint64_t Replica::latest_pidx(ObjectId x) const {
+  const auto* chain = db_.chain(x);
+  return (chain == nullptr || chain->empty()) ? 0 : chain->latest().pidx;
+}
+
+std::uint64_t Replica::latest_seq_of(ObjectId x) const {
+  auto it = latest_seq_.find(x);
+  return it == latest_seq_.end() ? 0 : it->second;
+}
+
+bool Replica::has_local_writes(const TxnRecord& t) const {
+  const auto& part = cl_.partitioner();
+  for (ObjectId o : t.ws)
+    if (part.is_local(id_, o)) return true;
+  return false;
+}
+
+SimDuration Replica::certify_cost(const TxnRecord& t) const {
+  const auto& cost = cl_.transport().cost();
+  return cost.certify_base +
+         cost.certify_per_obj * static_cast<SimDuration>(t.rs.size() + t.ws.size());
+}
+
+// ---------------------------------------------------------------------------
+// Execution protocol (Algorithm 1).
+// ---------------------------------------------------------------------------
+
+void Replica::exec_begin(std::function<void(MutTxnPtr)> cb) {
+  auto t = std::make_shared<TxnRecord>();
+  t->id = TxnId{id_, ++txn_counter_};
+  t->begin_time = cl_.simulator().now();
+  cl_.oracle().begin_snapshot(id_, t->snap);
+  cb(std::move(t));
+}
+
+void Replica::exec_read(const MutTxnPtr& t, ObjectId x,
+                        std::function<void(bool)> cb) {
+  // Line 10: a transaction observes its own buffered writes.
+  if (t->ws.contains(x)) {
+    cb(true);
+    return;
+  }
+  const auto& cost = cl_.transport().cost();
+  const SimDuration snap_cost = cl_.spec().choose == ChooseKind::kCons
+                                    ? cost.snapshot_maintain
+                                    : SimDuration{0};
+  const SiteId target = cl_.nearest_replica(id_, x);
+  if (target == id_) {
+    // Line 11: local read.
+    cl_.transport().local_work(
+        id_, cost.read_local + cost.version_select + snap_cost,
+        [this, t, x, cb = std::move(cb)] { local_read_attempt(t, x, 0, cb); });
+    return;
+  }
+  // Line 13: asynchronous remote read (the snapshot travels with it).
+  const std::uint64_t req = net::wire::read_request() + cl_.meta_bytes();
+  cl_.transport().send(id_, target, req,
+                       [this, target, t, x, cb = std::move(cb)] {
+                         cl_.replica(target).serve_remote_read(id_, t, x, cb);
+                       });
+}
+
+void Replica::local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
+                                 std::function<void(bool)> cb) {
+  const auto& part = cl_.partitioner();
+  const auto* chain = db_.chain(x);
+  int idx;
+  if (cl_.spec().choose == ChooseKind::kLast) {
+    idx = (chain == nullptr || chain->empty())
+              ? versioning::kInitialVersion
+              : static_cast<int>(chain->size()) - 1;
+  } else {
+    idx = cl_.oracle().choose(id_, chain, part.partition_of(x), t->snap);
+  }
+  if (idx == versioning::kNoCompatibleVersion) {
+    if (attempt + 1 >= kMaxReadAttempts) {
+      cb(false);
+      return;
+    }
+    cl_.simulator().after(kReadRetryDelay, [this, t, x, attempt, cb] {
+      const auto& cost = cl_.transport().cost();
+      cl_.transport().local_work(id_, cost.read_local + cost.version_select,
+                                 [this, t, x, attempt, cb] {
+                                   local_read_attempt(t, x, attempt + 1, cb);
+                                 });
+    });
+    return;
+  }
+  const store::Version* v =
+      idx == versioning::kInitialVersion ? nullptr
+                                         : &chain->at(static_cast<std::size_t>(idx));
+  record_read(t, x, v);
+  cb(true);
+}
+
+void Replica::record_read(const MutTxnPtr& t, ObjectId x,
+                          const store::Version* v) {
+  const PartitionId p = cl_.partitioner().partition_of(x);
+  t->rs.insert(x);
+  t->reads.push_back(ReadEntry{.obj = x,
+                               .part = p,
+                               .writer = v != nullptr ? v->writer : TxnId{},
+                               .pidx = v != nullptr ? v->pidx : 0});
+  cl_.oracle().note_read(v, p, t->snap);
+}
+
+void Replica::serve_remote_read(SiteId requester, const MutTxnPtr& t,
+                                ObjectId x, std::function<void(bool)> done) {
+  const auto& cost = cl_.transport().cost();
+  const SimDuration snap_cost = cl_.spec().choose == ChooseKind::kCons
+                                    ? cost.snapshot_maintain
+                                    : SimDuration{0};
+  cl_.transport().local_work(id_, cost.read_local + cost.version_select + snap_cost,
+                             [this, requester, t, x, done = std::move(done)] {
+                               remote_read_attempt(requester, t, x, 0, done);
+                             });
+}
+
+void Replica::remote_read_attempt(SiteId requester, const MutTxnPtr& t,
+                                  ObjectId x, int attempt,
+                                  std::function<void(bool)> done) {
+  // Lines 26-30: choose a version against the requester's snapshot and
+  // reply. The transaction record is updated at the coordinator, on reply.
+  const auto& part = cl_.partitioner();
+  const auto* chain = db_.chain(x);
+  int idx;
+  if (cl_.spec().choose == ChooseKind::kLast) {
+    idx = (chain == nullptr || chain->empty())
+              ? versioning::kInitialVersion
+              : static_cast<int>(chain->size()) - 1;
+  } else {
+    idx = cl_.oracle().choose(id_, chain, part.partition_of(x), t->snap);
+  }
+  if (idx == versioning::kNoCompatibleVersion &&
+      attempt + 1 < kMaxReadAttempts) {
+    cl_.simulator().after(kReadRetryDelay, [this, requester, t, x, attempt,
+                                            done = std::move(done)] {
+      const auto& c = cl_.transport().cost();
+      cl_.transport().local_work(id_, c.read_local + c.version_select,
+                                 [this, requester, t, x, attempt, done] {
+                                   remote_read_attempt(requester, t, x,
+                                                       attempt + 1, done);
+                                 });
+    });
+    return;
+  }
+  const bool ok = idx != versioning::kNoCompatibleVersion;
+  std::optional<store::Version> v;
+  if (ok && idx != versioning::kInitialVersion)
+    v = chain->at(static_cast<std::size_t>(idx));
+  const std::uint64_t reply = net::wire::read_reply(cl_.meta_bytes());
+  cl_.transport().send(id_, requester, reply,
+                       [this, requester, t, x, ok, v = std::move(v),
+                        done = std::move(done)] {
+                         if (!ok) {
+                           done(false);
+                           return;
+                         }
+                         cl_.replica(requester).record_read(
+                             t, x, v.has_value() ? &*v : nullptr);
+                         done(true);
+                       });
+}
+
+void Replica::exec_write(const MutTxnPtr& t, ObjectId x,
+                         std::function<void()> cb) {
+  // Lines 16-18: buffer the after-value in ws(T).
+  t->ws.insert(x);
+  cl_.transport().local_work(id_, cl_.transport().cost().client_op,
+                             std::move(cb));
+}
+
+void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
+  // Algorithm 2, submit(T).
+  t->submit_time = cl_.simulator().now();
+  if (!t->read_only())
+    t->stamp = cl_.oracle().submit_stamp(id_, ++coord_seq_, t->snap);
+
+  const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
+  if (cs.empty()) {
+    // Line 12: commit without synchronization (wait-free queries).
+    assert(t->read_only());
+    cb(true);
+    return;
+  }
+
+  TxnPtr ct = t;
+  commit_cbs_[t->id] = std::move(cb);
+  auto& st = state_of(ct);
+  (void)st;
+
+  std::vector<SiteId> dests;
+  if (cs.all) {
+    for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
+      dests.push_back(s);
+  } else {
+    dests = cl_.partitioner().replicas_of(cs.objs);
+  }
+  cl_.xcast_term(ct, std::move(dests));
+}
+
+// ---------------------------------------------------------------------------
+// Termination protocol (Algorithms 2-4).
+// ---------------------------------------------------------------------------
+
+Replica::TermState& Replica::state_of(const TxnPtr& t) {
+  auto& st = term_[t->id];
+  if (!st.txn) st.txn = t;
+  return st;
+}
+
+void Replica::on_term_delivered(const TxnPtr& t) {
+  auto& st = state_of(t);
+  if (st.in_q || st.voted || st.decided) return;
+  st.in_q = true;
+  q_.push_back(t->id);
+
+  if (cl_.spec().ac != AcKind::kGroupComm) {
+    // Algorithm 4 lines 1-7 (also Paxos Commit): vote immediately; a
+    // non-commuting transaction already in Q triggers a preemptive abort.
+    bool preempt = false;
+    for (const TxnId& other : q_) {
+      if (other == t->id) continue;
+      const auto it = term_.find(other);
+      if (it == term_.end() || it->second.decided) continue;
+      if (!cl_.spec().commute(*t, *it->second.txn)) {
+        preempt = true;
+        break;
+      }
+    }
+    cast_vote(t, preempt);
+  } else {
+    gc_try_votes();
+  }
+}
+
+void Replica::gc_try_votes() {
+  if (cl_.spec().ac != AcKind::kGroupComm) return;
+  // Algorithm 3 lines 1-3: T may be certified once it commutes with every
+  // transaction preceding it in Q.
+  std::vector<const TxnRecord*> preceding;
+  preceding.reserve(q_.size());
+  for (const TxnId& id : q_) {
+    auto& st = term_.at(id);
+    if (!st.voted) {
+      bool ok = true;
+      for (const TxnRecord* prev : preceding) {
+        if (!cl_.spec().commute(*st.txn, *prev)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) cast_vote(st.txn, false);
+    }
+    preceding.push_back(st.txn.get());
+  }
+}
+
+void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
+  auto& st = state_of(t);
+  st.voted = true;
+  const bool cheap = preemptive_abort || cl_.spec().trivial_certify;
+  cl_.transport().local_work(
+      id_, cheap ? cl_.transport().cost().queue_op : certify_cost(*t),
+      [this, t, preemptive_abort] {
+        const bool v =
+            !preemptive_abort &&
+            cl_.spec().certify(
+                CertContext{*this, *t, cl_.simulator().now()});
+        // Crash-recovery durability (§5.3): the vote is a state change of
+        // the commitment protocol and must reach stable storage before it
+        // is announced.
+        if (auto* wal = cl_.wal(id_)) {
+          wal->append(net::wire::vote() + 32,
+                      [this, t, v] { announce_vote(t, v); });
+          return;
+        }
+        announce_vote(t, v);
+      });
+}
+
+void Replica::announce_vote(const TxnPtr& t, bool v) {
+  const auto& spec = cl_.spec();
+  if (spec.ac == AcKind::kTwoPhaseCommit) {
+    cl_.send_vote(id_, t->id.coord, t, v);
+    return;
+  }
+  if (spec.ac == AcKind::kPaxosCommit) {
+    // Paxos Commit: the participant's vote is the value of its own Paxos
+    // instance; propose it to every acceptor (phase 2a).
+    for (SiteId a = 0; a < static_cast<SiteId>(cl_.sites()); ++a)
+      cl_.send_paxos_2a(id_, a, t, id_, v);
+    return;
+  }
+  if (spec.vote_snd == VoteScope::kLocalObjects) {
+    // Serrano: every replica certifies locally (deterministically, thanks
+    // to total order + the replica-wide version index) and decides without
+    // exchanging votes.
+    decide(t, v);
+    return;
+  }
+  // Algorithm 3 lines 5-6: vote to replicas(vote_recv_obj) + coord.
+  const auto cs = certifying_objects(spec, *t, cl_.partitioner());
+  const ObjSet recv = vote_objects(spec.vote_recv, cs, *t);
+  std::vector<SiteId> dests = cl_.partitioner().replicas_of(recv);
+  if (std::find(dests.begin(), dests.end(), t->id.coord) == dests.end())
+    dests.push_back(t->id.coord);
+  for (SiteId d : dests) cl_.send_vote(id_, d, t, v);
+  // A participant with nothing to apply does not need the outcome:
+  // ordering was enforced before the vote, so it leaves Q now.
+  if (!has_local_writes(*t)) {
+    auto& st2 = state_of(t);
+    if (st2.in_q && !st2.decided) remove_from_q(t->id);
+  }
+}
+
+void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
+  auto& st = state_of(t);
+  if (st.decided) return;
+
+  if (cl_.spec().ac == AcKind::kTwoPhaseCommit) {
+    // Algorithm 4 lines 8-10 (only the coordinator receives votes).
+    assert(id_ == t->id.coord);
+    if (st.votes_expected == 0) {
+      const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
+      st.votes_expected = static_cast<int>(
+          cs.all ? static_cast<std::size_t>(cl_.sites())
+                 : cl_.partitioner().replicas_of(cs.objs).size());
+    }
+    ++st.votes_received;
+    st.all_true = st.all_true && vote;
+    if (st.votes_received < st.votes_expected) return;
+    const bool commit = st.all_true;
+    const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
+    for (SiteId d : cl_.partitioner().replicas_of(cs.objs))
+      if (d != id_) cl_.send_decision(id_, d, t, commit);
+    decide(t, commit);
+    return;
+  }
+
+  // Algorithm 3: accumulate votes, evaluate outcome(T).
+  if (!vote)
+    st.any_false = true;
+  else
+    st.true_voters.push_back(voter);
+  check_gc_outcome(t);
+}
+
+void Replica::check_gc_outcome(const TxnPtr& t) {
+  auto& st = state_of(t);
+  if (st.decided) return;
+  if (st.any_false) {
+    decide(t, false);
+    return;
+  }
+  const auto& spec = cl_.spec();
+  const auto cs = certifying_objects(spec, *t, cl_.partitioner());
+  const ObjSet snd = vote_objects(spec.vote_snd, cs, *t);
+  // outcome(T) = true once every object in vote_snd_obj(T) is covered by a
+  // positive vote from one of its replicas (a voting quorum).
+  for (ObjectId o : snd) {
+    bool covered = false;
+    for (SiteId voter : st.true_voters) {
+      if (cl_.partitioner().is_local(voter, o)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return;  // outcome still ⊥
+  }
+  decide(t, true);
+}
+
+void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
+  // Acceptor: accept the first value proposed for (t, participant). The
+  // participant is the only proposer at ballot 0, so conflicts cannot
+  // arise; re-proposals are idempotent.
+  auto [it, inserted] = paxos_acc_.try_emplace(t->id);
+  if (inserted) {
+    paxos_acc_fifo_.push_back(t->id);
+    if (paxos_acc_fifo_.size() > kPaxosAcceptorCap) {
+      paxos_acc_.erase(paxos_acc_fifo_.front());
+      paxos_acc_fifo_.pop_front();
+    }
+  }
+  auto [slot, first] = it->second.try_emplace(participant, vote);
+  if (!first) return;
+  // Phase 2b: report the acceptance to the coordinator (the learner).
+  cl_.send_paxos_2b(id_, t->id.coord, t, participant, slot->second, id_);
+}
+
+void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
+                          SiteId /*acceptor*/) {
+  auto& st = state_of(t);
+  if (st.decided || st.paxos_closed.contains(participant)) return;
+  const int majority = cl_.sites() / 2 + 1;
+  if (++st.paxos_acks[participant] < majority) return;
+  // This participant's instance is chosen.
+  st.paxos_closed.emplace(participant, vote);
+  st.all_true = st.all_true && vote;
+  ++st.paxos_instances_closed;
+
+  const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
+  const auto dests = cs.all ? std::vector<SiteId>{}  // not used by paxos
+                            : cl_.partitioner().replicas_of(cs.objs);
+  if (st.paxos_instances_closed < static_cast<int>(dests.size())) return;
+  const bool commit = st.all_true;
+  for (SiteId d : dests)
+    if (d != id_) cl_.send_decision(id_, d, t, commit);
+  decide(t, commit);
+}
+
+void Replica::on_decision(const TxnPtr& t, bool commit) { decide(t, commit); }
+
+void Replica::decide(const TxnPtr& t, bool commit) {
+  auto& st = state_of(t);
+  if (st.decided) return;
+  st.decided = true;
+  st.committed = commit;
+
+  // Garbage-collect the termination state well after any straggler message.
+  cl_.simulator().after(seconds(5),
+                        [this, id = t->id] { term_.erase(id); });
+
+  if (!commit) {
+    // Algorithm 2 lines 25-29.
+    if (st.in_q) remove_from_q(t->id);
+    finish_coordinator(t, false);
+    if (id_ == t->id.coord && cl_.spec().post_abort)
+      cl_.spec().post_abort(cl_, *t);
+    return;
+  }
+
+  // Algorithm 2 lines 19-24.
+  const bool ordered = cl_.spec().ac == AcKind::kGroupComm &&
+                       cl_.spec().wait_head_of_queue && st.in_q;
+  if (ordered) {
+    process_queue_head();
+  } else {
+    if (st.in_q) remove_from_q(t->id);
+    apply_commit(t);
+  }
+}
+
+void Replica::process_queue_head() {
+  // Replicas apply updates in delivery order (mandatory for SER and above).
+  while (!q_.empty()) {
+    auto it = term_.find(q_.front());
+    assert(it != term_.end());
+    TermState& st = it->second;
+    if (!st.decided) return;
+    const TxnPtr t = st.txn;
+    st.in_q = false;
+    q_.pop_front();
+    if (st.committed) apply_commit(t);
+  }
+  gc_try_votes();
+}
+
+void Replica::remove_from_q(const TxnId& id) {
+  auto it = std::find(q_.begin(), q_.end(), id);
+  if (it != q_.end()) {
+    q_.erase(it);
+    if (auto ts = term_.find(id); ts != term_.end()) ts->second.in_q = false;
+    gc_try_votes();
+    if (cl_.spec().ac == AcKind::kGroupComm && cl_.spec().wait_head_of_queue)
+      process_queue_head();
+  }
+}
+
+void Replica::apply_commit(const TxnPtr& t) {
+  const TxnRecord& txn = *t;
+  const auto& part = cl_.partitioner();
+  const SimTime now = cl_.simulator().now();
+
+  std::vector<ObjectId> local_ws;
+  for (ObjectId o : txn.ws)
+    if (part.is_local(id_, o)) local_ws.push_back(o);
+
+  if (!local_ws.empty()) {
+    // All partitions the transaction writes (not only the local ones): the
+    // dependence vector must cover the transaction's remote writes too, or
+    // snapshot-compatibility tests at other replicas could miss fractures.
+    std::vector<PartitionId> parts;
+    for (ObjectId o : txn.ws) {
+      const PartitionId p = part.partition_of(o);
+      if (std::find(parts.begin(), parts.end(), p) == parts.end())
+        parts.push_back(p);
+    }
+    versioning::Stamp stamp = txn.stamp;
+    const auto pidx = cl_.oracle().on_apply(id_, stamp, parts, txn.snap);
+    for (ObjectId o : local_ws) {
+      const PartitionId p = part.partition_of(o);
+      const auto k = static_cast<std::size_t>(
+          std::find(parts.begin(), parts.end(), p) - parts.begin());
+      db_.install(o, store::Version{.writer = txn.id,
+                                    .pidx = pidx[k],
+                                    .commit_time = now,
+                                    .stamp = stamp});
+      if (cl_.install_observer())
+        cl_.install_observer()(Cluster::InstallEvent{
+            .obj = o, .writer = txn.id, .pidx = pidx[k], .site = id_,
+            .time = now});
+    }
+    if (cl_.spec().track_all_objects)
+      for (ObjectId o : txn.ws) latest_seq_[o] = stamp.seq;
+    // Durable mode: persist the after-values off the critical path.
+    if (auto* wal = cl_.wal(id_)) {
+      wal->append(net::wire::termination(0, local_ws.size(), 16), [] {});
+    }
+    // The store mutation is synchronous (so successors certify against it);
+    // its CPU cost is charged as a fire-and-forget job.
+    cl_.transport().local_work(
+        id_,
+        cl_.transport().cost().apply_per_obj *
+            static_cast<SimDuration>(local_ws.size()),
+        [] {});
+  } else {
+    const std::uint64_t seq = cl_.oracle().on_commit_observed(id_);
+    if (cl_.spec().track_all_objects && seq != 0)
+      for (ObjectId o : txn.ws) latest_seq_[o] = seq;
+    // A participant with nothing to apply still learns the transaction's
+    // version number (otherwise its vector clock would lag behind the
+    // snapshots of transactions that later read here).
+    cl_.oracle().on_propagate(id_, txn.stamp);
+  }
+
+  recent_.push_back(
+      CommittedInfo{.id = txn.id, .rs = txn.rs, .ws = txn.ws, .commit_time = now});
+  while (!recent_.empty() && recent_.front().commit_time < now - kRecentWindow)
+    recent_.pop_front();
+
+  if (cl_.spec().track_committed_readers && !txn.read_only()) {
+    for (ObjectId o : txn.rs) {
+      if (!part.is_local(id_, o)) continue;
+      auto& readers = recent_readers_[o];
+      readers.push_back(ReaderInfo{.origin = txn.stamp.origin,
+                                   .seq = txn.stamp.seq,
+                                   .commit_time = now});
+      // Old entries are visible in any live snapshot; keep the tail short.
+      if (readers.size() > kMaxTrackedReaders)
+        readers.erase(readers.begin(),
+                      readers.end() - static_cast<long>(kMaxTrackedReaders));
+    }
+  }
+
+  finish_coordinator(t, true);
+  if (id_ == txn.id.coord && cl_.spec().post_commit)
+    cl_.spec().post_commit(cl_, txn);
+}
+
+void Replica::finish_coordinator(const TxnPtr& t, bool commit) {
+  if (id_ != t->id.coord) return;
+  auto it = commit_cbs_.find(t->id);
+  if (it == commit_cbs_.end()) return;
+  auto cb = std::move(it->second);
+  commit_cbs_.erase(it);
+  cb(commit);
+}
+
+}  // namespace gdur::core

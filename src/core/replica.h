@@ -1,0 +1,174 @@
+// Replica — one G-DUR instance (Figure 1).
+//
+// A replica plays two roles:
+//   * coordinator for the transactions submitted by its clients — the
+//     execution protocol of Algorithm 1 (speculative reads, buffered
+//     writes, submission);
+//   * participant in the termination protocol of Algorithm 2, with the
+//     atomic-commitment plug-in realized either by group communication
+//     (Algorithm 3) or by two-phase commit (Algorithm 4).
+//
+// All handlers run as simulator events; CPU time is charged explicitly via
+// the site's CpuResource. Store mutations are performed synchronously at
+// the decide point while their cost is charged asynchronously, so that a
+// successor transaction's certification always sees its predecessors'
+// writes (see DESIGN.md §5).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/obj_set.h"
+#include "common/types.h"
+#include "core/protocol_spec.h"
+#include "core/transaction.h"
+#include "store/mv_store.h"
+
+namespace gdur::core {
+
+class Cluster;
+
+/// A recently committed transaction, retained for certification tests that
+/// compare against concurrent committed transactions (S-DUR).
+struct CommittedInfo {
+  TxnId id;
+  ObjSet rs;
+  ObjSet ws;
+  SimTime commit_time = 0;
+};
+
+class Replica {
+ public:
+  Replica(Cluster& cluster, SiteId id);
+
+  // ------------------------------------------------------------------
+  // Execution protocol (Algorithm 1) — coordinator side.
+  // ------------------------------------------------------------------
+  void exec_begin(std::function<void(MutTxnPtr)> cb);
+  void exec_read(const MutTxnPtr& t, ObjectId x, std::function<void(bool)> cb);
+  void exec_write(const MutTxnPtr& t, ObjectId x, std::function<void()> cb);
+  void exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb);
+
+  // ------------------------------------------------------------------
+  // Termination protocol (Algorithms 2-4) — participant side.
+  // ------------------------------------------------------------------
+  /// xdeliver(T): the termination message reached this replica.
+  void on_term_delivered(const TxnPtr& t);
+  /// A certification vote from `voter` (GC: any participant; 2PC: at coord).
+  void on_vote(const TxnPtr& t, SiteId voter, bool vote);
+  /// 2PC / Paxos Commit outcome computed by the coordinator.
+  void on_decision(const TxnPtr& t, bool commit);
+
+  /// Paxos Commit (AC = paxos): phase 2a — participant `participant`
+  /// proposes its vote to this acceptor.
+  void on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote);
+  /// Phase 2b — acceptor `acceptor` accepted `participant`'s vote; the
+  /// coordinator learns instances and decides once every participant's
+  /// instance closes at a majority of acceptors.
+  void on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
+                   SiteId acceptor);
+
+  /// Remote read service (lines 26-30 of Algorithm 1).
+  void serve_remote_read(SiteId requester, const MutTxnPtr& t, ObjectId x,
+                         std::function<void(bool)> done);
+
+  // ------------------------------------------------------------------
+  // Accessors for certify() plug-ins and tests.
+  // ------------------------------------------------------------------
+  [[nodiscard]] SiteId site() const { return id_; }
+  [[nodiscard]] Cluster& cluster() const { return cl_; }
+  [[nodiscard]] const store::MVStore& db() const { return db_; }
+  /// Latest committed version's pidx for `x` here (0 if never written).
+  [[nodiscard]] std::uint64_t latest_pidx(ObjectId x) const;
+  /// Serrano's replica-wide version index: latest commit sequence number of
+  /// `x` across the whole system (requires spec.track_all_objects).
+  [[nodiscard]] std::uint64_t latest_seq_of(ObjectId x) const;
+  [[nodiscard]] const std::deque<CommittedInfo>& recent_commits() const {
+    return recent_;
+  }
+
+  /// A committed update transaction that read an object (S-DUR cert).
+  struct ReaderInfo {
+    SiteId origin;       // stamp identity of the reading transaction
+    std::uint64_t seq;
+    SimTime commit_time;
+  };
+  /// Recently committed update readers of `x` (spec.track_committed_readers).
+  [[nodiscard]] const std::vector<ReaderInfo>* recent_readers(ObjectId x) const {
+    auto it = recent_readers_.find(x);
+    return it == recent_readers_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t queue_length() const { return q_.size(); }
+
+ private:
+  struct TermState {
+    TxnPtr txn;
+    bool in_q = false;
+    bool voted = false;
+    bool decided = false;
+    bool committed = false;
+    bool any_false = false;
+    std::vector<SiteId> true_voters;  // GC vote accumulation
+    int votes_received = 0;           // 2PC coordinator
+    int votes_expected = 0;
+    bool all_true = true;
+    // Paxos Commit coordinator/learner state: per participant, how many
+    // acceptors reported its vote, and whether its instance closed.
+    std::unordered_map<SiteId, int> paxos_acks;
+    std::unordered_map<SiteId, bool> paxos_closed;
+    int paxos_instances_closed = 0;
+  };
+
+  // --- execution helpers ---
+  void local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
+                          std::function<void(bool)> cb);
+  void remote_read_attempt(SiteId requester, const MutTxnPtr& t, ObjectId x,
+                           int attempt, std::function<void(bool)> done);
+  /// Applies a chosen version to the transaction record. `v` is nullptr for
+  /// the initial version.
+  void record_read(const MutTxnPtr& t, ObjectId x, const store::Version* v);
+
+  // --- termination helpers ---
+  TermState& state_of(const TxnPtr& t);
+  void gc_try_votes();
+  void cast_vote(const TxnPtr& t, bool preemptive_abort);
+  /// Second half of cast_vote, after the (optional) durable log write.
+  void announce_vote(const TxnPtr& t, bool vote);
+  void check_gc_outcome(const TxnPtr& t);
+  void decide(const TxnPtr& t, bool commit);
+  void process_queue_head();
+  void apply_commit(const TxnPtr& t);
+  void remove_from_q(const TxnId& id);
+  void finish_coordinator(const TxnPtr& t, bool commit);
+  [[nodiscard]] bool has_local_writes(const TxnRecord& t) const;
+  [[nodiscard]] SimDuration certify_cost(const TxnRecord& t) const;
+
+  Cluster& cl_;
+  SiteId id_;
+  store::MVStore db_;
+
+  std::deque<TxnId> q_;  // the termination queue Q of Algorithm 2
+  std::unordered_map<TxnId, TermState> term_;
+  // Paxos Commit acceptor state: first accepted vote per (txn, participant),
+  // pruned FIFO (an acceptor never needs old instances again).
+  std::unordered_map<TxnId, std::unordered_map<SiteId, bool>> paxos_acc_;
+  std::deque<TxnId> paxos_acc_fifo_;
+  static constexpr std::size_t kPaxosAcceptorCap = 100'000;
+  std::unordered_map<ObjectId, std::uint64_t> latest_seq_;  // Serrano index
+  std::deque<CommittedInfo> recent_;
+  std::unordered_map<ObjectId, std::vector<ReaderInfo>> recent_readers_;
+
+  // Coordinator state.
+  std::uint64_t txn_counter_ = 0;
+  std::uint64_t coord_seq_ = 0;  // update-transaction serial (stamp identity)
+  std::unordered_map<TxnId, std::function<void(bool)>> commit_cbs_;
+
+  static constexpr int kMaxReadAttempts = 8;
+  static constexpr SimDuration kReadRetryDelay = milliseconds(3);
+  static constexpr SimDuration kRecentWindow = seconds(3);
+  static constexpr std::size_t kMaxTrackedReaders = 16;
+};
+
+}  // namespace gdur::core

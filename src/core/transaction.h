@@ -1,0 +1,53 @@
+// Transactions as seen by the G-DUR engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/obj_set.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "versioning/stamp.h"
+
+namespace gdur::core {
+
+/// One read performed by a transaction: which version of which object.
+/// The implicit initial version has an invalid writer and pidx 0.
+struct ReadEntry {
+  ObjectId obj = 0;
+  PartitionId part = 0;
+  TxnId writer;             // transaction that wrote the version read
+  std::uint64_t pidx = 0;   // partition commit index of that version
+};
+
+/// The paper's four transaction states (§3).
+enum class TxnPhase { kExecuting, kSubmitted, kCommitted, kAborted };
+
+/// Everything both the coordinator and the termination participants need to
+/// know about a transaction. Shipped (by shared pointer, with analytic wire
+/// sizes) inside termination messages; immutable once submitted.
+struct TxnRecord {
+  TxnId id;
+  ObjSet rs;                       // objects read
+  ObjSet ws;                       // objects written (after-values travel
+                                   // with the termination message)
+  std::vector<ReadEntry> reads;    // versions read, for certification
+  versioning::TxnSnapshot snap;    // snapshot state built during execution
+  versioning::Stamp stamp;         // version number minted at submit
+  SimTime begin_time = 0;
+  SimTime submit_time = 0;
+
+  [[nodiscard]] bool read_only() const { return ws.empty(); }
+
+  /// Version of `o` this transaction read, or nullptr if it did not read it.
+  [[nodiscard]] const ReadEntry* read_of(ObjectId o) const {
+    for (const auto& r : reads)
+      if (r.obj == o) return &r;
+    return nullptr;
+  }
+};
+
+using TxnPtr = std::shared_ptr<const TxnRecord>;
+using MutTxnPtr = std::shared_ptr<TxnRecord>;
+
+}  // namespace gdur::core

@@ -1,0 +1,39 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdur::harness {
+
+int LatencyStat::bucket_of(SimDuration d) {
+  // ~4% geometric buckets starting at 1 us.
+  if (d < microseconds(1)) return 0;
+  const double b = std::log(static_cast<double>(d) / 1000.0) / std::log(1.04);
+  return std::clamp(static_cast<int>(b) + 1, 0, kBuckets - 1);
+}
+
+SimDuration LatencyStat::bucket_upper(int b) {
+  if (b <= 0) return microseconds(1);
+  return static_cast<SimDuration>(1000.0 * std::pow(1.04, b));
+}
+
+void LatencyStat::add(SimDuration d) {
+  ++count_;
+  sum_ += d;
+  max_ = std::max(max_, d);
+  ++hist_[static_cast<std::size_t>(bucket_of(d))];
+}
+
+double LatencyStat::percentile_ms(double q) const {
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += hist_[static_cast<std::size_t>(b)];
+    if (seen >= target) return to_ms(bucket_upper(b));
+  }
+  return to_ms(max_);
+}
+
+}  // namespace gdur::harness

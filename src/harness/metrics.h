@@ -1,0 +1,72 @@
+// Experiment metrics: throughput, latencies (with log-bucket percentile
+// histograms), abort ratios.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace gdur::harness {
+
+/// Latency accumulator with a logarithmic histogram (≈4% resolution) for
+/// percentile estimation.
+class LatencyStat {
+ public:
+  void add(SimDuration d);
+  void reset() { *this = {}; }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean_ms() const {
+    return count_ == 0 ? 0.0 : to_ms(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max_ms() const { return to_ms(max_); }
+  /// q in (0, 1], e.g. 0.5 or 0.99.
+  [[nodiscard]] double percentile_ms(double q) const;
+
+ private:
+  static constexpr int kBuckets = 512;
+  static int bucket_of(SimDuration d);
+  static SimDuration bucket_upper(int b);
+
+  std::uint64_t count_ = 0;
+  SimDuration sum_ = 0;
+  SimDuration max_ = 0;
+  std::array<std::uint64_t, kBuckets> hist_{};
+};
+
+struct Metrics {
+  std::uint64_t committed_ro = 0;
+  std::uint64_t committed_upd = 0;
+  std::uint64_t aborted_ro = 0;
+  std::uint64_t aborted_upd = 0;
+  std::uint64_t exec_failures = 0;  // aborted during the execution phase
+
+  LatencyStat upd_term_latency;  // commit request -> client response, updates
+  LatencyStat txn_latency;       // begin request -> final response, committed
+
+  void reset() { *this = {}; }
+
+  [[nodiscard]] std::uint64_t committed() const {
+    return committed_ro + committed_upd;
+  }
+  [[nodiscard]] std::uint64_t aborted() const {
+    return aborted_ro + aborted_upd + exec_failures;
+  }
+  /// Abort ratio (%) over all terminated transactions.
+  [[nodiscard]] double abort_ratio_pct() const {
+    const auto total = committed() + aborted();
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(aborted()) /
+                            static_cast<double>(total);
+  }
+  /// Abort ratio (%) over update transactions only.
+  [[nodiscard]] double upd_abort_ratio_pct() const {
+    const auto total = committed_upd + aborted_upd;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(aborted_upd) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace gdur::harness

@@ -1,0 +1,233 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+namespace gdur::net::codec {
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Writer::str(const std::string& s) {
+  varint(s.size());
+  bytes(s.data(), s.size());
+}
+
+std::optional<std::uint8_t> Reader::u8() {
+  if (pos_ >= buf_.size()) return std::nullopt;
+  return buf_[pos_++];
+}
+
+std::optional<std::uint32_t> Reader::u32() {
+  if (pos_ + 4 > buf_.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64() {
+  if (pos_ + 8 > buf_.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < buf_.size() && shift < 64) {
+    const std::uint8_t b = buf_[pos_++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Reader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<std::string> Reader::str() {
+  const auto n = varint();
+  if (!n || pos_ + *n > buf_.size()) return std::nullopt;
+  std::string out(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(*n));
+  pos_ += *n;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+void encode_stamp(Writer& w, const versioning::Stamp& s) {
+  w.u32(s.origin);
+  w.varint(s.seq);
+  w.varint(s.dep.size());
+  for (auto d : s.dep) w.varint(d);
+}
+
+std::optional<versioning::Stamp> decode_stamp(Reader& r) {
+  versioning::Stamp s;
+  const auto origin = r.u32();
+  const auto seq = r.varint();
+  const auto n = r.varint();
+  if (!origin || !seq || !n) return std::nullopt;
+  s.origin = *origin;
+  s.seq = *seq;
+  s.dep.reserve(static_cast<std::size_t>(*n));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto d = r.varint();
+    if (!d) return std::nullopt;
+    s.dep.push_back(*d);
+  }
+  return s;
+}
+
+namespace {
+void encode_u64_vec(Writer& w, const std::vector<std::uint64_t>& v) {
+  w.varint(v.size());
+  for (auto x : v) w.varint(x);
+}
+
+std::optional<std::vector<std::uint64_t>> decode_u64_vec(Reader& r) {
+  const auto n = r.varint();
+  if (!n) return std::nullopt;
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(*n));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto x = r.varint();
+    if (!x) return std::nullopt;
+    out.push_back(*x);
+  }
+  return out;
+}
+}  // namespace
+
+void encode_snapshot(Writer& w, const versioning::TxnSnapshot& s) {
+  encode_u64_vec(w, s.vts);
+  encode_u64_vec(w, s.floor);
+  encode_u64_vec(w, s.ceil);
+  w.varint(s.start_seq);
+}
+
+std::optional<versioning::TxnSnapshot> decode_snapshot(Reader& r) {
+  versioning::TxnSnapshot s;
+  auto vts = decode_u64_vec(r);
+  auto floor = decode_u64_vec(r);
+  auto ceil = decode_u64_vec(r);
+  auto start = r.varint();
+  if (!vts || !floor || !ceil || !start) return std::nullopt;
+  s.vts = *std::move(vts);
+  s.floor = *std::move(floor);
+  s.ceil = *std::move(ceil);
+  s.start_seq = *start;
+  return s;
+}
+
+void encode_txn(Writer& w, const core::TxnRecord& t,
+                std::uint64_t payload_bytes_per_write) {
+  w.u32(t.id.coord);
+  w.varint(t.id.seq);
+  w.i64(t.begin_time);
+  w.i64(t.submit_time);
+  w.varint(t.rs.size());
+  for (ObjectId o : t.rs) w.varint(o);
+  w.varint(t.ws.size());
+  for (ObjectId o : t.ws) {
+    w.varint(o);
+    // After-value: length marker + opaque payload bytes.
+    w.varint(payload_bytes_per_write);
+    for (std::uint64_t i = 0; i < payload_bytes_per_write; ++i) w.u8(0);
+  }
+  w.varint(t.reads.size());
+  for (const auto& rd : t.reads) {
+    w.varint(rd.obj);
+    w.u32(rd.part);
+    w.u32(rd.writer.coord);
+    w.varint(rd.writer.seq);
+    w.varint(rd.pidx);
+  }
+  encode_snapshot(w, t.snap);
+  encode_stamp(w, t.stamp);
+}
+
+std::optional<core::TxnRecord> decode_txn(Reader& r) {
+  core::TxnRecord t;
+  const auto coord = r.u32();
+  const auto seq = r.varint();
+  const auto begin = r.i64();
+  const auto submit = r.i64();
+  if (!coord || !seq || !begin || !submit) return std::nullopt;
+  t.id = {*coord, *seq};
+  t.begin_time = *begin;
+  t.submit_time = *submit;
+
+  const auto nr = r.varint();
+  if (!nr) return std::nullopt;
+  for (std::uint64_t i = 0; i < *nr; ++i) {
+    const auto o = r.varint();
+    if (!o) return std::nullopt;
+    t.rs.insert(*o);
+  }
+  const auto nw = r.varint();
+  if (!nw) return std::nullopt;
+  for (std::uint64_t i = 0; i < *nw; ++i) {
+    const auto o = r.varint();
+    if (!o) return std::nullopt;
+    t.ws.insert(*o);
+    const auto len = r.varint();
+    if (!len) return std::nullopt;
+    for (std::uint64_t k = 0; k < *len; ++k)
+      if (!r.u8()) return std::nullopt;
+  }
+  const auto ne = r.varint();
+  if (!ne) return std::nullopt;
+  for (std::uint64_t i = 0; i < *ne; ++i) {
+    core::ReadEntry e;
+    const auto o = r.varint();
+    const auto p = r.u32();
+    const auto wc = r.u32();
+    const auto wsq = r.varint();
+    const auto pidx = r.varint();
+    if (!o || !p || !wc || !wsq || !pidx) return std::nullopt;
+    e.obj = *o;
+    e.part = *p;
+    e.writer = {*wc, *wsq};
+    e.pidx = *pidx;
+    t.reads.push_back(e);
+  }
+  auto snap = decode_snapshot(r);
+  auto stamp = decode_stamp(r);
+  if (!snap || !stamp) return std::nullopt;
+  t.snap = *std::move(snap);
+  t.stamp = *std::move(stamp);
+  return t;
+}
+
+std::uint64_t encoded_txn_size(const core::TxnRecord& t,
+                               std::uint64_t payload_bytes_per_write) {
+  Writer w;
+  encode_txn(w, t, payload_bytes_per_write);
+  return w.size();
+}
+
+}  // namespace gdur::net::codec

@@ -1,0 +1,80 @@
+// Wire codec — the serialization scaffolding of the communication layer.
+//
+// The simulator ships payloads by pointer, but message *sizes* drive both
+// transmission delay and (un)marshaling CPU cost, so they must be honest.
+// This codec defines the actual wire format (varint-compressed, like the
+// paper's Java implementation's hand-rolled externalization), provides
+// encode/decode for every protocol message, and is what net::wire's sizing
+// helpers are validated against in tests. Encoding is also exercised for
+// real in the persistence layer's write-ahead log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace gdur::net::codec {
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128 variable-length unsigned integer.
+  void varint(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t n);
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential byte source. Reads return nullopt on malformed/truncated
+/// input instead of throwing.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::uint64_t> varint();
+  std::optional<std::int64_t> i64();
+  std::optional<std::string> str();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- protocol message encodings ---------------------------------------------
+
+void encode_stamp(Writer& w, const versioning::Stamp& s);
+std::optional<versioning::Stamp> decode_stamp(Reader& r);
+
+void encode_snapshot(Writer& w, const versioning::TxnSnapshot& s);
+std::optional<versioning::TxnSnapshot> decode_snapshot(Reader& r);
+
+/// Full termination record: ids, read/write sets, read entries, snapshot,
+/// stamp. After-values are represented by their size only (they carry no
+/// information the simulator uses), encoded as a length marker per write.
+void encode_txn(Writer& w, const core::TxnRecord& t,
+                std::uint64_t payload_bytes_per_write);
+std::optional<core::TxnRecord> decode_txn(Reader& r);
+
+/// Exact wire size of a termination message under this codec.
+std::uint64_t encoded_txn_size(const core::TxnRecord& t,
+                               std::uint64_t payload_bytes_per_write);
+
+}  // namespace gdur::net::codec

@@ -1,0 +1,26 @@
+#include "net/topology.h"
+
+namespace gdur::net {
+
+Topology Topology::geo(int n, SimDuration min_latency, SimDuration max_latency,
+                       std::uint64_t seed) {
+  Topology t(n);
+  Rng rng(seed);
+  for (SiteId i = 0; i < static_cast<SiteId>(n); ++i) {
+    for (SiteId j = i + 1; j < static_cast<SiteId>(n); ++j) {
+      const auto d = rng.next_range(min_latency, max_latency);
+      t.set_latency(i, j, d);
+    }
+  }
+  return t;
+}
+
+Topology Topology::uniform(int n, SimDuration latency) {
+  Topology t(n);
+  for (SiteId i = 0; i < static_cast<SiteId>(n); ++i)
+    for (SiteId j = i + 1; j < static_cast<SiteId>(n); ++j)
+      t.set_latency(i, j, latency);
+  return t;
+}
+
+}  // namespace gdur::net

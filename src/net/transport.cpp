@@ -1,0 +1,88 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace gdur::net {
+
+Transport::Transport(sim::Simulator& simulator, Topology topology,
+                     sim::CostModel cost, int cores_per_site,
+                     std::uint64_t jitter_seed)
+    : sim_(simulator),
+      topo_(std::move(topology)),
+      cost_(cost),
+      link_clock_(static_cast<std::size_t>(topo_.sites()) * topo_.sites(), 0),
+      recv_clock_(static_cast<std::size_t>(topo_.sites()) * topo_.sites(), 0),
+      jitter_rng_(jitter_seed) {
+  cpus_.reserve(static_cast<std::size_t>(topo_.sites()));
+  for (int s = 0; s < topo_.sites(); ++s)
+    cpus_.push_back(std::make_unique<sim::CpuResource>(sim_, cores_per_site));
+}
+
+SimDuration Transport::link_delay(SiteId src, SiteId dst, std::uint64_t bytes) {
+  const SimDuration base = topo_.latency(src, dst);
+  const double u = 2.0 * jitter_rng_.next_double() - 1.0;  // [-1, 1)
+  const auto jittered =
+      base + static_cast<SimDuration>(double(base) * jitter_ * u);
+  const auto transmission = static_cast<SimDuration>(
+      double(bytes) / topo_.bandwidth_bps() * 1e9);
+  return jittered + transmission;
+}
+
+void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
+                     Handler handler) {
+  ++messages_;
+  bytes_ += bytes;
+  const SimDuration send_cost = cost_.msg_send + cost_.marshal(bytes);
+  const SimDuration recv_cost = cost_.msg_recv + cost_.unmarshal(bytes);
+  // The departure instant is known synchronously (deterministic CPU model),
+  // so link FIFO order is fixed at call time: two sends on one link are
+  // received in the order they were issued, like one TCP connection.
+  const SimTime departure = cpu(src).charge(send_cost);
+  if (src == dst) {
+    sim_.at(departure, [this, dst, recv_cost, handler = std::move(handler)]() mutable {
+      cpu(dst).submit(recv_cost, std::move(handler));
+    });
+    return;
+  }
+  const auto idx = src * static_cast<SiteId>(topo_.sites()) + dst;
+  const SimTime arrival =
+      std::max(departure + link_delay(src, dst, bytes), link_clock_[idx]);
+  link_clock_[idx] = arrival;
+  sim_.at(arrival, [this, idx, dst, recv_cost,
+                    handler = std::move(handler)]() mutable {
+    // One connection is drained by one receiver thread: handlers for the
+    // same link run in arrival order.
+    const SimTime done = cpu(dst).charge_after(recv_clock_[idx], recv_cost);
+    recv_clock_[idx] = done;
+    sim_.at(done, std::move(handler));
+  });
+}
+
+void Transport::client_send(SiteId dst, std::uint64_t bytes, Handler handler) {
+  ++messages_;
+  bytes_ += bytes;
+  const SimDuration recv_cost = cost_.msg_recv + cost_.unmarshal(bytes);
+  sim_.after(topo_.client_latency(),
+             [this, dst, recv_cost, handler = std::move(handler)]() mutable {
+               cpu(dst).submit(recv_cost, std::move(handler));
+             });
+}
+
+void Transport::send_to_client(SiteId src, std::uint64_t bytes,
+                               Handler handler) {
+  ++messages_;
+  bytes_ += bytes;
+  const SimDuration send_cost = cost_.msg_send + cost_.marshal(bytes);
+  cpu(src).submit(send_cost, [this, handler = std::move(handler)]() mutable {
+    sim_.after(topo_.client_latency(), std::move(handler));
+  });
+}
+
+void Transport::reset_accounting() {
+  messages_ = 0;
+  bytes_ = 0;
+  for (auto& c : cpus_) c->reset_accounting();
+}
+
+}  // namespace gdur::net

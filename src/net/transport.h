@@ -1,0 +1,93 @@
+// Simulated point-to-point transport.
+//
+// A message is delivered by running a closure at the destination site after
+// (one-way latency + transmission delay), and both endpoints are charged CPU
+// time for send/receive plus (un)marshaling proportional to the message
+// size. Payloads travel inside the closure, so no real serialization is
+// needed; sizes are accounted analytically (see net::wire for the sizing
+// rules).
+//
+// Channels are FIFO per (src, dst) pair, like TCP connections: a message
+// never overtakes an earlier one on the same link. Several protocols
+// (S-DUR's pairwise ordering, Walter's background propagation) rely on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/topology.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+
+namespace gdur::net {
+
+class Transport {
+ public:
+  using Handler = std::function<void()>;
+
+  Transport(sim::Simulator& simulator, Topology topology,
+            sim::CostModel cost = {}, int cores_per_site = 4,
+            std::uint64_t jitter_seed = 11);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const sim::CostModel& cost() const { return cost_; }
+  [[nodiscard]] int sites() const { return topo_.sites(); }
+
+  /// CPU resource of a site, for protocol work not tied to a message.
+  [[nodiscard]] sim::CpuResource& cpu(SiteId s) { return *cpus_[s]; }
+
+  /// Sends `bytes` from `src` to `dst`; runs `handler` at the destination
+  /// once the message has been received and unmarshaled. src == dst is a
+  /// local loopback (no latency, but still a queued CPU job, preserving
+  /// the no-reentrancy discipline of the protocol handlers).
+  void send(SiteId src, SiteId dst, std::uint64_t bytes, Handler handler);
+
+  /// Client machine -> replica request (client CPUs are not modeled).
+  void client_send(SiteId dst, std::uint64_t bytes, Handler handler);
+
+  /// Replica -> client machine response.
+  void send_to_client(SiteId src, std::uint64_t bytes, Handler handler);
+
+  /// Runs `work` on `site`'s CPU after `service` time, FIFO with everything
+  /// else that site does.
+  void local_work(SiteId site, SimDuration service, Handler work) {
+    cpu(site).submit(service, std::move(work));
+  }
+
+  /// Messages sent so far (for the message-complexity reports of §5.3).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  void reset_accounting();
+
+  /// Jitter amplitude as a fraction of the link latency (default 2%).
+  void set_jitter(double fraction) { jitter_ = fraction; }
+
+  /// Fails site `s` until `until` (crash-recovery model, §5.3): the site
+  /// performs no work meanwhile; messages addressed to it are buffered and
+  /// processed after it comes back. Nothing is lost.
+  void pause_site(SiteId s, SimTime until) { cpu(s).block_until(until); }
+
+ private:
+  [[nodiscard]] SimDuration link_delay(SiteId src, SiteId dst,
+                                       std::uint64_t bytes);
+
+  sim::Simulator& sim_;
+  Topology topo_;
+  sim::CostModel cost_;
+  std::vector<std::unique_ptr<sim::CpuResource>> cpus_;
+  std::vector<SimTime> link_clock_;  // arrival FIFO horizon per (src,dst)
+  std::vector<SimTime> recv_clock_;  // receive-processing horizon per link
+  Rng jitter_rng_;
+  double jitter_ = 0.02;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gdur::net

@@ -1,0 +1,41 @@
+// Wire-size accounting.
+//
+// Payloads never cross the simulated network as real bytes; instead every
+// message carries an analytic size, and the transport charges latency
+// (transmission) and CPU ((un)marshaling) for it. The constants below mirror
+// the paper's experimental setup: 1 KiB object payloads, key/metadata
+// framing on top.
+#pragma once
+
+#include <cstdint>
+
+namespace gdur::net::wire {
+
+constexpr std::uint64_t kHeader = 48;       // envelope: ids, type, sizes
+constexpr std::uint64_t kKey = 8;           // one object key
+constexpr std::uint64_t kPayload = 1024;    // one object after-value (paper: 1KB)
+constexpr std::uint64_t kVote = 16;         // certification vote
+constexpr std::uint64_t kDecision = 16;     // commit/abort flag
+
+/// Size of a read request for one object.
+constexpr std::uint64_t read_request() { return kHeader + kKey; }
+
+/// Size of a read reply carrying one object value plus `meta` bytes of
+/// versioning metadata.
+constexpr std::uint64_t read_reply(std::uint64_t meta) {
+  return kHeader + kKey + kPayload + meta;
+}
+
+/// Size of a termination message for a transaction with `reads` read-set
+/// entries, `writes` write-set entries (after-values travel with it), and
+/// `meta` bytes of versioning metadata.
+constexpr std::uint64_t termination(std::uint64_t reads, std::uint64_t writes,
+                                    std::uint64_t meta) {
+  return kHeader + reads * kKey + writes * (kKey + kPayload) + meta;
+}
+
+constexpr std::uint64_t vote() { return kHeader + kVote; }
+constexpr std::uint64_t decision() { return kHeader + kDecision; }
+constexpr std::uint64_t control() { return kHeader; }
+
+}  // namespace gdur::net::wire

@@ -1,0 +1,20 @@
+#include "protocols/common.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace gdur::protocols {
+
+void propagate_to_rest(core::Cluster& cl, const core::TxnRecord& t) {
+  const auto cs = core::certifying_objects(cl.spec(), t, cl.partitioner());
+  const auto involved = cl.partitioner().replicas_of(cs.objs);
+  std::vector<SiteId> rest;
+  for (SiteId s = 0; s < static_cast<SiteId>(cl.sites()); ++s)
+    if (std::find(involved.begin(), involved.end(), s) == involved.end())
+      rest.push_back(s);
+  cl.propagate_stamp(t.id.coord, t, rest);
+}
+
+}  // namespace gdur::protocols

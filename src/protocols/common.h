@@ -1,0 +1,13 @@
+// Helpers shared by protocol plug-ins.
+#pragma once
+
+#include "core/protocol_spec.h"
+
+namespace gdur::protocols {
+
+/// Background propagation shared by S-DUR and Walter (§6.1/§6.4): multicast
+/// the committed transaction's version number to the sites that did not take
+/// part in its certification, advancing their vector clocks.
+void propagate_to_rest(core::Cluster& cl, const core::TxnRecord& t);
+
+}  // namespace gdur::protocols

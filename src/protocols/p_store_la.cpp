@@ -1,0 +1,27 @@
+// P-Store_la (§8.4) — the locality-aware improvement of P-Store built by
+// swapping plug-ins:
+//   * reads take consistent snapshots (choose_cons over PDV) instead of
+//     reading the latest committed value;
+//   * certifying_obj(T) returns ∅ when T is a query confined to a single
+//     data partition (site), so such queries commit locally;
+//   * everything else is P-Store.
+#include "core/certifiers.h"
+#include "protocols/protocols.h"
+
+namespace gdur::protocols {
+
+core::ProtocolSpec p_store_la() {
+  auto s = p_store();
+  s.name = "P-Store-LA";
+  s.theta = versioning::VersioningKind::kPDV;
+  s.choose = core::ChooseKind::kCons;
+  s.certifying_override =
+      [](const core::TxnRecord& t,
+         const store::Partitioner& part) -> std::optional<ObjSet> {
+    if (t.read_only() && part.single_site(t.rs)) return ObjSet{};
+    return std::nullopt;  // fall back to ws ∪ rs
+  };
+  return s;
+}
+
+}  // namespace gdur::protocols

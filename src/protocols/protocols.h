@@ -1,0 +1,83 @@
+// The protocol library: the six state-of-the-art DUR protocols realized in
+// §6 of the paper, the RC baseline of §7, and the derived variants used in
+// the case studies of §8.3-§8.5.
+//
+// Each factory returns a ProtocolSpec — the full plugin table for the
+// G-DUR engine. The definitions mirror the paper's Algorithms 5-10.
+#pragma once
+
+#include "core/protocol_spec.h"
+
+namespace gdur::protocols {
+
+// --- §6: the six protocols -------------------------------------------------
+
+/// P-Store (Schiper et al., SRDS 2010) — SER, genuine partial replication,
+/// certified queries. Algorithm 5.
+core::ProtocolSpec p_store();
+
+/// S-DUR (Sciascia & Pedone, DSN 2012) — SER with wait-free queries via
+/// pairwise-ordered multicast. Algorithm 6.
+core::ProtocolSpec s_dur();
+
+/// GMU (Peluso et al., ICDCS 2012) — Update Serializability, genuine, 2PC.
+/// Algorithm 7.
+core::ProtocolSpec gmu();
+
+/// Serrano (Serrano et al., PRDC 2007) — SI, non-genuine, atomic broadcast.
+/// Algorithm 8.
+core::ProtocolSpec serrano();
+
+/// Walter (Sovran et al., SOSP 2011) — PSI, 2PC + background propagation.
+/// Algorithm 9.
+core::ProtocolSpec walter();
+
+/// Jessy2pc (Saeida Ardekani et al., SRDS 2013) — NMSI, genuine, 2PC.
+/// Algorithm 10.
+core::ProtocolSpec jessy2pc();
+
+// --- §7: baseline ------------------------------------------------------------
+
+/// Read Committed — the weakest criterion; shows the maximum achievable
+/// performance of the middleware.
+core::ProtocolSpec rc();
+
+// --- §8.3: GMU ablations ------------------------------------------------------
+
+/// GMU*: trivial snapshot (choose_last) but the consistent-snapshot
+/// metadata is still marshaled and sent.
+core::ProtocolSpec gmu_star();
+
+/// GMU**: trivial snapshot and trivial certification; only the metadata
+/// overhead of GMU remains.
+core::ProtocolSpec gmu_star_star();
+
+// --- §8.4: locality-aware P-Store --------------------------------------------
+
+/// P-Store_la: P-Store reading consistent snapshots (PDV), so that queries
+/// confined to a single site commit locally without certification.
+core::ProtocolSpec p_store_la();
+
+// --- §8.5: dependability study -------------------------------------------------
+
+/// P-Store with its AM-Cast commitment replaced by 2PC.
+core::ProtocolSpec p_store_2pc();
+
+/// P-Store with the disaster-tolerant (6-delay) genuine multicast.
+core::ProtocolSpec p_store_ft();
+
+/// P-Store with commitment by Paxos Commit — the third AC realization of
+/// §5: coordinator-failure tolerant, one extra message delay, Ω(r·n)
+/// messages.
+core::ProtocolSpec p_store_paxos();
+
+// --- extensions beyond the paper ---------------------------------------------
+
+/// RAMP-style Read Atomicity (the criterion the paper's conclusion plans to
+/// support): no fractured reads, no aborts, last-writer-wins updates.
+core::ProtocolSpec ramp();
+
+/// All protocol factories keyed by name (for harness/bench lookup).
+core::ProtocolSpec by_name(const std::string& name);
+
+}  // namespace gdur::protocols

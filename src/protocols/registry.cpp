@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "protocols/protocols.h"
+
+namespace gdur::protocols {
+
+core::ProtocolSpec by_name(const std::string& name) {
+  if (name == "P-Store") return p_store();
+  if (name == "S-DUR") return s_dur();
+  if (name == "GMU") return gmu();
+  if (name == "Serrano") return serrano();
+  if (name == "Walter") return walter();
+  if (name == "Jessy2pc") return jessy2pc();
+  if (name == "RC") return rc();
+  if (name == "GMU*") return gmu_star();
+  if (name == "GMU**") return gmu_star_star();
+  if (name == "P-Store-LA") return p_store_la();
+  if (name == "P-Store+2PC") return p_store_2pc();
+  if (name == "P-Store-FT") return p_store_ft();
+  if (name == "P-Store+Paxos") return p_store_paxos();
+  if (name == "RAMP") return ramp();
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace gdur::protocols

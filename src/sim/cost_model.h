@@ -1,0 +1,42 @@
+// CPU service-time model.
+//
+// These constants stand in for the per-operation costs of the paper's Java
+// implementation on 4-core 2.2-2.6 GHz machines. They are calibrated so
+// that the RC baseline saturates around 30 ktps on four 4-core sites,
+// matching the envelope of Figure 3; every comparison in bench/ is
+// relative, so only the ratios between the constants matter for
+// reproducing the paper's shapes.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace gdur::sim {
+
+struct CostModel {
+  // Messaging.
+  SimDuration msg_send = microseconds(15);  // serialization + protocol stack
+  SimDuration msg_recv = microseconds(25);  // dispatch + handler entry
+  double marshal_per_byte_ns = 15.0;        // serialize, charged at sender
+  double unmarshal_per_byte_ns = 15.0;      // deserialize, charged at receiver
+
+  // Execution phase.
+  SimDuration read_local = microseconds(30);     // store lookup for one object
+  SimDuration version_select = microseconds(10); // choose() over a chain
+  SimDuration snapshot_maintain = microseconds(12);  // choose_cons bookkeeping
+  SimDuration client_op = microseconds(8);       // coordinator bookkeeping
+
+  // Termination phase.
+  SimDuration certify_base = microseconds(60);
+  SimDuration certify_per_obj = microseconds(15);
+  SimDuration apply_per_obj = microseconds(20);
+  SimDuration queue_op = microseconds(5);  // enqueue/dequeue in Q
+
+  [[nodiscard]] SimDuration marshal(std::uint64_t bytes) const {
+    return static_cast<SimDuration>(marshal_per_byte_ns * double(bytes));
+  }
+  [[nodiscard]] SimDuration unmarshal(std::uint64_t bytes) const {
+    return static_cast<SimDuration>(unmarshal_per_byte_ns * double(bytes));
+  }
+};
+
+}  // namespace gdur::sim

@@ -1,0 +1,57 @@
+// Multi-core CPU model.
+//
+// Each site owns one CpuResource with k identical cores (the paper's
+// machines have 4). Protocol work — handling a message, running a
+// certification test, applying after-values, marshaling metadata — is
+// submitted as a job with a service time; jobs queue FIFO when all cores are
+// busy. Queueing at saturated sites is what bends the throughput/latency
+// curves of Figures 3-6 upward, exactly as on the real testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace gdur::sim {
+
+class CpuResource {
+ public:
+  CpuResource(Simulator& simulator, int cores)
+      : sim_(simulator), core_free_(static_cast<std::size_t>(cores), 0) {}
+
+  /// Runs `done` after `service` time on the first core to free up.
+  void submit(SimDuration service, std::function<void()> done);
+
+  /// Charges `service` time on the first core to free up without scheduling
+  /// a completion event; returns the instant the work finishes. Used when
+  /// the caller schedules the follow-up itself (e.g. message departure).
+  SimTime charge(SimDuration service) { return charge_after(0, service); }
+
+  /// Like charge(), but the work may not start before `not_before` (used to
+  /// serialize the processing of one connection's messages).
+  SimTime charge_after(SimTime not_before, SimDuration service);
+
+  /// Total busy time accumulated across cores (for utilization reporting).
+  [[nodiscard]] SimDuration busy_time() const { return busy_; }
+  [[nodiscard]] int cores() const { return static_cast<int>(core_free_.size()); }
+
+  /// Utilization in [0,1] over the window [from, to].
+  [[nodiscard]] double utilization(SimTime from, SimTime to) const;
+
+  /// Simulates an outage in the crash-recovery model: no job starts before
+  /// `until` (work already queued resumes afterwards; nothing is lost).
+  void block_until(SimTime until);
+
+  /// Resets the busy-time counter (called at the end of warmup).
+  void reset_accounting() { busy_ = 0; }
+
+ private:
+  Simulator& sim_;
+  std::vector<SimTime> core_free_;  // next instant each core is idle
+  SimDuration busy_ = 0;
+};
+
+}  // namespace gdur::sim

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gdur::sim {
+
+void Simulator::at(SimTime t, Event event) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Item{t, next_seq_++, std::move(event)});
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately and never touch the moved-from event.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.t;
+    ++processed_;
+    item.event();
+  }
+}
+
+bool Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= t) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.t;
+    ++processed_;
+    item.event();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return !stopped_;
+}
+
+}  // namespace gdur::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that replaces the paper's Grid'5000 testbed: replicas
+// and clients are actors whose handlers run as events on a single virtual
+// clock. Ties are broken by insertion order, so a run is a pure function of
+// its inputs — every experiment in bench/ is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace gdur::sim {
+
+class Simulator {
+ public:
+  using Event = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `event` at absolute time `t` (>= now()).
+  void at(SimTime t, Event event);
+
+  /// Schedules `event` `delay` from now.
+  void after(SimDuration delay, Event event) { at(now_ + delay, std::move(event)); }
+
+  /// Runs events until the queue drains or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= `t`; afterwards now() == t unless the run
+  /// was stopped early. Returns false if stop() ended the run.
+  bool run_until(SimTime t);
+
+  /// Stops the current run() / run_until() after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gdur::sim

@@ -1,0 +1,68 @@
+// Multi-version in-memory store — one per replica.
+//
+// Each object maps to a chain of committed versions, newest last. Versions
+// record who wrote them, the per-partition commit index assigned at this
+// replica, the (replica-local) commit instant, and the mechanism-specific
+// Stamp. Chains are pruned to a bounded depth, standing in for the garbage
+// collection the paper runs off the critical path via post_commit events.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "versioning/stamp.h"
+
+namespace gdur::store {
+
+struct Version {
+  TxnId writer;
+  std::uint64_t pidx = 0;        // commit index within the partition, local
+  SimTime commit_time = 0;       // when this replica applied it
+  versioning::Stamp stamp;
+};
+
+class ObjectChain {
+ public:
+  [[nodiscard]] bool empty() const { return versions_.empty(); }
+  [[nodiscard]] std::size_t size() const { return versions_.size(); }
+
+  /// Versions oldest-first; the canonical initial version (writer invalid,
+  /// pidx 0) is implicit and handled by the callers' "version 0" convention.
+  [[nodiscard]] const Version& at(std::size_t i) const { return versions_[i]; }
+  [[nodiscard]] const Version& latest() const { return versions_.back(); }
+
+  void install(Version v) {
+    versions_.push_back(std::move(v));
+    if (versions_.size() > kMaxDepth)
+      versions_.erase(versions_.begin(),
+                      versions_.begin() + (versions_.size() - kKeepDepth));
+  }
+
+  static constexpr std::size_t kMaxDepth = 32;
+  static constexpr std::size_t kKeepDepth = 24;
+
+ private:
+  std::vector<Version> versions_;
+};
+
+class MVStore {
+ public:
+  /// Chain for `o`, or nullptr if no committed version exists here yet.
+  [[nodiscard]] const ObjectChain* chain(ObjectId o) const {
+    auto it = chains_.find(o);
+    return it == chains_.end() ? nullptr : &it->second;
+  }
+
+  void install(ObjectId o, Version v) { chains_[o].install(std::move(v)); }
+
+  /// Number of objects with at least one committed version.
+  [[nodiscard]] std::size_t populated() const { return chains_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, ObjectChain> chains_;
+};
+
+}  // namespace gdur::store

@@ -1,0 +1,41 @@
+#include "store/wal.h"
+
+#include <utility>
+#include <vector>
+
+namespace gdur::store {
+
+void WriteAheadLog::append(std::uint64_t bytes, std::function<void()> done) {
+  ++appends_;
+  bytes_ += bytes;
+  pending_.push_back(Record{bytes, std::move(done)});
+  if (!sync_in_flight_) start_sync();
+}
+
+void WriteAheadLog::start_sync() {
+  sync_in_flight_ = true;
+  ++syncs_;
+  // This sync covers the batch present right now (bounded by max_batch);
+  // later appends wait for the next one.
+  const auto batch =
+      std::min<std::size_t>(pending_.size(),
+                            static_cast<std::size_t>(cfg_.max_batch));
+  std::uint64_t batch_bytes = 0;
+  for (std::size_t i = 0; i < batch; ++i) batch_bytes += pending_[i].bytes;
+  const auto device_time =
+      cfg_.sync_latency +
+      static_cast<SimDuration>(cfg_.per_byte_ns * double(batch_bytes));
+  sim_.after(device_time, [this, batch] {
+    std::vector<std::function<void()>> done;
+    done.reserve(batch);
+    for (std::size_t i = 0; i < batch && !pending_.empty(); ++i) {
+      done.push_back(std::move(pending_.front().done));
+      pending_.pop_front();
+    }
+    sync_in_flight_ = false;
+    if (!pending_.empty()) start_sync();
+    for (auto& cb : done) cb();
+  });
+}
+
+}  // namespace gdur::store

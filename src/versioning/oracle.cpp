@@ -1,0 +1,401 @@
+#include "versioning/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <queue>
+
+namespace gdur::versioning {
+
+const char* to_string(VersioningKind k) {
+  switch (k) {
+    case VersioningKind::kTS:
+      return "TS";
+    case VersioningKind::kVC:
+      return "VC";
+    case VersioningKind::kVTS:
+      return "VTS";
+    case VersioningKind::kGMV:
+      return "GMV";
+    case VersioningKind::kPDV:
+      return "PDV";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Wire bytes per vector-clock entry. The paper's implementation is Java
+/// with standard object serialization; a boxed (site, counter) entry plus
+/// framing is far more than 8 raw bytes. This constant is what makes the
+/// metadata-marshaling overhead of vector-based mechanisms visible, as in
+/// Figure 4 (GMU** vs RC).
+constexpr std::uint64_t kBytesPerEntry = 32;
+
+/// Shared helper: per-partition commit indices.
+///
+/// Indices are assigned once per (transaction, partition) — on the first
+/// replica to apply — and memoized, so that every replica of a partition
+/// stores the *same* index for the same version. This keeps certification
+/// and snapshot-compatibility tests coherent across replicas (the paper's
+/// implementations derive the same property from their commit protocols).
+class PartitionCounters {
+ public:
+  explicit PartitionCounters(PartitionId partitions)
+      : counts_(partitions, 0) {}
+
+  /// Indices for transaction (origin, seq) in `parts`, aligned with it.
+  std::vector<std::uint64_t> assign(SiteId origin, std::uint64_t seq,
+                                    const std::vector<PartitionId>& parts) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 44) ^ seq;
+    auto it = memo_.find(key);
+    if (it == memo_.end()) {
+      std::vector<std::pair<PartitionId, std::uint64_t>> assigned;
+      assigned.reserve(parts.size());
+      for (PartitionId p : parts) assigned.emplace_back(p, ++counts_[p]);
+      it = memo_.emplace(key, std::move(assigned)).first;
+      fifo_.push_back(key);
+      if (fifo_.size() > kMemoCap) {
+        memo_.erase(fifo_.front());
+        fifo_.pop_front();
+      }
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(parts.size());
+    for (PartitionId p : parts) {
+      std::uint64_t idx = 0;
+      for (const auto& [q, i] : it->second) {
+        if (q == p) {
+          idx = i;
+          break;
+        }
+      }
+      out.push_back(idx);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kMemoCap = 200'000;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<PartitionId, std::uint64_t>>>
+      memo_;
+  std::deque<std::uint64_t> fifo_;
+};
+
+// ---------------------------------------------------------------------------
+// TS — scalar timestamps (Lamport-style commit sequence per site).
+// ---------------------------------------------------------------------------
+class TsOracle final : public VersionOracle {
+ public:
+  explicit TsOracle(const store::Partitioner& part)
+      : VersionOracle(part),
+        counters_(part.partitions()),
+        commit_count_(static_cast<std::size_t>(part.sites()), 0) {}
+
+  [[nodiscard]] VersioningKind kind() const override {
+    return VersioningKind::kTS;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override { return 16; }
+
+  void begin_snapshot(SiteId coord, TxnSnapshot& snap) const override {
+    snap = {};
+    snap.start_seq = commit_count_[coord];
+  }
+
+  [[nodiscard]] int choose(SiteId at, const store::ObjectChain* chain,
+                           PartitionId, const TxnSnapshot& snap) const override {
+    // Snapshot completeness: if this site has not yet applied every commit
+    // up to the snapshot point, the version to read may simply be missing
+    // here — wait (the caller retries) rather than serve a fractured
+    // snapshot. Serrano blocks reads the same way.
+    if (commit_count_[at] < snap.start_seq) return kNoCompatibleVersion;
+    if (chain == nullptr || chain->empty()) return kInitialVersion;
+    // Serrano-style snapshot read: latest version whose global commit
+    // sequence number is within the start-time snapshot.
+    for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
+      if (chain->at(static_cast<std::size_t>(i)).stamp.seq <= snap.start_seq)
+        return i;
+    }
+    return kInitialVersion;
+  }
+
+  void note_read(const store::Version*, PartitionId,
+                 TxnSnapshot&) const override {}
+
+  [[nodiscard]] Stamp submit_stamp(SiteId coord, std::uint64_t coord_seq,
+                                   const TxnSnapshot&) const override {
+    return Stamp{.origin = coord, .seq = coord_seq, .dep = {}};
+  }
+
+  std::vector<std::uint64_t> on_apply(SiteId at, Stamp& stamp,
+                                      const std::vector<PartitionId>& parts,
+                                      const TxnSnapshot&) override {
+    // The memo key must be the txn's stable submit identity, not the
+    // per-site commit sequence assigned below.
+    const std::uint64_t submit_seq = stamp.seq;
+    // The commit sequence number: under total-order delivery every site
+    // counts the same commits, making this a global timestamp (Serrano).
+    stamp.seq = ++commit_count_[at];
+    return counters_.assign(stamp.origin, submit_seq, parts);
+  }
+
+  std::uint64_t on_commit_observed(SiteId at) override {
+    return ++commit_count_[at];
+  }
+
+  [[nodiscard]] bool visible(const store::Version& v, PartitionId,
+                             const TxnSnapshot& snap) const override {
+    return v.stamp.seq <= snap.start_seq;
+  }
+
+ private:
+  PartitionCounters counters_;
+  std::vector<std::uint64_t> commit_count_;
+};
+
+// ---------------------------------------------------------------------------
+// VTS — vector timestamps (Walter, S-DUR). VC differs only in wire size.
+// ---------------------------------------------------------------------------
+class VtsOracle : public VersionOracle {
+ public:
+  explicit VtsOracle(const store::Partitioner& part)
+      : VersionOracle(part),
+        counters_(part.partitions()),
+        vts_(static_cast<std::size_t>(part.sites()),
+             std::vector<std::uint64_t>(static_cast<std::size_t>(part.sites()),
+                                        0)) {}
+
+  [[nodiscard]] VersioningKind kind() const override {
+    return VersioningKind::kVTS;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return kBytesPerEntry * static_cast<std::uint64_t>(part_.sites());
+  }
+
+  void begin_snapshot(SiteId coord, TxnSnapshot& snap) const override {
+    snap = {};
+    snap.vts = vts_[coord];
+  }
+
+  [[nodiscard]] int choose(SiteId at, const store::ObjectChain* chain,
+                           PartitionId, const TxnSnapshot& snap) const override {
+    // Snapshot completeness: wait until this site has learned every commit
+    // inside the requester's start vector, otherwise a version the snapshot
+    // must include may be missing here (Walter blocks such reads too).
+    for (SiteId c = 0; c < static_cast<SiteId>(vts_.size()); ++c)
+      if (vts_[at][c] < snap.vts[c]) return kNoCompatibleVersion;
+    if (chain == nullptr || chain->empty()) return kInitialVersion;
+    for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
+      const auto& st = chain->at(static_cast<std::size_t>(i)).stamp;
+      if (st.seq <= snap.vts[st.origin]) return i;
+    }
+    return kInitialVersion;
+  }
+
+  void note_read(const store::Version*, PartitionId,
+                 TxnSnapshot&) const override {}
+
+  [[nodiscard]] Stamp submit_stamp(SiteId coord, std::uint64_t coord_seq,
+                                   const TxnSnapshot&) const override {
+    return Stamp{.origin = coord, .seq = coord_seq, .dep = {}};
+  }
+
+  std::vector<std::uint64_t> on_apply(SiteId at, Stamp& stamp,
+                                      const std::vector<PartitionId>& parts,
+                                      const TxnSnapshot&) override {
+    vts_[at][stamp.origin] = std::max(vts_[at][stamp.origin], stamp.seq);
+    return counters_.assign(stamp.origin, stamp.seq, parts);
+  }
+
+  void on_propagate(SiteId at, const Stamp& stamp) override {
+    vts_[at][stamp.origin] = std::max(vts_[at][stamp.origin], stamp.seq);
+  }
+
+  [[nodiscard]] bool visible(const store::Version& v, PartitionId,
+                             const TxnSnapshot& snap) const override {
+    return v.stamp.seq <= snap.vts[v.stamp.origin];
+  }
+
+  /// Current vector at a site (tests / diagnostics).
+  [[nodiscard]] const std::vector<std::uint64_t>& vts_at(SiteId s) const {
+    return vts_[s];
+  }
+
+ private:
+  PartitionCounters counters_;
+  std::vector<std::vector<std::uint64_t>> vts_;
+};
+
+class VcOracle final : public VtsOracle {
+ public:
+  using VtsOracle::VtsOracle;
+  [[nodiscard]] VersioningKind kind() const override {
+    return VersioningKind::kVC;
+  }
+  // Versions carry the whole vector rather than an (origin, seq) pair.
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return 2 * kBytesPerEntry * static_cast<std::uint64_t>(part_.sites());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GMV / PDV — dependence vectors over partitions.
+// ---------------------------------------------------------------------------
+/// Contiguous-apply frontier: the largest n such that every partition
+/// commit index <= n has been applied at a site. Decisions from distinct
+/// coordinators may arrive out of order, so indices are buffered until the
+/// prefix closes.
+class ApplyFrontier {
+ public:
+  void add(std::uint64_t idx) {
+    if (idx <= contiguous_) return;
+    pending_.push(idx);
+    while (!pending_.empty() && pending_.top() == contiguous_ + 1) {
+      ++contiguous_;
+      pending_.pop();
+    }
+  }
+  [[nodiscard]] std::uint64_t contiguous() const { return contiguous_; }
+
+ private:
+  std::uint64_t contiguous_ = 0;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      pending_;
+};
+
+class DepVectorOracle final : public VersionOracle {
+ public:
+  DepVectorOracle(VersioningKind kind, const store::Partitioner& part)
+      : VersionOracle(part),
+        kind_(kind),
+        counters_(part.partitions()),
+        frontier_(static_cast<std::size_t>(part.sites()),
+                  std::vector<ApplyFrontier>(part.partitions())) {}
+
+  [[nodiscard]] VersioningKind kind() const override { return kind_; }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    // GMV vectors are indexed by storage node, PDV by partition; the sizes
+    // coincide when each site hosts one partition.
+    const auto dims = kind_ == VersioningKind::kGMV
+                          ? static_cast<std::uint64_t>(part_.sites())
+                          : static_cast<std::uint64_t>(part_.partitions());
+    return kBytesPerEntry * dims;
+  }
+
+  void begin_snapshot(SiteId, TxnSnapshot& snap) const override {
+    snap = {};
+    snap.floor.assign(part_.partitions(), 0);
+    snap.ceil.assign(part_.partitions(), kNoCeiling);
+  }
+
+  [[nodiscard]] int choose(SiteId at, const store::ObjectChain* chain,
+                           PartitionId p,
+                           const TxnSnapshot& snap) const override {
+    // Snapshot completeness: the transaction's floor says its snapshot
+    // contains partition-p state up to floor[p]. If this replica has not
+    // applied that prefix yet, the version to read may be missing here —
+    // wait (the caller retries) rather than silently serve older state.
+    if (frontier_[at][p].contiguous() < snap.floor[p])
+      return kNoCompatibleVersion;
+
+    const auto within_ceil = [&](const store::Version& v) {
+      for (PartitionId q = 0; q < part_.partitions(); ++q) {
+        const std::uint64_t dq = q < v.stamp.dep.size() ? v.stamp.dep[q] : 0;
+        if (dq > snap.ceil[q]) return false;  // v depends on state newer than a read
+      }
+      return true;
+    };
+    if (chain != nullptr) {
+      for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
+        const auto& v = chain->at(static_cast<std::size_t>(i));
+        if (within_ceil(v)) return i;
+        // A version inside the floor cannot be skipped: anything older is
+        // superseded within the snapshot. Combined with the ceiling
+        // conflict above, no consistent version exists at this granularity.
+        if (v.pidx <= snap.floor[p]) return kNoCompatibleVersion;
+      }
+    }
+    // No committed version lies within the snapshot floor: in the snapshot
+    // the object is still at its initial version.
+    return kInitialVersion;
+  }
+
+  void note_read(const store::Version* v, PartitionId p,
+                 TxnSnapshot& snap) const override {
+    if (v == nullptr) {
+      // Reading the initial version: the snapshot must exclude every write
+      // of this object. At partition granularity the first write's index is
+      // unknown, so conservatively pin the whole partition at state 0.
+      snap.ceil[p] = 0;
+      return;
+    }
+    snap.ceil[p] = std::min(snap.ceil[p], v->pidx);
+    for (PartitionId q = 0; q < part_.partitions(); ++q) {
+      const std::uint64_t dq = q < v->stamp.dep.size() ? v->stamp.dep[q] : 0;
+      snap.floor[q] = std::max(snap.floor[q], dq);
+    }
+  }
+
+  [[nodiscard]] Stamp submit_stamp(SiteId coord, std::uint64_t coord_seq,
+                                   const TxnSnapshot& snap) const override {
+    // The dependence vector starts from everything the transaction read;
+    // the written partitions' own slots are filled in at apply time.
+    return Stamp{.origin = coord, .seq = coord_seq, .dep = snap.floor};
+  }
+
+  std::vector<std::uint64_t> on_apply(SiteId at, Stamp& stamp,
+                                      const std::vector<PartitionId>& parts,
+                                      const TxnSnapshot&) override {
+    if (stamp.dep.size() < part_.partitions())
+      stamp.dep.resize(part_.partitions(), 0);
+    const auto pidx = counters_.assign(stamp.origin, stamp.seq, parts);
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+      stamp.dep[parts[k]] = std::max(stamp.dep[parts[k]], pidx[k]);
+      // Advance the apply frontier only for partitions this site hosts —
+      // it never serves reads for the others.
+      for (SiteId s : part_.sites_of(parts[k])) {
+        if (s == at) {
+          frontier_[at][parts[k]].add(pidx[k]);
+          break;
+        }
+      }
+    }
+    return pidx;
+  }
+
+  [[nodiscard]] bool visible(const store::Version& v, PartitionId p,
+                             const TxnSnapshot& snap) const override {
+    return v.pidx <= snap.floor[p];
+  }
+
+ private:
+  VersioningKind kind_;
+  PartitionCounters counters_;
+  // mutable state is fine: the oracle is logically per-site; choose() is
+  // const for callers but frontiers advance via on_apply.
+  std::vector<std::vector<ApplyFrontier>> frontier_;
+};
+
+}  // namespace
+
+std::unique_ptr<VersionOracle> make_oracle(VersioningKind kind,
+                                           const store::Partitioner& part) {
+  switch (kind) {
+    case VersioningKind::kTS:
+      return std::make_unique<TsOracle>(part);
+    case VersioningKind::kVC:
+      return std::make_unique<VcOracle>(part);
+    case VersioningKind::kVTS:
+      return std::make_unique<VtsOracle>(part);
+    case VersioningKind::kGMV:
+    case VersioningKind::kPDV:
+      return std::make_unique<DepVectorOracle>(kind, part);
+  }
+  return nullptr;
+}
+
+}  // namespace gdur::versioning

@@ -1,0 +1,108 @@
+// VersionOracle — the pluggable versioning mechanism (Θ) of §4.1.
+//
+// One oracle instance serves the whole cluster and keeps per-site clock
+// state internally (the simulator is single-threaded, so this is simply a
+// convenient layout; each site only ever touches its own slots).
+//
+// Mechanisms:
+//   TS   scalar commit sequence per site. Globally consistent when every
+//        update is delivered everywhere in total order (Serrano); used
+//        without snapshot semantics by choose_last protocols (P-Store).
+//   VC   vector clocks: like VTS but versions carry the whole vector.
+//   VTS  vector timestamps (Walter, S-DUR): versions are identified by
+//        (origin site, origin sequence); a site's vts[] advances when it
+//        applies or hears about commits, so snapshot freshness depends on
+//        background propagation — exactly the Walter/S-DUR trade-off.
+//   GMV  GMU vectors: dependence vectors giving fresh, consistent,
+//        non-monotonic snapshots with no background propagation.
+//   PDV  partitioned dependence vectors (Jessy): same snapshot semantics at
+//        partition granularity, permissive to all consistent snapshots.
+//
+// Implementation note (documented in DESIGN.md): GMV and PDV share one
+// dependence-vector implementation at partition granularity; they differ in
+// advertised metadata size (|sites| vs |partitions| entries) and name. The
+// experiments' observable differences between GMU and Jessy2pc come from
+// their certification scopes and tests, which are faithful.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "store/mv_store.h"
+#include "store/partitioner.h"
+#include "versioning/stamp.h"
+
+namespace gdur::versioning {
+
+/// Result of choose(): which chain entry to read. `kInitialVersion` denotes
+/// the implicit initial version every object has before its first write.
+constexpr int kInitialVersion = -1;
+constexpr int kNoCompatibleVersion = -2;
+
+class VersionOracle {
+ public:
+  explicit VersionOracle(const store::Partitioner& part) : part_(part) {}
+  virtual ~VersionOracle() = default;
+
+  [[nodiscard]] virtual VersioningKind kind() const = 0;
+
+  /// Wire size of the versioning metadata attached to messages (snapshot
+  /// vectors on read requests, stamps on termination messages).
+  [[nodiscard]] virtual std::uint64_t metadata_bytes() const = 0;
+
+  /// Initializes a transaction snapshot at its coordinator.
+  virtual void begin_snapshot(SiteId coord, TxnSnapshot& snap) const = 0;
+
+  /// choose_cons: picks the chain index to read at site `at` for an object
+  /// of partition `p`, honoring `snap` (not mutated; see note_read).
+  /// chain may be nullptr (object never written here).
+  [[nodiscard]] virtual int choose(SiteId at, const store::ObjectChain* chain,
+                                   PartitionId p,
+                                   const TxnSnapshot& snap) const = 0;
+
+  /// Folds a performed read into the snapshot. `v` is nullptr for the
+  /// initial version.
+  virtual void note_read(const store::Version* v, PartitionId p,
+                         TxnSnapshot& snap) const = 0;
+
+  /// Stamp identity minted at the coordinator when an update transaction is
+  /// submitted; `coord_seq` is the coordinator-local update serial.
+  [[nodiscard]] virtual Stamp submit_stamp(SiteId coord,
+                                           std::uint64_t coord_seq,
+                                           const TxnSnapshot& snap) const = 0;
+
+  /// Called once per (applying site, committed txn). Advances site clocks,
+  /// assigns per-partition commit indices for the partitions in
+  /// `parts_written` (deduplicated), and completes `stamp`. Returns the
+  /// assigned index per written partition, aligned with `parts_written`.
+  virtual std::vector<std::uint64_t> on_apply(
+      SiteId at, Stamp& stamp, const std::vector<PartitionId>& parts_written,
+      const TxnSnapshot& snap) = 0;
+
+  /// Called at every site that observes a commit decision without applying
+  /// data (e.g. Serrano's non-genuine delivery) so scalar clocks advance.
+  /// Returns the site's new commit sequence number (0 if untracked).
+  virtual std::uint64_t on_commit_observed(SiteId /*at*/) { return 0; }
+
+  /// Background propagation (Walter / S-DUR post_commit): site `at` learns
+  /// the stamp of a remotely committed transaction.
+  virtual void on_propagate(SiteId /*at*/, const Stamp& /*stamp*/) {}
+
+  /// Is version `v` contained in `snap`? Used by write-write certification
+  /// (Walter, Serrano, Jessy2pc): the latest committed version of every
+  /// written object must be visible to the transaction.
+  [[nodiscard]] virtual bool visible(const store::Version& v, PartitionId p,
+                                     const TxnSnapshot& snap) const = 0;
+
+ protected:
+  const store::Partitioner& part_;
+};
+
+std::unique_ptr<VersionOracle> make_oracle(VersioningKind kind,
+                                           const store::Partitioner& part);
+
+}  // namespace gdur::versioning

@@ -1,0 +1,55 @@
+// Version numbers (Θ in the paper).
+//
+// A committed version carries a Stamp; a running transaction carries a
+// TxnSnapshot. The five mechanisms of §4.1 interpret these fields
+// differently — see VersionOracle and its subclasses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace gdur::versioning {
+
+enum class VersioningKind { kTS, kVC, kVTS, kGMV, kPDV };
+
+const char* to_string(VersioningKind k);
+
+/// Version number attached to a committed version.
+struct Stamp {
+  /// VTS/VC identity: the version was created by the `seq`-th update
+  /// transaction coordinated by site `origin`. For TS, `seq` is the
+  /// site-local applied-commit count (globally consistent under total-order
+  /// delivery, which is how Serrano uses it).
+  SiteId origin = 0;
+  std::uint64_t seq = 0;
+
+  /// GMV/PDV dependence vector: dep[k] is the highest commit index of
+  /// site/partition k the writing transaction (transitively) observed,
+  /// including the version's own slot.
+  std::vector<std::uint64_t> dep;
+};
+
+constexpr std::uint64_t kNoCeiling = std::numeric_limits<std::uint64_t>::max();
+
+/// Per-transaction snapshot state, updated as the transaction reads.
+struct TxnSnapshot {
+  /// VTS/VC: per-site sequence-number floor taken at begin() — a version
+  /// (origin, seq) is visible iff seq <= vts[origin].
+  std::vector<std::uint64_t> vts;
+
+  /// GMV/PDV: join of the dependence vectors of all versions read so far.
+  std::vector<std::uint64_t> floor;
+
+  /// GMV/PDV: ceiling imposed by previous reads — a new version's dep[k]
+  /// must not exceed ceil[k].
+  std::vector<std::uint64_t> ceil;
+
+  /// TS (Serrano): the global commit sequence number at begin().
+  std::uint64_t start_seq = 0;
+};
+
+}  // namespace gdur::versioning

@@ -1,0 +1,151 @@
+#include "workload/client.h"
+
+#include <cmath>
+
+namespace gdur::workload {
+
+namespace {
+
+/// One transaction in flight; owns itself until the terminal callback.
+class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
+ public:
+  TxnFlow(core::Cluster& cl, SiteId site, std::shared_ptr<const TxnProfile> p,
+          harness::Metrics& metrics, TxnObserver observer,
+          std::function<void()> done)
+      : cl_(cl),
+        site_(site),
+        profile_(std::move(p)),
+        metrics_(metrics),
+        observer_(std::move(observer)),
+        done_(std::move(done)) {}
+
+  void begin() {
+    begin_req_ = cl_.simulator().now();
+    auto self = shared_from_this();
+    cl_.begin(site_, [self](core::MutTxnPtr t) { self->reads(t, 0); });
+  }
+
+ private:
+  void reads(const core::MutTxnPtr& t, std::size_t i) {
+    if (i == profile_->reads.size()) {
+      writes(t, 0);
+      return;
+    }
+    auto self = shared_from_this();
+    cl_.read(site_, t, profile_->reads[i], [self, t, i](bool ok) {
+      if (!ok) {
+        self->finish(*t, false, /*exec_failure=*/true, self->begin_req_);
+        return;
+      }
+      self->reads(t, i + 1);
+    });
+  }
+
+  void writes(const core::MutTxnPtr& t, std::size_t i) {
+    if (i == profile_->writes.size()) {
+      commit(t);
+      return;
+    }
+    auto self = shared_from_this();
+    cl_.write(site_, t, profile_->writes[i],
+              [self, t, i] { self->writes(t, i + 1); });
+  }
+
+  void commit(const core::MutTxnPtr& t) {
+    commit_req_ = cl_.simulator().now();
+    auto self = shared_from_this();
+    cl_.commit(site_, t, [self, t](bool ok) {
+      self->finish(*t, ok, /*exec_failure=*/false, self->commit_req_);
+    });
+  }
+
+  void finish(const core::TxnRecord& t, bool committed, bool exec_failure,
+              SimTime term_req) {
+    const SimTime now = cl_.simulator().now();
+    const bool read_only = profile_->read_only;
+    if (exec_failure) {
+      ++metrics_.exec_failures;
+    } else if (committed) {
+      (read_only ? metrics_.committed_ro : metrics_.committed_upd)++;
+      metrics_.txn_latency.add(now - begin_req_);
+      if (!read_only) metrics_.upd_term_latency.add(now - term_req);
+    } else {
+      (read_only ? metrics_.aborted_ro : metrics_.aborted_upd)++;
+      if (!read_only) metrics_.upd_term_latency.add(now - term_req);
+    }
+    if (observer_) observer_(t, committed);
+    if (done_) done_();
+  }
+
+  core::Cluster& cl_;
+  SiteId site_;
+  std::shared_ptr<const TxnProfile> profile_;
+  harness::Metrics& metrics_;
+  TxnObserver observer_;
+  std::function<void()> done_;
+  SimTime begin_req_ = 0;
+  SimTime commit_req_ = 0;
+};
+
+}  // namespace
+
+void run_transaction(core::Cluster& cluster, SiteId site,
+                     std::shared_ptr<const TxnProfile> profile,
+                     harness::Metrics& metrics, const TxnObserver& observer,
+                     std::function<void()> done) {
+  std::make_shared<TxnFlow>(cluster, site, std::move(profile), metrics,
+                            observer, std::move(done))
+      ->begin();
+}
+
+// ---------------------------------------------------------------------------
+
+ClientActor::ClientActor(core::Cluster& cluster, SiteId site,
+                         const WorkloadSpec& spec, harness::Metrics& metrics,
+                         std::uint64_t seed)
+    : cl_(cluster),
+      site_(site),
+      gen_(spec, cluster.partitioner(), site, seed),
+      metrics_(metrics) {}
+
+void ClientActor::start(SimTime at) {
+  cl_.simulator().at(at, [this] { run_one(); });
+}
+
+void ClientActor::run_one() {
+  ++txns_run_;
+  run_transaction(cl_, site_, std::make_shared<const TxnProfile>(gen_.next()),
+                  metrics_, observer_, [this] { run_one(); });
+}
+
+// ---------------------------------------------------------------------------
+
+OpenLoopSource::OpenLoopSource(core::Cluster& cluster, SiteId site,
+                               const WorkloadSpec& spec,
+                               harness::Metrics& metrics, double rate_tps,
+                               std::uint64_t seed)
+    : cl_(cluster),
+      site_(site),
+      gen_(spec, cluster.partitioner(), site, seed),
+      metrics_(metrics),
+      arrivals_(mix64(seed ^ 0x9e3779b9)),
+      rate_(rate_tps) {}
+
+void OpenLoopSource::start(SimTime at) {
+  cl_.simulator().at(at, [this] { arrive(); });
+}
+
+void OpenLoopSource::arrive() {
+  if (cl_.simulator().now() >= stop_at_) return;
+  ++offered_;
+  run_transaction(cl_, site_,
+                  std::make_shared<const TxnProfile>(gen_.next()), metrics_,
+                  nullptr, nullptr);
+  // Exponential inter-arrival time.
+  const double u = arrivals_.next_double();
+  const auto gap = static_cast<SimDuration>(
+      -std::log(1.0 - u) / rate_ * 1e9);
+  cl_.simulator().after(std::max<SimDuration>(gap, 1), [this] { arrive(); });
+}
+
+}  // namespace gdur::workload

@@ -1,0 +1,232 @@
+// Tests for the consistency checker itself, using hand-crafted histories:
+// the checks must flag known anomalies and accept clean histories.
+#include <gtest/gtest.h>
+
+#include "checker/history.h"
+
+namespace gdur::checker {
+namespace {
+
+core::Cluster::InstallEvent install(ObjectId obj, TxnId writer,
+                                    std::uint64_t pidx, SimTime time) {
+  return {.obj = obj, .writer = writer, .pidx = pidx, .site = 0, .time = time};
+}
+
+core::TxnRecord txn(TxnId id, SimTime begin, SimTime submit = 0) {
+  core::TxnRecord t;
+  t.id = id;
+  t.begin_time = begin;
+  // By default a transaction submits "late", i.e. overlaps anything that
+  // begins before its explicit submit time.
+  t.submit_time = submit != 0 ? submit : begin + 1000;
+  return t;
+}
+
+void add_read(core::TxnRecord& t, ObjectId obj, TxnId writer) {
+  t.rs.insert(obj);
+  t.reads.push_back({.obj = obj, .part = 0, .writer = writer, .pidx = 0});
+}
+
+TEST(Checker, EmptyHistoryPasses) {
+  History h;
+  EXPECT_TRUE(h.check_read_committed().ok);
+  EXPECT_TRUE(h.check_serializable().ok);
+  EXPECT_TRUE(h.check_ww_exclusion().ok);
+  EXPECT_TRUE(h.check_consistent_snapshots().ok);
+}
+
+TEST(Checker, CleanSerialHistoryPasses) {
+  History h;
+  // T1 writes x, then T2 reads x and writes y, then T3 reads both.
+  auto t1 = txn({0, 1}, 0);
+  t1.ws.insert(1);
+  h.record_txn(t1, true, 10);
+  h.record_install(install(1, t1.id, 1, 10));
+
+  auto t2 = txn({0, 2}, 20);
+  add_read(t2, 1, t1.id);
+  t2.ws.insert(2);
+  h.record_txn(t2, true, 30);
+  h.record_install(install(2, t2.id, 1, 30));
+
+  auto t3 = txn({0, 3}, 40);
+  add_read(t3, 1, t1.id);
+  add_read(t3, 2, t2.id);
+  h.record_txn(t3, true, 50);
+
+  EXPECT_TRUE(h.check_read_committed().ok);
+  EXPECT_TRUE(h.check_serializable().ok);
+  EXPECT_TRUE(h.check_update_serializable().ok);
+  EXPECT_TRUE(h.check_ww_exclusion().ok);
+  EXPECT_TRUE(h.check_consistent_snapshots().ok);
+}
+
+TEST(Checker, DetectsReadOfUncommittedVersion) {
+  History h;
+  auto t = txn({0, 1}, 0);
+  add_read(t, 5, TxnId{3, 99});  // writer never committed or installed
+  h.record_txn(t, true, 10);
+  EXPECT_FALSE(h.check_read_committed().ok);
+}
+
+TEST(Checker, InstalledButUnrecordedWriterCountsAsCommitted) {
+  History h;
+  const TxnId w{2, 7};
+  h.record_install(install(5, w, 1, 1));
+  auto t = txn({0, 1}, 5);
+  add_read(t, 5, w);
+  h.record_txn(t, true, 10);
+  EXPECT_TRUE(h.check_read_committed().ok);
+}
+
+TEST(Checker, DetectsWriteSkewCycle) {
+  // Classic write skew: T1 reads x writes y; T2 reads y writes x, both from
+  // the initial versions -> rw cycle.
+  History h;
+  auto t1 = txn({0, 1}, 0);
+  add_read(t1, 1, TxnId{});  // initial x
+  t1.ws.insert(2);
+  h.record_txn(t1, true, 20);
+  h.record_install(install(2, t1.id, 1, 20));
+
+  auto t2 = txn({1, 1}, 0);
+  add_read(t2, 2, TxnId{});  // initial y
+  t2.ws.insert(1);
+  h.record_txn(t2, true, 21);
+  h.record_install(install(1, t2.id, 1, 21));
+
+  EXPECT_FALSE(h.check_serializable().ok);
+  // ... but write skew is allowed by the snapshot family.
+  EXPECT_TRUE(h.check_ww_exclusion().ok);
+}
+
+TEST(Checker, DetectsLostUpdateViaWwOverlap) {
+  History h;
+  // Two concurrent transactions blind-write x; both commit.
+  auto t1 = txn({0, 1}, 0);
+  t1.ws.insert(1);
+  h.record_txn(t1, true, 20);
+  h.record_install(install(1, t1.id, 1, 18));
+
+  auto t2 = txn({1, 1}, 5);  // begins before t1's first install
+  t2.ws.insert(1);
+  h.record_txn(t2, true, 25);
+  h.record_install(install(1, t2.id, 2, 22));
+
+  EXPECT_FALSE(h.check_ww_exclusion().ok);
+}
+
+TEST(Checker, SequentialWritersAreNotConcurrent) {
+  History h;
+  auto t1 = txn({0, 1}, 0, /*submit=*/5);
+  t1.ws.insert(1);
+  h.record_txn(t1, true, 10);
+  h.record_install(install(1, t1.id, 1, 9));
+
+  auto t2 = txn({1, 1}, 15, /*submit=*/20);  // begins after t1's install
+  t2.ws.insert(1);
+  h.record_txn(t2, true, 25);
+  h.record_install(install(1, t2.id, 2, 24));
+
+  EXPECT_TRUE(h.check_ww_exclusion().ok);
+}
+
+TEST(Checker, DependentWriterIsNotConcurrentUnderNmsi) {
+  History h;
+  // T1 writes x; T2 (overlapping in time) READ x from T1, then wrote x.
+  auto t1 = txn({0, 1}, 0);
+  t1.ws.insert(1);
+  h.record_txn(t1, true, 30);
+  h.record_install(install(1, t1.id, 1, 10));
+
+  auto t2 = txn({1, 1}, 5);
+  add_read(t2, 1, t1.id);
+  t2.ws.insert(1);
+  h.record_txn(t2, true, 28);
+  h.record_install(install(1, t2.id, 2, 25));
+
+  EXPECT_TRUE(h.check_ww_exclusion().ok);
+}
+
+TEST(Checker, DetectsFracturedSnapshot) {
+  History h;
+  // W writes both x and y; T reads y from W but x from before W.
+  auto w = txn({0, 1}, 0);
+  w.ws.insert(1);
+  w.ws.insert(2);
+  h.record_txn(w, true, 10);
+  h.record_install(install(1, w.id, 1, 10));
+  h.record_install(install(2, w.id, 1, 10));
+
+  auto t = txn({1, 1}, 20);
+  add_read(t, 1, TxnId{});  // initial x — before W
+  add_read(t, 2, w.id);     // y from W
+  h.record_txn(t, true, 30);
+
+  EXPECT_FALSE(h.check_consistent_snapshots().ok);
+  EXPECT_FALSE(h.check_update_serializable().ok);
+}
+
+TEST(Checker, ConsistentPairFromSameWriterPasses) {
+  History h;
+  auto w = txn({0, 1}, 0);
+  w.ws.insert(1);
+  w.ws.insert(2);
+  h.record_txn(w, true, 10);
+  h.record_install(install(1, w.id, 1, 10));
+  h.record_install(install(2, w.id, 1, 10));
+
+  auto t = txn({1, 1}, 20);
+  add_read(t, 1, w.id);
+  add_read(t, 2, w.id);
+  h.record_txn(t, true, 30);
+
+  EXPECT_TRUE(h.check_consistent_snapshots().ok);
+}
+
+TEST(Checker, AbortedTransactionsAreIgnored) {
+  History h;
+  auto t1 = txn({0, 1}, 0);
+  add_read(t1, 5, TxnId{9, 9});  // bogus read, but the txn aborted
+  h.record_txn(t1, false, 10);
+  EXPECT_TRUE(h.check_read_committed().ok);
+  EXPECT_TRUE(h.check_serializable().ok);
+}
+
+TEST(Checker, UpdateSerializableAllowsNonSerializableQueries) {
+  // Queries reading stale-but-consistent snapshots can create cycles
+  // through rw edges that US tolerates (they are excluded from the
+  // updates-only DSG).
+  History h;
+  auto t1 = txn({0, 1}, 0);
+  t1.ws.insert(1);
+  h.record_txn(t1, true, 10);
+  h.record_install(install(1, t1.id, 1, 10));
+  auto t2 = txn({0, 2}, 12);
+  t2.ws.insert(2);
+  h.record_txn(t2, true, 20);
+  h.record_install(install(2, t2.id, 1, 20));
+
+  // Query reads new x (t1) but initial y (before t2): rw edge to t2, wr
+  // edge from t1 — no cycle among updates.
+  auto q = txn({1, 1}, 25);
+  add_read(q, 1, t1.id);
+  add_read(q, 2, TxnId{});
+  h.record_txn(q, true, 30);
+
+  EXPECT_TRUE(h.check_update_serializable().ok);
+}
+
+TEST(Checker, CriterionDispatch) {
+  History h;
+  EXPECT_TRUE(h.check_criterion("RC").ok);
+  EXPECT_TRUE(h.check_criterion("SER").ok);
+  EXPECT_TRUE(h.check_criterion("US").ok);
+  EXPECT_TRUE(h.check_criterion("SI").ok);
+  EXPECT_TRUE(h.check_criterion("PSI").ok);
+  EXPECT_TRUE(h.check_criterion("NMSI").ok);
+  EXPECT_FALSE(h.check_criterion("BOGUS").ok);
+}
+
+}  // namespace
+}  // namespace gdur::checker

@@ -1,0 +1,301 @@
+// Tests for the group-communication primitives: the ordering contracts that
+// the termination protocol builds on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "comm/atomic_broadcast.h"
+#include "comm/reliable_multicast.h"
+#include "comm/skeen_multicast.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "net/transport.h"
+
+namespace gdur::comm {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int sites)
+      : net(sim, net::Topology::geo(sites, milliseconds(10), milliseconds(20),
+                                    5)) {}
+
+  McastMsg msg(std::uint64_t id, SiteId origin, std::vector<SiteId> dests,
+               std::uint64_t bytes = 100) {
+    return McastMsg{.id = id,
+                    .origin = origin,
+                    .dests = std::move(dests),
+                    .bytes = bytes,
+                    .payload = nullptr};
+  }
+
+  sim::Simulator sim;
+  net::Transport net;
+  std::map<SiteId, std::vector<std::uint64_t>> delivered;
+};
+
+TEST(ReliableMulticast, DeliversToAllDestinations) {
+  Fixture f(4);
+  ReliableMulticast rm(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { rm.multicast(f.msg(1, 0, {1, 2, 3})); });
+  f.sim.run();
+  for (SiteId s : {1u, 2u, 3u}) {
+    ASSERT_EQ(f.delivered[s].size(), 1u) << "site " << s;
+    EXPECT_EQ(f.delivered[s][0], 1u);
+  }
+  EXPECT_TRUE(f.delivered[0].empty());
+}
+
+TEST(ReliableMulticast, SelfDeliveryWorks) {
+  Fixture f(2);
+  ReliableMulticast rm(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { rm.multicast(f.msg(7, 0, {0, 1})); });
+  f.sim.run();
+  EXPECT_EQ(f.delivered[0].size(), 1u);
+  EXPECT_EQ(f.delivered[1].size(), 1u);
+}
+
+TEST(AtomicBroadcast, EverySiteDeliversEverythingInTheSameOrder) {
+  Fixture f(5);
+  AtomicBroadcast ab(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  // Several sites broadcast concurrently.
+  Rng rng(17);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const auto origin = static_cast<SiteId>(rng.next_below(5));
+    f.sim.at(static_cast<SimTime>(rng.next_below(30)) * milliseconds(1),
+             [&f, &ab, i, origin] { ab.broadcast(f.msg(i, origin, {})); });
+  }
+  f.sim.run();
+  ASSERT_EQ(f.delivered[0].size(), 40u);
+  for (SiteId s = 1; s < 5; ++s) {
+    EXPECT_EQ(f.delivered[s], f.delivered[0]) << "site " << s;
+  }
+}
+
+TEST(AtomicBroadcast, ThreeMessageDelayLatency) {
+  Fixture f(4);
+  SimTime delivered_at = 0;
+  AtomicBroadcast ab(f.net, [&](SiteId at, const McastMsg&) {
+    if (at == 3) delivered_at = f.sim.now();
+  });
+  f.sim.at(0, [&] { ab.broadcast(f.msg(1, 1, {})); });
+  f.sim.run();
+  // origin->sequencer, sequencer->all, ack round: >= 2 one-way delays and
+  // well under 5 (with 10-20ms links).
+  EXPECT_GE(delivered_at, milliseconds(20));
+  EXPECT_LE(delivered_at, milliseconds(80));
+}
+
+TEST(SkeenMulticast, TotalOrderPerDestinationGroup) {
+  Fixture f(4);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  Rng rng(23);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto origin = static_cast<SiteId>(rng.next_below(4));
+    f.sim.at(static_cast<SimTime>(rng.next_below(40)) * milliseconds(1),
+             [&f, &sk, i, origin] { sk.multicast(f.msg(i, origin, {1, 2})); });
+  }
+  f.sim.run();
+  ASSERT_EQ(f.delivered[1].size(), 50u);
+  EXPECT_EQ(f.delivered[1], f.delivered[2]);
+}
+
+TEST(SkeenMulticast, PairwiseOrderOnOverlappingGroups) {
+  // m1 -> {0,1,2}, m2 -> {1,2,3}: sites 1 and 2 must agree on the relative
+  // order of m1 and m2.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Fixture f(4);
+    SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+      f.delivered[at].push_back(m.id);
+    });
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      const bool left = rng.next_bool(0.5);
+      const auto origin = static_cast<SiteId>(rng.next_below(4));
+      std::vector<SiteId> dests =
+          left ? std::vector<SiteId>{0, 1, 2} : std::vector<SiteId>{1, 2, 3};
+      f.sim.at(static_cast<SimTime>(rng.next_below(25)) * milliseconds(1),
+               [&f, &sk, i, origin, dests] {
+                 f.msg(i, origin, dests);
+                 sk.multicast(f.msg(i, origin, dests));
+               });
+    }
+    f.sim.run();
+    // Project each site's order onto the common messages.
+    const auto common = [&](SiteId s) {
+      std::vector<std::uint64_t> out;
+      for (auto id : f.delivered[s])
+        if (std::find(f.delivered[1].begin(), f.delivered[1].end(), id) !=
+                f.delivered[1].end() &&
+            std::find(f.delivered[2].begin(), f.delivered[2].end(), id) !=
+                f.delivered[2].end())
+          out.push_back(id);
+      return out;
+    };
+    EXPECT_EQ(common(1), common(2)) << "seed " << seed;
+  }
+}
+
+TEST(SkeenMulticast, GenuinenessOnlyDestinationsWork) {
+  Fixture f(4);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { sk.multicast(f.msg(1, 0, {1, 2})); });
+  f.sim.run();
+  // Site 3 neither delivers nor does any CPU work.
+  EXPECT_TRUE(f.delivered[3].empty());
+  EXPECT_EQ(f.net.cpu(3).busy_time(), 0);
+}
+
+TEST(SkeenMulticast, SingleDestinationDelivers) {
+  Fixture f(3);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { sk.multicast(f.msg(9, 2, {0})); });
+  f.sim.run();
+  ASSERT_EQ(f.delivered[0].size(), 1u);
+}
+
+TEST(SkeenMulticast, OriginCanBeDestination) {
+  Fixture f(3);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { sk.multicast(f.msg(4, 1, {0, 1})); });
+  f.sim.run();
+  EXPECT_EQ(f.delivered[0].size(), 1u);
+  EXPECT_EQ(f.delivered[1].size(), 1u);
+}
+
+TEST(SkeenMulticast, FaultTolerantModeStillOrdersButCostsMore) {
+  SimTime fast_done = 0, ft_done = 0;
+  {
+    Fixture f(4);
+    SkeenMulticast sk(f.net, [&](SiteId, const McastMsg&) {
+      fast_done = f.sim.now();
+    });
+    f.sim.at(0, [&] { sk.multicast(f.msg(1, 0, {1, 2})); });
+    f.sim.run();
+  }
+  {
+    Fixture f(4);
+    SkeenMulticast sk(
+        f.net, [&](SiteId, const McastMsg&) { ft_done = f.sim.now(); },
+        /*fault_tolerant=*/true);
+    f.sim.at(0, [&] { sk.multicast(f.msg(1, 0, {1, 2})); });
+    f.sim.run();
+  }
+  // FT adds two witness round trips: at least 4 extra one-way delays.
+  EXPECT_GT(ft_done, fast_done + milliseconds(35));
+}
+
+TEST(SkeenMulticast, FaultTolerantTotalOrderHolds) {
+  Fixture f(4);
+  SkeenMulticast sk(
+      f.net,
+      [&](SiteId at, const McastMsg& m) { f.delivered[at].push_back(m.id); },
+      /*fault_tolerant=*/true);
+  Rng rng(31);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const auto origin = static_cast<SiteId>(rng.next_below(4));
+    f.sim.at(static_cast<SimTime>(rng.next_below(20)) * milliseconds(1),
+             [&f, &sk, i, origin] { sk.multicast(f.msg(i, origin, {0, 3})); });
+  }
+  f.sim.run();
+  ASSERT_EQ(f.delivered[0].size(), 30u);
+  EXPECT_EQ(f.delivered[0], f.delivered[3]);
+}
+
+TEST(SkeenMulticast, MessageComplexityIsQuadraticInDests) {
+  Fixture f(8);
+  SkeenMulticast sk(f.net, [](SiteId, const McastMsg&) {});
+  f.sim.at(0, [&] {
+    sk.multicast(f.msg(1, 0, {1, 2, 3, 4}));
+  });
+  f.sim.run();
+  // step1: r, proposals: r*(r-1) cross-site -> total r^2 messages overall.
+  const auto r = 4u;
+  EXPECT_GE(f.net.messages_sent(), r + r * (r - 1));
+  EXPECT_LE(f.net.messages_sent(), r + r * r);
+}
+
+TEST(SkeenMulticast, GroupProposersOrderForAllMembers) {
+  // Two replica groups {0,1} and {2,3}; only the primaries (0 and 2)
+  // propose, yet every member delivers, and members of both groups agree
+  // on the order of common messages.
+  Fixture f(4);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  Rng rng(41);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    auto m = f.msg(i, static_cast<SiteId>(rng.next_below(4)), {0, 1, 2, 3});
+    m.proposers = {0, 2};
+    f.sim.at(static_cast<SimTime>(rng.next_below(25)) * milliseconds(1),
+             [&sk, m] { sk.multicast(m); });
+  }
+  f.sim.run();
+  for (SiteId s = 0; s < 4; ++s)
+    ASSERT_EQ(f.delivered[s].size(), 30u) << "site " << s;
+  for (SiteId s = 1; s < 4; ++s) EXPECT_EQ(f.delivered[s], f.delivered[0]);
+}
+
+TEST(SkeenMulticast, NonProposerFailureDoesNotBlockOrdering) {
+  // Member 1 of group {0,1} is down; since only 0 proposes, the other
+  // destinations still deliver.
+  Fixture f(4);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.net.pause_site(1, seconds(60));
+  auto m = f.msg(1, 3, {0, 1, 2});
+  m.proposers = {0, 2};
+  f.sim.at(0, [&sk, m] { sk.multicast(m); });
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(f.delivered[0].size(), 1u);
+  EXPECT_EQ(f.delivered[2].size(), 1u);
+  EXPECT_TRUE(f.delivered[1].empty());  // down: delivery deferred
+}
+
+TEST(SkeenMulticast, ProposerFailureBlocksUntilRecovery) {
+  // The flip side (the paper's §5.3 perfect-failure-detector caveat): a
+  // failed *proposer* stalls the message until it comes back.
+  Fixture f(4);
+  SkeenMulticast sk(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.net.pause_site(0, milliseconds(500));
+  auto m = f.msg(1, 3, {0, 1, 2});
+  m.proposers = {0, 2};
+  SimTime delivered_at_2 = 0;
+  f.sim.at(0, [&sk, m] { sk.multicast(m); });
+  f.sim.run_until(milliseconds(400));
+  EXPECT_TRUE(f.delivered[2].empty());
+  f.sim.run_until(seconds(2));
+  ASSERT_EQ(f.delivered[2].size(), 1u);
+  (void)delivered_at_2;
+}
+
+TEST(AtomicBroadcast, SequencerOriginWorks) {
+  Fixture f(3);
+  AtomicBroadcast ab(f.net, [&](SiteId at, const McastMsg& m) {
+    f.delivered[at].push_back(m.id);
+  });
+  f.sim.at(0, [&] { ab.broadcast(f.msg(1, 0, {})); });  // origin == sequencer
+  f.sim.run();
+  for (SiteId s = 0; s < 3; ++s) EXPECT_EQ(f.delivered[s].size(), 1u);
+}
+
+}  // namespace
+}  // namespace gdur::comm

@@ -1,0 +1,195 @@
+// Failure-injection tests (§5.3): a site outage in the crash-recovery model.
+//
+// The dependability trade-off the paper quantifies:
+//   * 2PC needs every participant — one failed replica blocks commitment
+//     until it recovers;
+//   * group-communication commitment needs only a voting quorum — with
+//     replication (DT), one failed replica of an object is masked by the
+//     other;
+//   * Paxos Commit needs only a majority of acceptors — a failed
+//     non-participant acceptor is masked.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/cluster.h"
+#include "protocols/protocols.h"
+
+namespace gdur::core {
+namespace {
+
+ClusterConfig config(int sites, int rf) {
+  ClusterConfig cfg;
+  cfg.sites = sites;
+  cfg.replication = rf;
+  cfg.objects_per_site = 100;
+  return cfg;
+}
+
+struct Outcome {
+  bool committed = false;
+  SimTime at = 0;
+};
+
+/// Runs one update transaction writing `key` from `coord` at time `start`.
+std::shared_ptr<std::optional<Outcome>> launch_write(Cluster& cl, SiteId coord,
+                                                     ObjectId key,
+                                                     SimTime start) {
+  auto out = std::make_shared<std::optional<Outcome>>();
+  cl.simulator().at(start, [&cl, coord, key, out] {
+    cl.begin(coord, [&cl, coord, key, out](MutTxnPtr t) {
+      cl.write(coord, t, key, [&cl, coord, t, out] {
+        cl.commit(coord, t, [&cl, out](bool ok) {
+          *out = Outcome{ok, cl.simulator().now()};
+        });
+      });
+    });
+  });
+  return out;
+}
+
+TEST(Failures, TwoPcBlocksUntilParticipantRecovers) {
+  Cluster cl(config(4, 1), protocols::walter());
+  // Object 1 lives at site 1 only; site 1 is down until t = 500ms.
+  cl.transport().pause_site(1, milliseconds(500));
+  const auto out = launch_write(cl, 0, 1, milliseconds(10));
+  cl.simulator().run();
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->committed);
+  EXPECT_GT((*out)->at, milliseconds(500)) << "2PC must block on the outage";
+}
+
+TEST(Failures, GcQuorumMasksOneReplicaFailureUnderDt) {
+  // P-Store, DT: object 1 is replicated at sites 1 and 2. Site 2 is down;
+  // the voting quorum only needs one replica per object, so the
+  // transaction commits long before the outage ends.
+  Cluster cl(config(4, 2), protocols::p_store());
+  cl.transport().pause_site(2, seconds(5));
+  const auto out = launch_write(cl, 0, 1, milliseconds(10));
+  cl.simulator().run_until(seconds(2));
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->committed);
+  EXPECT_LT((*out)->at, milliseconds(500))
+      << "GC commitment must mask a single replica failure";
+}
+
+TEST(Failures, TwoPcDoesNotMaskReplicaFailureEvenUnderDt) {
+  Cluster cl(config(4, 2), protocols::p_store_2pc());
+  cl.transport().pause_site(2, milliseconds(800));
+  const auto out = launch_write(cl, 0, 1, milliseconds(10));
+  cl.simulator().run();
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->committed);
+  EXPECT_GT((*out)->at, milliseconds(800))
+      << "2PC waits for every participant, replicated or not";
+}
+
+TEST(Failures, PaxosCommitMasksMinorityAcceptorFailure) {
+  // Site 3 is neither coordinator nor replica of object 1, but it is one
+  // of the four acceptors. Its failure must not delay commitment.
+  Cluster cl(config(4, 1), protocols::p_store_paxos());
+  cl.transport().pause_site(3, seconds(5));
+  const auto out = launch_write(cl, 0, 1, milliseconds(10));
+  cl.simulator().run_until(seconds(2));
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->committed);
+  EXPECT_LT((*out)->at, milliseconds(500));
+}
+
+TEST(Failures, PausedSiteRecoversAndServesConsistentReads) {
+  Cluster cl(config(4, 2), protocols::walter());
+  cl.transport().pause_site(2, milliseconds(400));
+  // Commit a write to object 1 (replicas 1 and 2) during the outage.
+  const auto w = launch_write(cl, 0, 1, milliseconds(10));
+  // After recovery, a reader served by site 2 must observe the write.
+  auto saw_writer = std::make_shared<std::optional<bool>>();
+  cl.simulator().at(seconds(1), [&cl, saw_writer] {
+    cl.begin(2, [&cl, saw_writer](MutTxnPtr t) {
+      cl.read(2, t, 1, [t, saw_writer](bool ok) {
+        ASSERT_TRUE(ok);
+        *saw_writer = t->reads.at(0).writer.valid();
+      });
+    });
+  });
+  cl.simulator().run();
+  ASSERT_TRUE(w->has_value());
+  EXPECT_TRUE((*w)->committed);
+  ASSERT_TRUE(saw_writer->has_value());
+  EXPECT_TRUE(**saw_writer);
+}
+
+TEST(Failures, NonParticipantOutageIsInvisibleToTwoPc) {
+  Cluster cl(config(4, 1), protocols::jessy2pc());
+  cl.transport().pause_site(3, seconds(5));
+  // Coordinator 0 writes object 1 (site 1): site 3 plays no role.
+  const auto out = launch_write(cl, 0, 1, milliseconds(10));
+  cl.simulator().run_until(seconds(2));
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->committed);
+  EXPECT_LT((*out)->at, milliseconds(200));
+}
+
+class PaxosEngine : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaxosEngine, PaxosCommitBehavesLikeTwoPcWithoutFailures) {
+  // Same decisions, one extra message delay.
+  Cluster paxos(config(4, 1), protocols::p_store_paxos());
+  Cluster tpc(config(4, 1), protocols::p_store_2pc());
+  const auto a = launch_write(paxos, 0, 1, 0);
+  const auto b = launch_write(tpc, 0, 1, 0);
+  paxos.simulator().run();
+  tpc.simulator().run();
+  ASSERT_TRUE(a->has_value());
+  ASSERT_TRUE(b->has_value());
+  EXPECT_TRUE((*a)->committed);
+  EXPECT_TRUE((*b)->committed);
+  EXPECT_GT((*a)->at, (*b)->at);                          // extra delay...
+  EXPECT_LT((*a)->at, (*b)->at + milliseconds(60));       // ...but bounded
+}
+
+INSTANTIATE_TEST_SUITE_P(One, PaxosEngine, ::testing::Values("x"));
+
+TEST(PaxosCommit, ConflictingReadersWritersNeverBothCommit) {
+  // Two read-modify-write transactions crossing each other (T1 reads x
+  // writes y, T2 reads y writes x): under SER at most one may commit.
+  Cluster cl(config(4, 1), protocols::p_store_paxos());
+  int committed = 0;
+  auto launch_rmw = [&cl, &committed](SiteId coord, ObjectId rd, ObjectId wr) {
+    cl.simulator().at(0, [&cl, &committed, coord, rd, wr] {
+      cl.begin(coord, [&cl, &committed, coord, rd, wr](MutTxnPtr t) {
+        cl.read(coord, t, rd, [&cl, &committed, coord, wr, t](bool ok) {
+          ASSERT_TRUE(ok);
+          cl.write(coord, t, wr, [&cl, &committed, coord, t] {
+            cl.commit(coord, t,
+                      [&committed](bool c) { committed += c ? 1 : 0; });
+          });
+        });
+      });
+    });
+  };
+  launch_rmw(0, 1, 2);
+  launch_rmw(3, 2, 1);
+  cl.simulator().run();
+  EXPECT_LE(committed, 1);
+}
+
+TEST(PaxosCommit, ReadWriteTransactionsCommit) {
+  Cluster cl(config(4, 1), protocols::p_store_paxos());
+  auto out = std::make_shared<std::optional<bool>>();
+  cl.simulator().at(0, [&cl, out] {
+    cl.begin(0, [&cl, out](MutTxnPtr t) {
+      cl.read(0, t, 2, [&cl, t, out](bool ok) {
+        ASSERT_TRUE(ok);
+        cl.write(0, t, 3, [&cl, t, out] {
+          cl.commit(0, t, [out](bool c) { *out = c; });
+        });
+      });
+    });
+  });
+  cl.simulator().run();
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE(**out);
+}
+
+}  // namespace
+}  // namespace gdur::core

@@ -1,0 +1,161 @@
+// Unit tests for common/rng: determinism, range correctness, and the
+// statistical properties the workload generator depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gdur {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  const auto first = a.next();
+  a.next();
+  a.reseed(99);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(11);
+  std::array<int, 8> counts{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 8 * 0.9);
+    EXPECT_LT(c, n / 8 * 1.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng r(13);
+  int trues = 0;
+  for (int i = 0; i < 50'000; ++i) trues += r.next_bool(0.3);
+  EXPECT_NEAR(trues / 50'000.0, 0.3, 0.01);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Consecutive inputs should differ in many bits.
+  const auto x = mix64(100) ^ mix64(101);
+  EXPECT_GT(__builtin_popcountll(x), 10);
+}
+
+TEST(Zipfian, SamplesWithinRange) {
+  Rng r(1);
+  ZipfianGenerator z(1000, 0.99);
+  for (int i = 0; i < 10'000; ++i) ASSERT_LT(z.next(r), 1000u);
+}
+
+TEST(Zipfian, HotKeyDominates) {
+  Rng r(2);
+  ZipfianGenerator z(10'000, 0.99);
+  int zero = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) zero += (z.next(r) == 0);
+  // Under theta=0.99, key 0 should receive several percent of the mass.
+  EXPECT_GT(zero, n / 100);
+}
+
+TEST(Zipfian, LowerThetaIsFlatter) {
+  Rng r1(3), r2(3);
+  ZipfianGenerator hot(10'000, 0.99), flat(10'000, 0.5);
+  int hot0 = 0, flat0 = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    hot0 += (hot.next(r1) == 0);
+    flat0 += (flat.next(r2) == 0);
+  }
+  EXPECT_GT(hot0, flat0 * 2);
+}
+
+TEST(Zipfian, ScrambledStaysInRangeAndSpreadsHotKeys) {
+  Rng r(4);
+  ZipfianGenerator z(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = z.next_scrambled(r);
+    ASSERT_LT(k, 1000u);
+    ++counts[k];
+  }
+  // The hottest scrambled key should NOT be key 0 systematically, and the
+  // distribution should still be very skewed.
+  const auto hottest = std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(*hottest, 50'000 / 100);
+}
+
+TEST(Zipfian, SingleKeySpace) {
+  Rng r(5);
+  ZipfianGenerator z(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(r), 0u);
+}
+
+class ZipfianThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianThetaTest, Top10PercentCarriesMajorityOfMass) {
+  Rng r(6);
+  ZipfianGenerator z(1000, GetParam());
+  int top = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) top += (z.next(r) < 100);
+  EXPECT_GT(top, n / 2);  // top decile > 50% of samples for theta >= 0.8
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianThetaTest,
+                         ::testing::Values(0.8, 0.9, 0.99, 1.2));
+
+}  // namespace
+}  // namespace gdur

@@ -1,0 +1,137 @@
+// Unit tests for the multi-version store and the partitioner.
+#include <gtest/gtest.h>
+
+#include "common/obj_set.h"
+#include "store/mv_store.h"
+#include "store/partitioner.h"
+
+namespace gdur::store {
+namespace {
+
+Version v(std::uint64_t seq) {
+  return Version{.writer = TxnId{0, seq}, .pidx = seq, .commit_time = 0,
+                 .stamp = {}};
+}
+
+TEST(ObjectChain, InstallsNewestLast) {
+  ObjectChain c;
+  c.install(v(1));
+  c.install(v(2));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.latest().pidx, 2u);
+  EXPECT_EQ(c.at(0).pidx, 1u);
+}
+
+TEST(ObjectChain, PrunesOldVersions) {
+  ObjectChain c;
+  for (std::uint64_t i = 1; i <= ObjectChain::kMaxDepth + 10; ++i)
+    c.install(v(i));
+  EXPECT_LE(c.size(), ObjectChain::kMaxDepth);
+  EXPECT_EQ(c.latest().pidx, ObjectChain::kMaxDepth + 10);
+  // The oldest retained versions are the most recent kKeepDepth ones.
+  EXPECT_GT(c.at(0).pidx, 1u);
+}
+
+TEST(MVStore, ChainIsNullBeforeFirstInstall) {
+  MVStore db;
+  EXPECT_EQ(db.chain(42), nullptr);
+  db.install(42, v(1));
+  ASSERT_NE(db.chain(42), nullptr);
+  EXPECT_EQ(db.chain(42)->latest().pidx, 1u);
+  EXPECT_EQ(db.populated(), 1u);
+}
+
+TEST(Partitioner, AssignsObjectsRoundRobin) {
+  Partitioner p(4, 1, 1000);
+  EXPECT_EQ(p.partitions(), 4u);
+  EXPECT_EQ(p.partition_of(0), 0u);
+  EXPECT_EQ(p.partition_of(5), 1u);
+  EXPECT_EQ(p.partition_of(7), 3u);
+}
+
+TEST(Partitioner, DisasterProneHasOneReplica) {
+  Partitioner p(4, 1, 1000);
+  for (ObjectId o = 0; o < 16; ++o) {
+    const auto sites = p.replicas_of_object(o);
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_TRUE(p.is_local(sites[0], o));
+  }
+}
+
+TEST(Partitioner, DisasterTolerantHasTwoConsecutiveReplicas) {
+  Partitioner p(4, 2, 1000);
+  const auto sites = p.sites_of(1);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], 1u);
+  EXPECT_EQ(sites[1], 2u);
+  const auto wrap = p.sites_of(3);
+  EXPECT_EQ(wrap[1], 0u);  // wraps around
+}
+
+TEST(Partitioner, ReplicasOfSetUnionsSites) {
+  Partitioner p(4, 1, 1000);
+  ObjSet objs{0, 1, 5};  // partitions 0, 1, 1
+  const auto sites = p.replicas_of(objs);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], 0u);
+  EXPECT_EQ(sites[1], 1u);
+}
+
+TEST(Partitioner, SingleSiteDetection) {
+  Partitioner p(4, 1, 1000);
+  EXPECT_TRUE(p.single_site(ObjSet{0, 4, 8}));   // all partition 0
+  EXPECT_FALSE(p.single_site(ObjSet{0, 1}));     // partitions 0 and 1
+  EXPECT_TRUE(p.single_site(ObjSet{}));          // vacuous
+}
+
+TEST(Partitioner, SingleSiteWithReplicationOverlap) {
+  Partitioner p(4, 2, 1000);
+  // Partition 0 lives at {0,1}, partition 1 at {1,2}: site 1 hosts both.
+  EXPECT_TRUE(p.single_site(ObjSet{0, 1}));
+  // Partitions 0 and 2 share no site.
+  EXPECT_FALSE(p.single_site(ObjSet{0, 2}));
+}
+
+TEST(Partitioner, ObjectInPartitionRoundTrips) {
+  Partitioner p(4, 1, 1000);
+  for (PartitionId q = 0; q < 4; ++q)
+    for (std::uint64_t i = 0; i < 10; ++i)
+      EXPECT_EQ(p.partition_of(p.object_in_partition(q, i)), q);
+}
+
+TEST(ObjSet, InsertContainsAndDedup) {
+  ObjSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 2u);
+  // Iteration is sorted.
+  auto it = s.begin();
+  EXPECT_EQ(*it++, 1u);
+  EXPECT_EQ(*it, 5u);
+}
+
+TEST(ObjSet, DisjointAndIntersects) {
+  ObjSet a{1, 3, 5};
+  ObjSet b{2, 4, 6};
+  ObjSet c{5, 6};
+  EXPECT_TRUE(a.disjoint(b));
+  EXPECT_FALSE(a.disjoint(c));
+  EXPECT_TRUE(b.intersects(c));
+  EXPECT_TRUE(a.disjoint(ObjSet{}));
+}
+
+TEST(ObjSet, Union) {
+  ObjSet a{1, 3};
+  ObjSet b{2, 3};
+  const auto u = a.unioned(b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_TRUE(u.contains(1));
+  EXPECT_TRUE(u.contains(2));
+  EXPECT_TRUE(u.contains(3));
+}
+
+}  // namespace
+}  // namespace gdur::store

@@ -1,0 +1,257 @@
+// Tests for the versioning mechanisms (Θ) of §4.1.
+#include <gtest/gtest.h>
+
+#include "store/mv_store.h"
+#include "store/partitioner.h"
+#include "versioning/oracle.h"
+
+namespace gdur::versioning {
+namespace {
+
+using store::ObjectChain;
+using store::Partitioner;
+using store::Version;
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : part_(4, 1, 1000) {}
+
+  /// Installs a version of some object in partition `p` of site `at`,
+  /// written by a txn coordinated at `coord`, and returns it.
+  Version apply_one(VersionOracle& o, SiteId at, SiteId coord,
+                    std::uint64_t coord_seq, PartitionId p,
+                    const TxnSnapshot& writer_snap = {}) {
+    Stamp stamp = o.submit_stamp(coord, coord_seq, writer_snap);
+    const auto pidx = o.on_apply(at, stamp, {p}, writer_snap);
+    return Version{.writer = TxnId{coord, coord_seq},
+                   .pidx = pidx[0],
+                   .commit_time = 0,
+                   .stamp = stamp};
+  }
+
+  Partitioner part_;
+};
+
+// --- TS ---------------------------------------------------------------------
+
+TEST_F(OracleTest, TsMetadataIsScalarSized) {
+  const auto o = make_oracle(VersioningKind::kTS, part_);
+  EXPECT_LE(o->metadata_bytes(), 16u);
+}
+
+TEST_F(OracleTest, TsSnapshotTakesCurrentCommitCount) {
+  auto o = make_oracle(VersioningKind::kTS, part_);
+  TxnSnapshot s;
+  o->begin_snapshot(0, s);
+  EXPECT_EQ(s.start_seq, 0u);
+  apply_one(*o, 0, 0, 1, 0);
+  o->begin_snapshot(0, s);
+  EXPECT_EQ(s.start_seq, 1u);
+}
+
+TEST_F(OracleTest, TsChooseReadsWithinSnapshot) {
+  auto o = make_oracle(VersioningKind::kTS, part_);
+  ObjectChain chain;
+  chain.install(apply_one(*o, 0, 0, 1, 0));  // seq 1
+  TxnSnapshot mid;
+  o->begin_snapshot(0, mid);  // start_seq = 1
+  chain.install(apply_one(*o, 0, 0, 2, 0));  // seq 2
+  EXPECT_EQ(o->choose(0, &chain, 0, mid), 0);  // sees only seq 1
+  TxnSnapshot late;
+  o->begin_snapshot(0, late);
+  EXPECT_EQ(o->choose(0, &chain, 0, late), 1);  // sees seq 2
+}
+
+TEST_F(OracleTest, TsChooseWaitsForSnapshotCompleteness) {
+  auto o = make_oracle(VersioningKind::kTS, part_);
+  apply_one(*o, 0, 0, 1, 0);  // site 0 at commit count 1
+  TxnSnapshot s;
+  o->begin_snapshot(0, s);  // start_seq = 1
+  // Site 1 has applied nothing yet: it cannot serve this snapshot.
+  EXPECT_EQ(o->choose(1, nullptr, 1, s), kNoCompatibleVersion);
+  // After site 1 observes the commit, the initial version is servable.
+  o->on_commit_observed(1);
+  EXPECT_EQ(o->choose(1, nullptr, 1, s), kInitialVersion);
+}
+
+TEST_F(OracleTest, TsVisibilityMatchesSnapshot) {
+  auto o = make_oracle(VersioningKind::kTS, part_);
+  const auto v = apply_one(*o, 0, 0, 1, 0);
+  TxnSnapshot before;  // start_seq = 0
+  before.start_seq = 0;
+  TxnSnapshot after;
+  o->begin_snapshot(0, after);
+  EXPECT_FALSE(o->visible(v, 0, before));
+  EXPECT_TRUE(o->visible(v, 0, after));
+}
+
+TEST_F(OracleTest, TsObservedCommitsAdvanceTheClockIdentically) {
+  auto o = make_oracle(VersioningKind::kTS, part_);
+  const auto v1 = apply_one(*o, 0, 2, 1, 0);  // site 0 applies
+  const auto seq_at_1 = o->on_commit_observed(1);  // site 1 only observes
+  EXPECT_EQ(v1.stamp.seq, seq_at_1);
+}
+
+// --- VTS --------------------------------------------------------------------
+
+TEST_F(OracleTest, VtsMetadataScalesWithSites) {
+  const auto o = make_oracle(VersioningKind::kVTS, part_);
+  EXPECT_EQ(o->metadata_bytes() % 4, 0u);
+  EXPECT_GT(o->metadata_bytes(), 4u * 8u);
+}
+
+TEST_F(OracleTest, VtsVersionInvisibleUntilPropagated) {
+  auto o = make_oracle(VersioningKind::kVTS, part_);
+  // Site 1 applies a version coordinated by site 1.
+  const auto v = apply_one(*o, 1, 1, 1, 1);
+  // A transaction starting at site 0 has not heard of it.
+  TxnSnapshot s0;
+  o->begin_snapshot(0, s0);
+  EXPECT_FALSE(o->visible(v, 1, s0));
+  // Background propagation reaches site 0.
+  o->on_propagate(0, v.stamp);
+  o->begin_snapshot(0, s0);
+  EXPECT_TRUE(o->visible(v, 1, s0));
+}
+
+TEST_F(OracleTest, VtsChooseSkipsVersionsOutsideSnapshot) {
+  auto o = make_oracle(VersioningKind::kVTS, part_);
+  ObjectChain chain;
+  chain.install(apply_one(*o, 1, 1, 1, 1));
+  o->on_propagate(0, chain.latest().stamp);
+  TxnSnapshot snap;
+  o->begin_snapshot(0, snap);  // includes (1,1)
+  chain.install(apply_one(*o, 1, 1, 2, 1));  // (1,2) after the snapshot
+  // Reading at site 1 with site 0's snapshot: only the first version.
+  EXPECT_EQ(o->choose(1, &chain, 1, snap), 0);
+}
+
+TEST_F(OracleTest, VtsChooseWaitsWhenReplicaLagsBehindSnapshot) {
+  auto o = make_oracle(VersioningKind::kVTS, part_);
+  const auto v = apply_one(*o, 0, 0, 1, 0);  // site 0 knows (0,1)
+  TxnSnapshot snap;
+  o->begin_snapshot(0, snap);
+  // Site 2 has not learned (0,1): serving this snapshot must wait.
+  EXPECT_EQ(o->choose(2, nullptr, 2, snap), kNoCompatibleVersion);
+  o->on_propagate(2, v.stamp);
+  EXPECT_EQ(o->choose(2, nullptr, 2, snap), kInitialVersion);
+}
+
+// --- GMV / PDV --------------------------------------------------------------
+
+TEST_F(OracleTest, PdvMetadataScalesWithPartitions) {
+  const auto o = make_oracle(VersioningKind::kPDV, part_);
+  const auto g = make_oracle(VersioningKind::kGMV, part_);
+  EXPECT_GT(o->metadata_bytes(), 0u);
+  // One partition per site: identical dimensions.
+  EXPECT_EQ(o->metadata_bytes(), g->metadata_bytes());
+}
+
+TEST_F(OracleTest, DepVectorFreshReadTakesLatest) {
+  auto o = make_oracle(VersioningKind::kPDV, part_);
+  ObjectChain chain;
+  chain.install(apply_one(*o, 0, 0, 1, 0));
+  chain.install(apply_one(*o, 0, 0, 2, 0));
+  TxnSnapshot s;
+  o->begin_snapshot(0, s);
+  EXPECT_EQ(o->choose(0, &chain, 0, s), 1);  // freshest version, no floor yet
+}
+
+TEST_F(OracleTest, DepVectorCeilingForcesOlderVersion) {
+  auto o = make_oracle(VersioningKind::kPDV, part_);
+  // Writer W2 read partition 0 at index 2 before writing partition 1, so
+  // its version depends on p0@2.
+  ObjectChain x_chain;  // object in partition 0
+  x_chain.install(apply_one(*o, 0, 0, 1, 0));  // p0@1
+  x_chain.install(apply_one(*o, 0, 0, 2, 0));  // p0@2
+
+  TxnSnapshot w2_snap;
+  o->begin_snapshot(1, w2_snap);
+  o->note_read(&x_chain.latest(), 0, w2_snap);  // W2 read p0@2
+  ObjectChain y_chain;  // object in partition 1
+  y_chain.install(apply_one(*o, 1, 1, 1, 1, w2_snap));  // depends on p0@2
+
+  // Reader T: reads x first at version p0@1 (via an old snapshot), then y.
+  TxnSnapshot t;
+  o->begin_snapshot(2, t);
+  o->note_read(&x_chain.at(0), 0, t);  // ceil[p0] = 1
+  // y's latest depends on p0@2 > ceil -> incompatible; no older version and
+  // the floor allows the initial version.
+  EXPECT_EQ(o->choose(1, &y_chain, 1, t), kInitialVersion);
+}
+
+TEST_F(OracleTest, DepVectorFloorForbidsTooOldVersions) {
+  auto o = make_oracle(VersioningKind::kPDV, part_);
+  ObjectChain x_chain;
+  x_chain.install(apply_one(*o, 0, 0, 1, 0));  // p0@1
+
+  // W2 read x@1 then wrote y: dep(y) includes p0@1.
+  TxnSnapshot w2_snap;
+  o->begin_snapshot(1, w2_snap);
+  o->note_read(&x_chain.latest(), 0, w2_snap);
+  ObjectChain y_chain;
+  y_chain.install(apply_one(*o, 1, 1, 1, 1, w2_snap));
+
+  // T reads y first (floor[p0] = 1), then must NOT read x's initial version.
+  TxnSnapshot t;
+  o->begin_snapshot(2, t);
+  o->note_read(&y_chain.latest(), 1, t);
+  EXPECT_EQ(t.floor[0], 1u);
+  EXPECT_EQ(o->choose(0, &x_chain, 0, t), 0);  // x@1, not the initial one
+  // A replica that has not applied partition 0 up to the floor must wait
+  // rather than serve the (possibly stale) initial version.
+  EXPECT_EQ(o->choose(2, nullptr, 2, t), kInitialVersion);  // untouched part
+  EXPECT_EQ(o->choose(1, nullptr, 0, t), kNoCompatibleVersion);  // lagging
+}
+
+TEST_F(OracleTest, DepVectorSameTxnVersionsAreMutuallyConsistent) {
+  auto o = make_oracle(VersioningKind::kPDV, part_);
+  // One txn writes x (p0, hosted at site 0) and y (p1, hosted at site 1)
+  // atomically; as in the engine, each hosting replica applies it.
+  TxnSnapshot w;
+  o->begin_snapshot(0, w);
+  Stamp stamp = o->submit_stamp(0, 1, w);
+  const auto pidx = o->on_apply(0, stamp, {0, 1}, w);
+  Stamp stamp1 = o->submit_stamp(0, 1, w);
+  const auto pidx1 = o->on_apply(1, stamp1, {0, 1}, w);
+  EXPECT_EQ(pidx, pidx1);  // commit indices are replica-independent
+  ObjectChain xc, yc;
+  xc.install(Version{TxnId{0, 1}, pidx[0], 0, stamp});
+  yc.install(Version{TxnId{0, 1}, pidx[1], 0, stamp1});
+
+  TxnSnapshot t;
+  o->begin_snapshot(1, t);
+  const int ix = o->choose(0, &xc, 0, t);
+  ASSERT_GE(ix, 0);
+  o->note_read(&xc.at(static_cast<std::size_t>(ix)), 0, t);
+  // After reading the txn's x, its y must still be readable.
+  EXPECT_EQ(o->choose(1, &yc, 1, t), 0);
+}
+
+TEST_F(OracleTest, DepVectorVisibilityTracksFloor) {
+  auto o = make_oracle(VersioningKind::kPDV, part_);
+  ObjectChain chain;
+  chain.install(apply_one(*o, 0, 0, 1, 0));
+  TxnSnapshot t;
+  o->begin_snapshot(1, t);
+  EXPECT_FALSE(o->visible(chain.latest(), 0, t));  // nothing read yet
+  o->note_read(&chain.latest(), 0, t);
+  EXPECT_TRUE(o->visible(chain.latest(), 0, t));
+}
+
+TEST_F(OracleTest, VcCarriesLargerMetadataThanVts) {
+  const auto vc = make_oracle(VersioningKind::kVC, part_);
+  const auto vts = make_oracle(VersioningKind::kVTS, part_);
+  EXPECT_GT(vc->metadata_bytes(), vts->metadata_bytes());
+}
+
+TEST_F(OracleTest, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(VersioningKind::kTS), "TS");
+  EXPECT_STREQ(to_string(VersioningKind::kVC), "VC");
+  EXPECT_STREQ(to_string(VersioningKind::kVTS), "VTS");
+  EXPECT_STREQ(to_string(VersioningKind::kGMV), "GMV");
+  EXPECT_STREQ(to_string(VersioningKind::kPDV), "PDV");
+}
+
+}  // namespace
+}  // namespace gdur::versioning

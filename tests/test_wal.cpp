@@ -1,0 +1,142 @@
+// Tests for the write-ahead log (persistence layer) and durable clusters.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/cluster.h"
+#include "protocols/protocols.h"
+#include "store/wal.h"
+
+namespace gdur::store {
+namespace {
+
+TEST(Wal, SingleAppendCompletesAfterSyncLatency) {
+  sim::Simulator sim;
+  WriteAheadLog wal(sim, {.sync_latency = milliseconds(2), .per_byte_ns = 0});
+  SimTime done = 0;
+  sim.at(0, [&] { wal.append(100, [&] { done = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done, milliseconds(2));
+  EXPECT_EQ(wal.appends(), 1u);
+  EXPECT_EQ(wal.syncs(), 1u);
+}
+
+TEST(Wal, GroupCommitBatchesConcurrentAppends) {
+  sim::Simulator sim;
+  WriteAheadLog wal(sim, {.sync_latency = milliseconds(2), .per_byte_ns = 0});
+  int done = 0;
+  sim.at(0, [&] {
+    wal.append(10, [&] { ++done; });
+  });
+  // These arrive while the first sync is in flight: they share the second.
+  sim.at(milliseconds(1), [&] {
+    for (int i = 0; i < 10; ++i) wal.append(10, [&] { ++done; });
+  });
+  sim.run();
+  EXPECT_EQ(done, 11);
+  EXPECT_EQ(wal.syncs(), 2u);  // not 11
+}
+
+TEST(Wal, CompletionOrderMatchesAppendOrder) {
+  sim::Simulator sim;
+  WriteAheadLog wal(sim, {.sync_latency = milliseconds(1), .per_byte_ns = 0});
+  std::vector<int> order;
+  sim.at(0, [&] {
+    for (int i = 0; i < 5; ++i) wal.append(1, [&, i] { order.push_back(i); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Wal, RespectsMaxBatch) {
+  sim::Simulator sim;
+  WriteAheadLog wal(
+      sim, {.sync_latency = milliseconds(1), .per_byte_ns = 0, .max_batch = 4});
+  int done = 0;
+  sim.at(0, [&] {
+    for (int i = 0; i < 10; ++i) wal.append(1, [&] { ++done; });
+  });
+  sim.run();
+  EXPECT_EQ(done, 10);
+  // The first record syncs alone (it does not wait), then 4 + 4 + 1.
+  EXPECT_EQ(wal.syncs(), 4u);
+}
+
+TEST(Wal, BytesAreAccounted) {
+  sim::Simulator sim;
+  WriteAheadLog wal(sim);
+  sim.at(0, [&] {
+    wal.append(100, [] {});
+    wal.append(200, [] {});
+  });
+  sim.run();
+  EXPECT_EQ(wal.bytes_logged(), 300u);
+}
+
+TEST(Wal, LargeRecordsTakeLonger) {
+  sim::Simulator sim;
+  WriteAheadLog wal(sim,
+                    {.sync_latency = milliseconds(1), .per_byte_ns = 1000.0});
+  SimTime small = 0, large = 0;
+  sim.at(0, [&] { wal.append(1000, [&] { small = sim.now(); }); });
+  sim.run();
+  const SimTime base = sim.now();
+  sim.at(base, [&] { wal.append(1'000'000, [&] { large = sim.now() - base; }); });
+  sim.run();
+  EXPECT_GT(large, small);
+}
+
+// --- durable cluster integration -------------------------------------------
+
+std::optional<bool> run_update(core::Cluster& cl, SimTime* done_at = nullptr) {
+  auto out = std::make_shared<std::optional<bool>>();
+  cl.simulator().at(0, [&cl, out] {
+    cl.begin(0, [&cl, out](core::MutTxnPtr t) {
+      cl.write(0, t, 1, [&cl, t, out] {
+        cl.commit(0, t, [out](bool ok) { *out = ok; });
+      });
+    });
+  });
+  cl.simulator().run();
+  if (done_at != nullptr) *done_at = cl.simulator().now();
+  return *out;
+}
+
+TEST(DurableCluster, CommitsAndLogsEveryVote) {
+  core::ClusterConfig cfg;
+  cfg.sites = 4;
+  cfg.objects_per_site = 100;
+  cfg.durable = true;
+  core::Cluster cl(cfg, protocols::walter());
+  EXPECT_EQ(run_update(cl), std::optional<bool>(true));
+  // The participant (site 1 hosts object 1) logged its vote and the apply.
+  ASSERT_NE(cl.wal(1), nullptr);
+  EXPECT_GE(cl.wal(1)->appends(), 2u);
+}
+
+TEST(DurableCluster, DurabilityAddsLatency) {
+  const auto run_with = [](bool durable) {
+    core::ClusterConfig cfg;
+    cfg.sites = 4;
+    cfg.objects_per_site = 100;
+    cfg.durable = durable;
+    cfg.wal.sync_latency = milliseconds(5);
+    core::Cluster cl(cfg, protocols::walter());
+    SimTime done = 0;
+    EXPECT_EQ(run_update(cl, &done), std::optional<bool>(true));
+    return done;
+  };
+  EXPECT_GT(run_with(true), run_with(false) + milliseconds(4));
+}
+
+TEST(DurableCluster, InMemoryModeHasNoWal) {
+  core::ClusterConfig cfg;
+  cfg.sites = 4;
+  cfg.objects_per_site = 100;
+  core::Cluster cl(cfg, protocols::walter());
+  EXPECT_EQ(cl.wal(0), nullptr);
+}
+
+}  // namespace
+}  // namespace gdur::store
