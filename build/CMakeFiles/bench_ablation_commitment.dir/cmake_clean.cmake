@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_commitment.dir/bench/bench_ablation_commitment.cpp.o"
+  "CMakeFiles/bench_ablation_commitment.dir/bench/bench_ablation_commitment.cpp.o.d"
+  "bench/bench_ablation_commitment"
+  "bench/bench_ablation_commitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

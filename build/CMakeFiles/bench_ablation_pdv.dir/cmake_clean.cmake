@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pdv.dir/bench/bench_ablation_pdv.cpp.o"
+  "CMakeFiles/bench_ablation_pdv.dir/bench/bench_ablation_pdv.cpp.o.d"
+  "bench/bench_ablation_pdv"
+  "bench/bench_ablation_pdv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

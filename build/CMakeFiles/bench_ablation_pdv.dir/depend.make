@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_pdv.
+# This may be replaced when dependencies are built.

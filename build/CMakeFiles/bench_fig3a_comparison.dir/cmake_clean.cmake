@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_comparison.dir/bench/bench_fig3a_comparison.cpp.o"
+  "CMakeFiles/bench_fig3a_comparison.dir/bench/bench_fig3a_comparison.cpp.o.d"
+  "bench/bench_fig3a_comparison"
+  "bench/bench_fig3a_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

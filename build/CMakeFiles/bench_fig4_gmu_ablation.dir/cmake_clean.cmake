@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gmu_ablation.dir/bench/bench_fig4_gmu_ablation.cpp.o"
+  "CMakeFiles/bench_fig4_gmu_ablation.dir/bench/bench_fig4_gmu_ablation.cpp.o.d"
+  "bench/bench_fig4_gmu_ablation"
+  "bench/bench_fig4_gmu_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gmu_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

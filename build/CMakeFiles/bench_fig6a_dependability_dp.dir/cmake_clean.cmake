@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_dependability_dp.dir/bench/bench_fig6a_dependability_dp.cpp.o"
+  "CMakeFiles/bench_fig6a_dependability_dp.dir/bench/bench_fig6a_dependability_dp.cpp.o.d"
+  "bench/bench_fig6a_dependability_dp"
+  "bench/bench_fig6a_dependability_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_dependability_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6a_dependability_dp.
+# This may be replaced when dependencies are built.

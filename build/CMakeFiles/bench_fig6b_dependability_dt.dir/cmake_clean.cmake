@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_dependability_dt.dir/bench/bench_fig6b_dependability_dt.cpp.o"
+  "CMakeFiles/bench_fig6b_dependability_dt.dir/bench/bench_fig6b_dependability_dt.cpp.o.d"
+  "bench/bench_fig6b_dependability_dt"
+  "bench/bench_fig6b_dependability_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_dependability_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msg_complexity.dir/bench/bench_msg_complexity.cpp.o"
+  "CMakeFiles/bench_msg_complexity.dir/bench/bench_msg_complexity.cpp.o.d"
+  "bench/bench_msg_complexity"
+  "bench/bench_msg_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msg_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_anomalies.dir/consistency_anomalies.cpp.o"
+  "CMakeFiles/consistency_anomalies.dir/consistency_anomalies.cpp.o.d"
+  "consistency_anomalies"
+  "consistency_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

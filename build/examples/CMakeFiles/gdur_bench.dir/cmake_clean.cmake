@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdur_bench.dir/gdur_bench.cpp.o"
+  "CMakeFiles/gdur_bench.dir/gdur_bench.cpp.o.d"
+  "gdur_bench"
+  "gdur_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdur_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

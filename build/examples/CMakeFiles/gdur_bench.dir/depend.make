@@ -1,0 +1,2 @@
+# Empty dependencies file for gdur_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_designer.dir/protocol_designer.cpp.o"
+  "CMakeFiles/protocol_designer.dir/protocol_designer.cpp.o.d"
+  "protocol_designer"
+  "protocol_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network.dir/social_network.cpp.o"
+  "CMakeFiles/social_network.dir/social_network.cpp.o.d"
+  "social_network"
+  "social_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

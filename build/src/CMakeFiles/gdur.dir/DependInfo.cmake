@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/history.cpp" "src/CMakeFiles/gdur.dir/checker/history.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/checker/history.cpp.o.d"
+  "/root/repo/src/comm/atomic_broadcast.cpp" "src/CMakeFiles/gdur.dir/comm/atomic_broadcast.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/comm/atomic_broadcast.cpp.o.d"
+  "/root/repo/src/comm/reliable_multicast.cpp" "src/CMakeFiles/gdur.dir/comm/reliable_multicast.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/comm/reliable_multicast.cpp.o.d"
+  "/root/repo/src/comm/skeen_multicast.cpp" "src/CMakeFiles/gdur.dir/comm/skeen_multicast.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/comm/skeen_multicast.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/gdur.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gdur.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/certifiers.cpp" "src/CMakeFiles/gdur.dir/core/certifiers.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/core/certifiers.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/gdur.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/protocol_spec.cpp" "src/CMakeFiles/gdur.dir/core/protocol_spec.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/core/protocol_spec.cpp.o.d"
+  "/root/repo/src/core/replica.cpp" "src/CMakeFiles/gdur.dir/core/replica.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/core/replica.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/gdur.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/metrics.cpp" "src/CMakeFiles/gdur.dir/harness/metrics.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/harness/metrics.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/gdur.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/gdur.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/gdur.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/net/transport.cpp.o.d"
+  "/root/repo/src/protocols/common.cpp" "src/CMakeFiles/gdur.dir/protocols/common.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/common.cpp.o.d"
+  "/root/repo/src/protocols/gmu.cpp" "src/CMakeFiles/gdur.dir/protocols/gmu.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/gmu.cpp.o.d"
+  "/root/repo/src/protocols/jessy2pc.cpp" "src/CMakeFiles/gdur.dir/protocols/jessy2pc.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/jessy2pc.cpp.o.d"
+  "/root/repo/src/protocols/p_store.cpp" "src/CMakeFiles/gdur.dir/protocols/p_store.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/p_store.cpp.o.d"
+  "/root/repo/src/protocols/p_store_la.cpp" "src/CMakeFiles/gdur.dir/protocols/p_store_la.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/p_store_la.cpp.o.d"
+  "/root/repo/src/protocols/ramp.cpp" "src/CMakeFiles/gdur.dir/protocols/ramp.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/ramp.cpp.o.d"
+  "/root/repo/src/protocols/rc.cpp" "src/CMakeFiles/gdur.dir/protocols/rc.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/rc.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/CMakeFiles/gdur.dir/protocols/registry.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/registry.cpp.o.d"
+  "/root/repo/src/protocols/s_dur.cpp" "src/CMakeFiles/gdur.dir/protocols/s_dur.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/s_dur.cpp.o.d"
+  "/root/repo/src/protocols/serrano.cpp" "src/CMakeFiles/gdur.dir/protocols/serrano.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/serrano.cpp.o.d"
+  "/root/repo/src/protocols/walter.cpp" "src/CMakeFiles/gdur.dir/protocols/walter.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/protocols/walter.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/gdur.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gdur.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/store/wal.cpp" "src/CMakeFiles/gdur.dir/store/wal.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/store/wal.cpp.o.d"
+  "/root/repo/src/versioning/oracle.cpp" "src/CMakeFiles/gdur.dir/versioning/oracle.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/versioning/oracle.cpp.o.d"
+  "/root/repo/src/workload/client.cpp" "src/CMakeFiles/gdur.dir/workload/client.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/workload/client.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/gdur.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/gdur.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

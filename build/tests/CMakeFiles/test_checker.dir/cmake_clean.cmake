@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker.dir/test_checker.cpp.o"
+  "CMakeFiles/test_checker.dir/test_checker.cpp.o.d"
+  "test_checker"
+  "test_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_ra.dir/test_checker_ra.cpp.o"
+  "CMakeFiles/test_checker_ra.dir/test_checker_ra.cpp.o.d"
+  "test_checker_ra"
+  "test_checker_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec.dir/test_codec.cpp.o"
+  "CMakeFiles/test_codec.dir/test_codec.cpp.o.d"
+  "test_codec"
+  "test_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/test_harness.cpp.o"
+  "CMakeFiles/test_harness.dir/test_harness.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openloop.dir/test_openloop.cpp.o"
+  "CMakeFiles/test_openloop.dir/test_openloop.cpp.o.d"
+  "test_openloop"
+  "test_openloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_spec.dir/test_protocol_spec.cpp.o"
+  "CMakeFiles/test_protocol_spec.dir/test_protocol_spec.cpp.o.d"
+  "test_protocol_spec"
+  "test_protocol_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store.dir/test_store.cpp.o"
+  "CMakeFiles/test_store.dir/test_store.cpp.o.d"
+  "test_store"
+  "test_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

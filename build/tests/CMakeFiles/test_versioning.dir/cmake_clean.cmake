@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_versioning.dir/test_versioning.cpp.o"
+  "CMakeFiles/test_versioning.dir/test_versioning.cpp.o.d"
+  "test_versioning"
+  "test_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

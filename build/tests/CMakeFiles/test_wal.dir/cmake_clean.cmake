@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wal.dir/test_wal.cpp.o"
+  "CMakeFiles/test_wal.dir/test_wal.cpp.o.d"
+  "test_wal"
+  "test_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
