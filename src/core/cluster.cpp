@@ -50,6 +50,25 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
     for (int s = 0; s < cfg.sites; ++s)
       wals_.push_back(std::make_unique<store::WriteAheadLog>(sim_, cfg.wal));
   }
+
+  term_timeout_ = cfg.term_timeout;
+  client_timeout_ = cfg.client_timeout;
+  vote_retry_ = cfg.vote_retry;
+  if (!cfg.faults.empty()) {
+    assert((cfg.faults.crashes.empty() || cfg.durable) &&
+           "crash windows need durable=true: recovery replays the WAL");
+    fault_ = std::make_unique<sim::FaultInjector>(cfg.faults,
+                                                  cfg.seed * 97 + 3);
+    net_->set_fault_injector(fault_.get());
+    for (const auto& c : cfg.faults.crashes) {
+      sim_.at(c.at, [this, c] {
+        net_->cpu(c.site).crash_until(c.recover_at);
+        if (auto* w = wal(c.site)) w->on_crash();
+        replicas_[c.site]->on_crash();
+      });
+      sim_.at(c.recover_at, [this, s = c.site] { replicas_[s]->on_recover(); });
+    }
+  }
 }
 
 std::uint64_t Cluster::meta_bytes() const {

@@ -18,6 +18,7 @@
 #include "core/replica.h"
 #include "core/transaction.h"
 #include "net/transport.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "store/partitioner.h"
 #include "store/wal.h"
@@ -40,6 +41,21 @@ struct ClusterConfig {
   /// effect, as §5.3 requires for 2PC in the crash-recovery model.
   bool durable = false;
   store::WalConfig wal{};
+  /// Declarative fault plan (sim/fault). Empty = fault-free run. Crash
+  /// windows require `durable = true`: recovery replays the WAL.
+  sim::FaultPlan faults{};
+  /// Coordinator-side termination timeout: an in-doubt transaction whose
+  /// outcome is unknown this long after its termination was multicast is
+  /// resolved (2PC/Paxos: presumed abort; GC: vote re-announcement).
+  /// 0 disables; required for liveness whenever `faults` can lose messages.
+  SimDuration term_timeout = 0;
+  /// Client-side commit timeout: a client whose commit reply is lost gives
+  /// up after this long and counts the transaction as timed out
+  /// (conservatively non-committed). 0 disables.
+  SimDuration client_timeout = 0;
+  /// Initial interval for protocol-level vote re-announcement (doubles up
+  /// to 8x while a transaction stays undecided).
+  SimDuration vote_retry = milliseconds(150);
 };
 
 class Cluster {
@@ -73,6 +89,18 @@ class Cluster {
   /// Per-site write-ahead log, or nullptr when running in-memory.
   [[nodiscard]] store::WriteAheadLog* wal(SiteId s) {
     return wals_.empty() ? nullptr : wals_[s].get();
+  }
+
+  /// Fault injector driving this run, or nullptr on fault-free runs.
+  [[nodiscard]] sim::FaultInjector* fault_injector() const {
+    return fault_.get();
+  }
+  [[nodiscard]] SimDuration term_timeout() const { return term_timeout_; }
+  [[nodiscard]] SimDuration client_timeout() const { return client_timeout_; }
+  [[nodiscard]] SimDuration vote_retry() const { return vote_retry_; }
+  /// True when replicas must arm termination timeouts / vote retries.
+  [[nodiscard]] bool fault_tolerance_on() const {
+    return fault_ != nullptr && term_timeout_ > 0;
   }
 
   /// Propagates `t` to replicas(certifying_obj(t)) with the spec's xcast
@@ -131,6 +159,10 @@ class Cluster {
   std::unique_ptr<comm::ReliableMulticast> rm_bg_;
   std::uint64_t mcast_ids_ = 0;
   std::vector<std::unique_ptr<store::WriteAheadLog>> wals_;
+  std::unique_ptr<sim::FaultInjector> fault_;
+  SimDuration term_timeout_ = 0;
+  SimDuration client_timeout_ = 0;
+  SimDuration vote_retry_ = 0;
   std::function<void(const InstallEvent&)> install_observer_;
 };
 

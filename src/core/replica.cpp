@@ -211,6 +211,10 @@ void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
     dests = cl_.partitioner().replicas_of(cs.objs);
   }
   cl_.xcast_term(ct, std::move(dests));
+  // Under faults a termination attempt can stall (lost votes, crashed
+  // participants); the coordinator resolves in-doubt transactions by
+  // timeout instead of blocking forever.
+  if (cl_.fault_tolerance_on()) arm_term_timeout(ct, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,10 +228,22 @@ Replica::TermState& Replica::state_of(const TxnPtr& t) {
 }
 
 void Replica::on_term_delivered(const TxnPtr& t) {
+  if (known_outcome(t->id) != nullptr) return;  // late redelivery
   auto& st = state_of(t);
   if (st.in_q || st.voted || st.decided) return;
   st.in_q = true;
   q_.push_back(t->id);
+
+  // Under fault injection the delivery itself is a recoverable state change
+  // (it rebuilds Q on replay); logged fire-and-forget — the vote is the
+  // record that synchronizes with stable storage.
+  if (cl_.fault_injector() != nullptr) {
+    if (auto* wal = cl_.wal(id_))
+      wal->append(net::wire::control(),
+                  store::WalRecord{store::WalRecord::Kind::kDeliver, t->id,
+                                   false, t},
+                  [] {});
+  }
 
   if (cl_.spec().ac != AcKind::kGroupComm) {
     // Algorithm 4 lines 1-7 (also Paxos Commit): vote immediately; a
@@ -285,7 +301,10 @@ void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
         // the commitment protocol and must reach stable storage before it
         // is announced.
         if (auto* wal = cl_.wal(id_)) {
-          wal->append(net::wire::vote() + 32,
+          std::optional<store::WalRecord> rec;
+          if (cl_.fault_injector() != nullptr)
+            rec = store::WalRecord{store::WalRecord::Kind::kVote, t->id, v, t};
+          wal->append(net::wire::vote() + 32, std::move(rec),
                       [this, t, v] { announce_vote(t, v); });
           return;
         }
@@ -293,7 +312,7 @@ void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
       });
 }
 
-void Replica::announce_vote(const TxnPtr& t, bool v) {
+void Replica::send_vote_msgs(const TxnPtr& t, bool v) {
   const auto& spec = cl_.spec();
   if (spec.ac == AcKind::kTwoPhaseCommit) {
     cl_.send_vote(id_, t->id.coord, t, v);
@@ -306,13 +325,6 @@ void Replica::announce_vote(const TxnPtr& t, bool v) {
       cl_.send_paxos_2a(id_, a, t, id_, v);
     return;
   }
-  if (spec.vote_snd == VoteScope::kLocalObjects) {
-    // Serrano: every replica certifies locally (deterministically, thanks
-    // to total order + the replica-wide version index) and decides without
-    // exchanging votes.
-    decide(t, v);
-    return;
-  }
   // Algorithm 3 lines 5-6: vote to replicas(vote_recv_obj) + coord.
   const auto cs = certifying_objects(spec, *t, cl_.partitioner());
   const ObjSet recv = vote_objects(spec.vote_recv, cs, *t);
@@ -320,43 +332,150 @@ void Replica::announce_vote(const TxnPtr& t, bool v) {
   if (std::find(dests.begin(), dests.end(), t->id.coord) == dests.end())
     dests.push_back(t->id.coord);
   for (SiteId d : dests) cl_.send_vote(id_, d, t, v);
-  // A participant with nothing to apply does not need the outcome:
-  // ordering was enforced before the vote, so it leaves Q now.
-  if (!has_local_writes(*t)) {
+}
+
+void Replica::announce_vote(const TxnPtr& t, bool v) {
+  state_of(t).my_vote = v;
+  const auto& spec = cl_.spec();
+  if (spec.ac == AcKind::kGroupComm &&
+      spec.vote_snd == VoteScope::kLocalObjects) {
+    // Serrano: every replica certifies locally (deterministically, thanks
+    // to total order + the replica-wide version index) and decides without
+    // exchanging votes.
+    decide(t, v);
+    return;
+  }
+  send_vote_msgs(t, v);
+  // A lost vote can leave the transaction in doubt everywhere; keep
+  // re-announcing with backoff until an outcome is known.
+  if (cl_.fault_tolerance_on()) schedule_vote_retry(t, 0);
+  if (spec.ac == AcKind::kGroupComm && !has_local_writes(*t)) {
+    // A participant with nothing to apply does not need the outcome:
+    // ordering was enforced before the vote, so it leaves Q now.
     auto& st2 = state_of(t);
     if (st2.in_q && !st2.decided) remove_from_q(t->id);
   }
 }
 
+void Replica::schedule_vote_retry(const TxnPtr& t, int round) {
+  if (round >= kMaxVoteRetries) return;
+  const auto delay = cl_.vote_retry() *
+                     static_cast<SimDuration>(1 << std::min(round, 3));
+  cl_.simulator().after(delay, [this, t, round] {
+    if (known_outcome(t->id) != nullptr) return;
+    auto it = term_.find(t->id);
+    if (it == term_.end() || it->second.decided || !it->second.voted) return;
+    if (cl_.transport().cpu(id_).down_at(cl_.simulator().now()))
+      return;  // crashed meanwhile: on_recover re-announces and re-arms
+    send_vote_msgs(t, it->second.my_vote);
+    schedule_vote_retry(t, round + 1);
+  });
+}
+
+void Replica::arm_term_timeout(const TxnPtr& t, int round) {
+  cl_.simulator().after(cl_.term_timeout(), [this, t, round] {
+    if (known_outcome(t->id) != nullptr) return;
+    if (cl_.transport().cpu(id_).down_at(cl_.simulator().now()))
+      return;  // crashed: on_recover restarts in-doubt resolution
+    const auto& spec = cl_.spec();
+    if (spec.ac == AcKind::kTwoPhaseCommit ||
+        spec.ac == AcKind::kPaxosCommit) {
+      // Presumed abort: this coordinator is the only site that decides, so
+      // resolving an in-doubt transaction as aborted cannot contradict a
+      // commit decided elsewhere.
+      ++timeout_aborts_;
+      send_2pc_decisions(t, false);
+      decide(t, false);
+      return;
+    }
+    // Group communication decides from vote quorums at every site: a
+    // unilateral abort here could contradict a commit already decided at
+    // another replica. Re-announce our vote — decided sites answer with
+    // the outcome — and keep waiting.
+    auto it = term_.find(t->id);
+    if (it != term_.end() && it->second.voted)
+      send_vote_msgs(t, it->second.my_vote);
+    if (round + 1 < kMaxVoteRetries) arm_term_timeout(t, round + 1);
+  });
+}
+
+void Replica::send_2pc_decisions(const TxnPtr& t, bool commit) {
+  const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
+  std::vector<SiteId> dests;
+  if (cs.all) {
+    for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
+      dests.push_back(s);
+  } else {
+    dests = cl_.partitioner().replicas_of(cs.objs);
+  }
+  for (SiteId d : dests)
+    if (d != id_) cl_.send_decision(id_, d, t, commit);
+}
+
 void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
+  if (const bool* out = known_outcome(t->id)) {
+    // A re-announced vote reached a site that already decided: answer with
+    // the decision so the in-doubt voter can terminate.
+    if (cl_.fault_tolerance_on() && voter != id_)
+      cl_.send_decision(id_, voter, t, *out);
+    return;
+  }
   auto& st = state_of(t);
   if (st.decided) return;
 
   if (cl_.spec().ac == AcKind::kTwoPhaseCommit) {
     // Algorithm 4 lines 8-10 (only the coordinator receives votes).
     assert(id_ == t->id.coord);
+    if (cl_.fault_tolerance_on() && recoveries_ > 0 &&
+        !commit_cbs_.contains(t->id)) {
+      // A vote for a transaction this coordinator has no trace of: the
+      // crash wiped it before it terminated. Classic presumed abort — no
+      // decision on record means abort.
+      ++timeout_aborts_;
+      send_2pc_decisions(t, false);
+      decide(t, false);
+      return;
+    }
     if (st.votes_expected == 0) {
       const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
       st.votes_expected = static_cast<int>(
           cs.all ? static_cast<std::size_t>(cl_.sites())
                  : cl_.partitioner().replicas_of(cs.objs).size());
     }
-    ++st.votes_received;
+    if (std::find(st.voters.begin(), st.voters.end(), voter) !=
+        st.voters.end())
+      return;  // duplicate from a protocol-level retry
+    st.voters.push_back(voter);
     st.all_true = st.all_true && vote;
-    if (st.votes_received < st.votes_expected) return;
+    if (static_cast<int>(st.voters.size()) < st.votes_expected) return;
     const bool commit = st.all_true;
-    const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
-    for (SiteId d : cl_.partitioner().replicas_of(cs.objs))
-      if (d != id_) cl_.send_decision(id_, d, t, commit);
-    decide(t, commit);
+    auto finish = [this, t, commit] {
+      if (known_outcome(t->id) != nullptr) return;  // timeout won the race
+      send_2pc_decisions(t, commit);
+      decide(t, commit);
+    };
+    if (auto* wal = cl_.wal(id_);
+        wal != nullptr && cl_.fault_injector() != nullptr) {
+      // §5.3: the decision is a state change — force it to the log before
+      // announcing it, so a recovering coordinator re-announces rather
+      // than re-deciding (possibly differently).
+      wal->append(net::wire::decision() + 16,
+                  store::WalRecord{store::WalRecord::Kind::kDecision, t->id,
+                                   commit, t},
+                  std::move(finish));
+      return;
+    }
+    finish();
     return;
   }
 
   // Algorithm 3: accumulate votes, evaluate outcome(T).
-  if (!vote)
+  if (!vote) {
     st.any_false = true;
-  else
+  } else if (std::find(st.true_voters.begin(), st.true_voters.end(), voter) ==
+             st.true_voters.end()) {
     st.true_voters.push_back(voter);
+  }
   check_gc_outcome(t);
 }
 
@@ -398,17 +517,40 @@ void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
     }
   }
   auto [slot, first] = it->second.try_emplace(participant, vote);
-  if (!first) return;
-  // Phase 2b: report the acceptance to the coordinator (the learner).
+  (void)first;
+  // Phase 2b: report the acceptance to the coordinator (the learner). A
+  // re-proposed 2a (protocol retry after loss) is re-acked with the value
+  // accepted first — idempotent at the learner, and without it a retried
+  // instance could never close.
   cl_.send_paxos_2b(id_, t->id.coord, t, participant, slot->second, id_);
 }
 
 void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
-                          SiteId /*acceptor*/) {
+                          SiteId acceptor) {
+  if (const bool* out = known_outcome(t->id)) {
+    // A re-acked instance of an already-decided transaction: tell the
+    // still-in-doubt participant the outcome.
+    if (cl_.fault_tolerance_on() && participant != id_)
+      cl_.send_decision(id_, participant, t, *out);
+    return;
+  }
   auto& st = state_of(t);
   if (st.decided || st.paxos_closed.contains(participant)) return;
+  if (cl_.fault_tolerance_on() && recoveries_ > 0 &&
+      !commit_cbs_.contains(t->id)) {
+    // Crash wiped this coordinator's trace of the transaction before it
+    // terminated: presumed abort (see on_vote).
+    ++timeout_aborts_;
+    send_2pc_decisions(t, false);
+    decide(t, false);
+    return;
+  }
+  auto& acks = st.paxos_acks[participant];
+  if (std::find(acks.begin(), acks.end(), acceptor) != acks.end())
+    return;  // duplicate re-ack
+  acks.push_back(acceptor);
   const int majority = cl_.sites() / 2 + 1;
-  if (++st.paxos_acks[participant] < majority) return;
+  if (static_cast<int>(acks.size()) < majority) return;
   // This participant's instance is chosen.
   st.paxos_closed.emplace(participant, vote);
   st.all_true = st.all_true && vote;
@@ -419,18 +561,36 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
                             : cl_.partitioner().replicas_of(cs.objs);
   if (st.paxos_instances_closed < static_cast<int>(dests.size())) return;
   const bool commit = st.all_true;
-  for (SiteId d : dests)
-    if (d != id_) cl_.send_decision(id_, d, t, commit);
-  decide(t, commit);
+  auto finish = [this, t, commit] {
+    if (known_outcome(t->id) != nullptr) return;  // timeout won the race
+    send_2pc_decisions(t, commit);
+    decide(t, commit);
+  };
+  if (auto* wal = cl_.wal(id_);
+      wal != nullptr && cl_.fault_injector() != nullptr) {
+    wal->append(net::wire::decision() + 16,
+                store::WalRecord{store::WalRecord::Kind::kDecision, t->id,
+                                 commit, t},
+                std::move(finish));
+    return;
+  }
+  finish();
 }
 
 void Replica::on_decision(const TxnPtr& t, bool commit) { decide(t, commit); }
 
 void Replica::decide(const TxnPtr& t, bool commit) {
+  if (known_outcome(t->id) != nullptr) return;  // straggler duplicate
   auto& st = state_of(t);
   if (st.decided) return;
   st.decided = true;
   st.committed = commit;
+  decided_cache_.emplace(t->id, commit);
+  decided_fifo_.push_back(t->id);
+  if (decided_fifo_.size() > kDecidedCacheCap) {
+    decided_cache_.erase(decided_fifo_.front());
+    decided_fifo_.pop_front();
+  }
 
   // Garbage-collect the termination state well after any straggler message.
   cl_.simulator().after(seconds(5),
@@ -570,6 +730,104 @@ void Replica::finish_coordinator(const TxnPtr& t, bool commit) {
   auto cb = std::move(it->second);
   commit_cbs_.erase(it);
   cb(commit);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery (sim/fault).
+// ---------------------------------------------------------------------------
+
+void Replica::on_crash() {
+  // Volatile protocol state vanishes with the process.
+  q_.clear();
+  term_.clear();
+  commit_cbs_.clear();
+  paxos_acc_.clear();
+  paxos_acc_fifo_.clear();
+  // The committed store (db_, recent_, latest_seq_, recent_readers_) and the
+  // decided-transaction cache are kept: both are exactly what log replay
+  // rebuilds in a real deployment, and re-deriving identical state here
+  // would only add simulated replay cost (charged in on_recover).
+}
+
+void Replica::on_recover() {
+  ++recoveries_;
+  auto* wal = cl_.wal(id_);
+  if (wal == nullptr) return;
+
+  // Replay the stable log in append (= original delivery) order.
+  std::size_t replayed = 0;
+  for (const auto& r : wal->stable()) {
+    ++replayed;
+    if (r.payload == nullptr) continue;
+    const auto t = std::static_pointer_cast<const TxnRecord>(r.payload);
+    switch (r.kind) {
+      case store::WalRecord::Kind::kDeliver: {
+        if (known_outcome(r.txn) != nullptr) break;
+        auto& st = state_of(t);
+        if (!st.in_q && !st.decided) {
+          st.in_q = true;
+          q_.push_back(r.txn);
+        }
+        break;
+      }
+      case store::WalRecord::Kind::kVote: {
+        if (known_outcome(r.txn) != nullptr) break;
+        auto& st = state_of(t);
+        st.voted = true;
+        st.my_vote = r.flag;
+        break;
+      }
+      case store::WalRecord::Kind::kDecision:
+        // No-op when the decision took effect before the crash (the decided
+        // cache remembers); otherwise the crash hit between fsync and
+        // announcement and the outcome is re-applied here.
+        decide(t, r.flag);
+        break;
+    }
+  }
+
+  // Re-vote for rebuilt queue entries whose vote never reached the log.
+  const auto& spec = cl_.spec();
+  if (spec.ac != AcKind::kGroupComm) {
+    for (const TxnId& id : q_) {
+      auto& st = term_.at(id);
+      if (st.voted || st.decided) continue;
+      bool preempt = false;
+      for (const TxnId& other : q_) {
+        if (other == id) continue;
+        const auto it = term_.find(other);
+        if (it == term_.end() || it->second.decided) continue;
+        if (!spec.commute(*st.txn, *it->second.txn)) {
+          preempt = true;
+          break;
+        }
+      }
+      cast_vote(st.txn, preempt);
+    }
+  } else {
+    gc_try_votes();
+  }
+
+  // Re-announce logged votes whose outcome is unknown, and restart the
+  // coordinator's in-doubt resolution for transactions it owns.
+  if (cl_.fault_tolerance_on()) {
+    for (auto& [id, st] : term_) {
+      if (st.decided) continue;
+      if (st.voted) {
+        send_vote_msgs(st.txn, st.my_vote);
+        schedule_vote_retry(st.txn, 0);
+      }
+      if (id.coord == id_) arm_term_timeout(st.txn, 0);
+    }
+  }
+
+  // Charge the replay work (one queue operation per log record).
+  if (replayed > 0) {
+    const auto replay_cost =
+        cl_.transport().cost().queue_op * static_cast<SimDuration>(replayed);
+    recovery_busy_ += replay_cost;
+    cl_.transport().local_work(id_, replay_cost, [] {});
+  }
 }
 
 }  // namespace gdur::core

@@ -75,6 +75,34 @@ class Replica {
                          std::function<void(bool)> done);
 
   // ------------------------------------------------------------------
+  // Crash-recovery (sim/fault). Cluster invokes these around a crash
+  // window; CpuResource::crash_until and WriteAheadLog::on_crash handle
+  // the job queue and the log.
+  // ------------------------------------------------------------------
+  /// Volatile protocol state is lost: the termination queue Q, per-txn
+  /// vote/ack accumulation, Paxos acceptor state, and the client commit
+  /// callbacks. The committed store and the decided-transaction cache are
+  /// kept: both are rebuilt from the log in a real deployment and replaying
+  /// that here would only re-derive identical state at simulated cost.
+  void on_crash();
+  /// Replays the WAL's stable records (deliveries, votes, decisions) to
+  /// rebuild prepared-transaction state, then re-votes / re-announces so
+  /// in-doubt transactions terminate. Charges replay CPU.
+  void on_recover();
+
+  /// In-doubt transactions currently tracked (hung-txn detection in tests).
+  [[nodiscard]] std::size_t undecided_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, st] : term_)
+      if (!st.decided) ++n;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t timeout_aborts() const { return timeout_aborts_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Total CPU time spent replaying the log after crashes.
+  [[nodiscard]] SimDuration recovery_busy() const { return recovery_busy_; }
+
+  // ------------------------------------------------------------------
   // Accessors for certify() plug-ins and tests.
   // ------------------------------------------------------------------
   [[nodiscard]] SiteId site() const { return id_; }
@@ -107,16 +135,18 @@ class Replica {
     TxnPtr txn;
     bool in_q = false;
     bool voted = false;
+    bool my_vote = false;  // remembered for re-announcement under faults
     bool decided = false;
     bool committed = false;
     bool any_false = false;
-    std::vector<SiteId> true_voters;  // GC vote accumulation
-    int votes_received = 0;           // 2PC coordinator
+    std::vector<SiteId> true_voters;  // GC vote accumulation (deduped)
+    std::vector<SiteId> voters;       // 2PC coordinator (deduped: protocol
+                                      // retries may repeat a vote)
     int votes_expected = 0;
     bool all_true = true;
-    // Paxos Commit coordinator/learner state: per participant, how many
-    // acceptors reported its vote, and whether its instance closed.
-    std::unordered_map<SiteId, int> paxos_acks;
+    // Paxos Commit coordinator/learner state: per participant, the unique
+    // acceptors that reported its vote, and whether its instance closed.
+    std::unordered_map<SiteId, std::vector<SiteId>> paxos_acks;
     std::unordered_map<SiteId, bool> paxos_closed;
     int paxos_instances_closed = 0;
   };
@@ -136,8 +166,23 @@ class Replica {
   void cast_vote(const TxnPtr& t, bool preemptive_abort);
   /// Second half of cast_vote, after the (optional) durable log write.
   void announce_vote(const TxnPtr& t, bool vote);
+  /// Just the vote messages (no decide / queue bookkeeping) — shared by the
+  /// first announcement and fault-driven re-announcements.
+  void send_vote_msgs(const TxnPtr& t, bool vote);
   void check_gc_outcome(const TxnPtr& t);
   void decide(const TxnPtr& t, bool commit);
+  // --- fault-tolerance helpers (active only when the cluster runs with a
+  // fault plan and a termination timeout) ---
+  /// Outcome already known here? (Survives the 5s term-state GC.)
+  [[nodiscard]] const bool* known_outcome(const TxnId& id) const {
+    auto it = decided_cache_.find(id);
+    return it == decided_cache_.end() ? nullptr : &it->second;
+  }
+  /// Re-announces the remembered vote with backoff until decided.
+  void schedule_vote_retry(const TxnPtr& t, int round);
+  /// Coordinator-side termination timeout (§5.3 in-doubt resolution).
+  void arm_term_timeout(const TxnPtr& t, int round);
+  void send_2pc_decisions(const TxnPtr& t, bool commit);
   void process_queue_head();
   void apply_commit(const TxnPtr& t);
   void remove_from_q(const TxnId& id);
@@ -159,6 +204,15 @@ class Replica {
   std::unordered_map<ObjectId, std::uint64_t> latest_seq_;  // Serrano index
   std::deque<CommittedInfo> recent_;
   std::unordered_map<ObjectId, std::vector<ReaderInfo>> recent_readers_;
+  // Decided-transaction outcomes, retained (bounded FIFO) past the term-state
+  // GC so that retried votes and replayed log records are answered with the
+  // decision instead of reopening certification.
+  std::unordered_map<TxnId, bool> decided_cache_;
+  std::deque<TxnId> decided_fifo_;
+  static constexpr std::size_t kDecidedCacheCap = 200'000;
+  std::uint64_t timeout_aborts_ = 0;
+  std::uint64_t recoveries_ = 0;
+  SimDuration recovery_busy_ = 0;
 
   // Coordinator state.
   std::uint64_t txn_counter_ = 0;
@@ -169,6 +223,11 @@ class Replica {
   static constexpr SimDuration kReadRetryDelay = milliseconds(3);
   static constexpr SimDuration kRecentWindow = seconds(3);
   static constexpr std::size_t kMaxTrackedReaders = 16;
+  // Vote re-announcement rounds: backoff doubles up to 8x the base interval,
+  // so 12 rounds outlast the transport's give_up horizon — enough for every
+  // survivable fault window; a txn still in doubt afterwards is hung and
+  // the harness reports it.
+  static constexpr int kMaxVoteRetries = 12;
 };
 
 }  // namespace gdur::core

@@ -56,6 +56,17 @@ RunResult run_experiment(const core::ProtocolSpec& spec,
   r.messages = cluster.transport().messages_sent();
   r.events_per_second =
       static_cast<double>(sim.events_processed() - events_before) / window_s;
+  const auto& fs = cluster.transport().fault_stats();
+  r.msgs_dropped = fs.dropped;
+  r.msgs_retransmitted = fs.retransmissions;
+  r.msgs_duplicated = fs.duplicates;
+  r.msgs_expired = fs.expired;
+  r.txns_timed_out = metrics.txns_timed_out;
+  for (SiteId s = 0; s < static_cast<SiteId>(cluster.sites()); ++s) {
+    r.timeout_aborts += cluster.replica(s).timeout_aborts();
+    r.recoveries += cluster.replica(s).recoveries();
+    r.recovery_ms += to_ms(cluster.replica(s).recovery_busy());
+  }
   return r;
 }
 

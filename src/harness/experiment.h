@@ -37,6 +37,15 @@ struct RunResult {
   double cpu_utilization = 0;       // mean across sites over the window
   std::uint64_t messages = 0;
   double events_per_second = 0;     // simulator events in the window
+  // Dependability counters (nonzero only under fault injection).
+  std::uint64_t msgs_dropped = 0;        // delivery attempts lost/blocked
+  std::uint64_t msgs_retransmitted = 0;  // extra attempts sent
+  std::uint64_t msgs_duplicated = 0;     // duplicate deliveries absorbed
+  std::uint64_t msgs_expired = 0;        // abandoned after give_up
+  std::uint64_t txns_timed_out = 0;      // client gave up waiting
+  std::uint64_t timeout_aborts = 0;      // coordinator presumed-abort
+  std::uint64_t recoveries = 0;          // crash recoveries completed
+  double recovery_ms = 0;                // total log-replay time, all sites
 };
 
 /// Runs one experiment point. Deterministic in (spec, cfg).

@@ -41,6 +41,10 @@ struct Metrics {
   std::uint64_t aborted_ro = 0;
   std::uint64_t aborted_upd = 0;
   std::uint64_t exec_failures = 0;  // aborted during the execution phase
+  // Gave up waiting for a response (fault runs with a client timeout);
+  // outcome unknown, counted as non-committed — conservative for the
+  // checker, which only uses commits affirmatively.
+  std::uint64_t txns_timed_out = 0;
 
   LatencyStat upd_term_latency;  // commit request -> client response, updates
   LatencyStat txn_latency;       // begin request -> final response, committed

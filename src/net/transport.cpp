@@ -29,15 +29,48 @@ SimDuration Transport::link_delay(SiteId src, SiteId dst, std::uint64_t bytes) {
   return jittered + transmission;
 }
 
+SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
+                                    std::uint64_t bytes, SimTime departure) {
+  const auto& rc = fault_->retransmit();
+  SimTime attempt = departure;
+  SimDuration rto = rc.initial_rto;
+  while (true) {
+    const SimTime arrival = attempt + link_delay(src, dst, bytes);
+    if (fault_->attempt(src, dst, attempt, arrival)) {
+      if (fault_->duplicate(src, dst, attempt)) {
+        // The receiver spends a dispatch on the duplicate before its
+        // sequence number discards it; logically it is delivered once.
+        ++fstats_.duplicates;
+        cpu(dst).charge_after(arrival, cost_.msg_recv);
+      }
+      return arrival;
+    }
+    ++fstats_.dropped;
+    // The ack timer fires `rto` after the attempt; retransmit then.
+    attempt += rto;
+    rto = std::min(static_cast<SimDuration>(double(rto) * rc.backoff),
+                   rc.max_rto);
+    if (attempt - departure > rc.give_up) {
+      ++fstats_.expired;
+      return sim::kNever;
+    }
+    ++fstats_.retransmissions;
+    cpu(src).charge_after(attempt, cost_.msg_send);
+  }
+}
+
 void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
                      Handler handler) {
+  if (fault_ != nullptr && cpu(src).down_at(sim_.now())) return;  // dead site
   ++messages_;
   bytes_ += bytes;
   const SimDuration send_cost = cost_.msg_send + cost_.marshal(bytes);
   const SimDuration recv_cost = cost_.msg_recv + cost_.unmarshal(bytes);
   // The departure instant is known synchronously (deterministic CPU model),
   // so link FIFO order is fixed at call time: two sends on one link are
-  // received in the order they were issued, like one TCP connection.
+  // received in the order they were issued, like one TCP connection. Under
+  // fault injection the whole retransmit schedule resolves here too, which
+  // keeps the FIFO horizon exact over lossy links.
   const SimTime departure = cpu(src).charge(send_cost);
   if (src == dst) {
     sim_.at(departure, [this, dst, recv_cost, handler = std::move(handler)]() mutable {
@@ -46,16 +79,38 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
     return;
   }
   const auto idx = src * static_cast<SiteId>(topo_.sites()) + dst;
-  const SimTime arrival =
-      std::max(departure + link_delay(src, dst, bytes), link_clock_[idx]);
+  SimTime reach = departure + link_delay(src, dst, bytes);
+  if (fault_ != nullptr) {
+    reach = resolve_delivery(src, dst, bytes, departure);
+    if (reach == sim::kNever) return;  // connection declared broken
+  }
+  const SimTime arrival = std::max(reach, link_clock_[idx]);
   link_clock_[idx] = arrival;
   sim_.at(arrival, [this, idx, dst, recv_cost,
                     handler = std::move(handler)]() mutable {
     // One connection is drained by one receiver thread: handlers for the
     // same link run in arrival order.
-    const SimTime done = cpu(dst).charge_after(recv_clock_[idx], recv_cost);
+    auto& c = cpu(dst);
+    if (fault_ != nullptr && c.down_at(sim_.now())) {
+      // FIFO serialization pushed the delivery into a crash window: the
+      // receiver acknowledged at the transport level but lost the message
+      // before the application saw it. Protocol retries must recover it.
+      ++fstats_.expired;
+      return;
+    }
+    const SimTime done = c.charge_after(recv_clock_[idx], recv_cost);
     recv_clock_[idx] = done;
-    sim_.at(done, std::move(handler));
+    if (fault_ == nullptr) {
+      sim_.at(done, std::move(handler));
+      return;
+    }
+    sim_.at(done, [this, dst, e = c.epoch(),
+                   handler = std::move(handler)]() mutable {
+      if (cpu(dst).epoch() == e)
+        handler();
+      else
+        ++fstats_.expired;  // crashed while the handler was queued
+    });
   });
 }
 
@@ -82,6 +137,7 @@ void Transport::send_to_client(SiteId src, std::uint64_t bytes,
 void Transport::reset_accounting() {
   messages_ = 0;
   bytes_ = 0;
+  fstats_ = {};
   for (auto& c : cpus_) c->reset_accounting();
 }
 

@@ -10,6 +10,17 @@
 // Channels are FIFO per (src, dst) pair, like TCP connections: a message
 // never overtakes an earlier one on the same link. Several protocols
 // (S-DUR's pairwise ordering, Walter's background propagation) rely on this.
+//
+// Fault injection (sim/fault): when a FaultInjector is installed, every
+// send runs through an ack/retransmit layer. A delivery attempt that is
+// dropped (lossy link), blocked (partition) or addressed to a crashed site
+// is retried after an exponentially backed-off RTO; each retry charges the
+// sender CPU and is counted in FaultStats. The link-clock FIFO horizon is
+// applied to the *final* delivery instant, so the exactly-once FIFO
+// contract survives loss and duplication — exactly what TCP gives the
+// paper's middleware. A message still undelivered after `give_up` is
+// abandoned (broken connection); protocol-level timeouts and retries
+// (core::Replica) take over from there.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +34,18 @@
 #include "net/topology.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace gdur::net {
+
+/// Counters of the fault/retransmit layer (all zero on fault-free runs).
+struct FaultStats {
+  std::uint64_t dropped = 0;         // delivery attempts lost or blocked
+  std::uint64_t retransmissions = 0; // extra attempts sent
+  std::uint64_t duplicates = 0;      // duplicate deliveries absorbed
+  std::uint64_t expired = 0;         // messages abandoned after give_up
+};
 
 class Transport {
  public:
@@ -69,14 +89,28 @@ class Transport {
   /// Jitter amplitude as a fraction of the link latency (default 2%).
   void set_jitter(double fraction) { jitter_ = fraction; }
 
-  /// Fails site `s` until `until` (crash-recovery model, §5.3): the site
-  /// performs no work meanwhile; messages addressed to it are buffered and
-  /// processed after it comes back. Nothing is lost.
+  /// *Pauses* site `s` until `until` — a benign outage (process freeze, VM
+  /// migration), NOT a crash: the site performs no work meanwhile, messages
+  /// addressed to it are buffered and processed after it comes back, and
+  /// nothing is lost. For a crash with state loss use a sim::FaultPlan
+  /// crash window (or CpuResource::crash_until directly).
   void pause_site(SiteId s, SimTime until) { cpu(s).block_until(until); }
+
+  /// Installs a fault injector; `fi` may be nullptr to disable. Not owned.
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
+  [[nodiscard]] sim::FaultInjector* fault_injector() const { return fault_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fstats_; }
 
  private:
   [[nodiscard]] SimDuration link_delay(SiteId src, SiteId dst,
                                        std::uint64_t bytes);
+
+  /// Walks the retransmit schedule under the installed fault injector.
+  /// Returns the instant the message finally reaches `dst` (before FIFO
+  /// serialization), or sim::kNever if the sender gives up.
+  [[nodiscard]] SimTime resolve_delivery(SiteId src, SiteId dst,
+                                         std::uint64_t bytes,
+                                         SimTime departure);
 
   sim::Simulator& sim_;
   Topology topo_;
@@ -88,6 +122,8 @@ class Transport {
   double jitter_ = 0.02;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  sim::FaultInjector* fault_ = nullptr;
+  FaultStats fstats_;
 };
 
 }  // namespace gdur::net

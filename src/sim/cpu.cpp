@@ -16,11 +16,21 @@ SimTime CpuResource::charge_after(SimTime not_before, SimDuration service) {
 }
 
 void CpuResource::submit(SimDuration service, std::function<void()> done) {
-  sim_.at(charge(service), std::move(done));
+  if (down_at(sim_.now())) return;  // a crashed site accepts no work
+  sim_.at(charge(service),
+          [this, e = epoch_, done = std::move(done)]() mutable {
+            if (e == epoch_) done();  // else: lost in a crash
+          });
 }
 
 void CpuResource::block_until(SimTime until) {
   for (auto& f : core_free_) f = std::max(f, until);
+}
+
+void CpuResource::crash_until(SimTime until) {
+  ++epoch_;  // orphan every queued completion
+  down_until_ = std::max(down_until_, until);
+  for (auto& f : core_free_) f = std::max(sim_.now(), until);
 }
 
 double CpuResource::utilization(SimTime from, SimTime to) const {

@@ -41,9 +41,21 @@ class CpuResource {
   /// Utilization in [0,1] over the window [from, to].
   [[nodiscard]] double utilization(SimTime from, SimTime to) const;
 
-  /// Simulates an outage in the crash-recovery model: no job starts before
-  /// `until` (work already queued resumes afterwards; nothing is lost).
+  /// Simulates a *pause* (process freeze, long GC, VM migration): no job
+  /// starts before `until`, but work already queued resumes afterwards and
+  /// nothing is lost. Contrast with crash_until().
   void block_until(SimTime until);
+
+  /// Simulates a *crash with state loss*: every queued job is discarded
+  /// (their completion callbacks never run), jobs submitted while the site
+  /// is down vanish, and the cores sit idle until `until`. Callers model
+  /// the loss of volatile protocol state separately (core::Replica::on_crash).
+  void crash_until(SimTime until);
+
+  /// Bumped by crash_until(); jobs submitted under an older epoch are dead.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Is the resource inside a crash window at `t`?
+  [[nodiscard]] bool down_at(SimTime t) const { return t < down_until_; }
 
   /// Resets the busy-time counter (called at the end of warmup).
   void reset_accounting() { busy_ = 0; }
@@ -52,6 +64,8 @@ class CpuResource {
   Simulator& sim_;
   std::vector<SimTime> core_free_;  // next instant each core is idle
   SimDuration busy_ = 0;
+  std::uint64_t epoch_ = 0;
+  SimTime down_until_ = 0;
 };
 
 }  // namespace gdur::sim

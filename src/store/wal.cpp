@@ -5,10 +5,11 @@
 
 namespace gdur::store {
 
-void WriteAheadLog::append(std::uint64_t bytes, std::function<void()> done) {
+void WriteAheadLog::append(std::uint64_t bytes, std::optional<WalRecord> rec,
+                           std::function<void()> done) {
   ++appends_;
   bytes_ += bytes;
-  pending_.push_back(Record{bytes, std::move(done)});
+  pending_.push_back(Record{bytes, std::move(rec), std::move(done)});
   if (!sync_in_flight_) start_sync();
 }
 
@@ -25,10 +26,12 @@ void WriteAheadLog::start_sync() {
   const auto device_time =
       cfg_.sync_latency +
       static_cast<SimDuration>(cfg_.per_byte_ns * double(batch_bytes));
-  sim_.after(device_time, [this, batch] {
+  sim_.after(device_time, [this, batch, e = epoch_] {
+    if (e != epoch_) return;  // the crash took this sync with it
     std::vector<std::function<void()>> done;
     done.reserve(batch);
     for (std::size_t i = 0; i < batch && !pending_.empty(); ++i) {
+      if (pending_.front().rec) stable_.push_back(*pending_.front().rec);
       done.push_back(std::move(pending_.front().done));
       pending_.pop_front();
     }
@@ -36,6 +39,16 @@ void WriteAheadLog::start_sync() {
     if (!pending_.empty()) start_sync();
     for (auto& cb : done) cb();
   });
+}
+
+void WriteAheadLog::on_crash() {
+  // Records whose fsync had not completed are lost — their state changes
+  // were never made and their completion callbacks never run. That is the
+  // durability contract recovery can rely on: stable() is exactly what a
+  // real log would read back.
+  ++epoch_;
+  pending_.clear();
+  sync_in_flight_ = false;
 }
 
 }  // namespace gdur::store

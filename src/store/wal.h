@@ -10,16 +10,39 @@
 // §5.3's requirement that 2PC logs every state change in the crash-recovery
 // model is wired through core::Replica when ClusterConfig.durable is set;
 // bench_ablation_durability measures the cost.
+// Under fault injection (sim/fault) the WAL is also the recovery substrate:
+// state changes are appended as typed records, a crash discards the records
+// still waiting for their fsync (exactly the durability contract of a real
+// log), and core::Replica::on_recover replays the stable ones to rebuild
+// the prepared-transaction state the crash wiped out.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/sim_time.h"
+#include "common/types.h"
 #include "sim/simulator.h"
 
 namespace gdur::store {
+
+/// One durable state change of the termination protocol (§5.3). `payload`
+/// is the immutable TxnRecord for replay; the log layer does not inspect it.
+struct WalRecord {
+  enum class Kind : std::uint8_t {
+    kDeliver,   // termination message entered the queue Q
+    kVote,      // certification vote cast (flag = the vote)
+    kDecision,  // commitment outcome learned (flag = commit)
+  };
+  Kind kind = Kind::kDeliver;
+  TxnId txn;
+  bool flag = false;
+  std::shared_ptr<const void> payload;
+};
 
 struct WalConfig {
   /// Latency of one stable write (fsync) to the log device.
@@ -37,7 +60,22 @@ class WriteAheadLog {
 
   /// Durably appends a record of `bytes`; `done` runs once the record is on
   /// stable storage. Records become stable in append order.
-  void append(std::uint64_t bytes, std::function<void()> done);
+  void append(std::uint64_t bytes, std::function<void()> done) {
+    append(bytes, std::optional<WalRecord>{}, std::move(done));
+  }
+
+  /// Like append(), but also retains `rec` for crash recovery once it is
+  /// stable (see stable()).
+  void append(std::uint64_t bytes, std::optional<WalRecord> rec,
+              std::function<void()> done);
+
+  /// Typed records that reached stable storage, in log order. This is what
+  /// survives a crash and what recovery replays.
+  [[nodiscard]] const std::vector<WalRecord>& stable() const { return stable_; }
+
+  /// Crash with state loss: records still awaiting their fsync are gone and
+  /// their completion callbacks never run; the in-flight sync is abandoned.
+  void on_crash();
 
   [[nodiscard]] std::uint64_t appends() const { return appends_; }
   [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
@@ -52,10 +90,13 @@ class WriteAheadLog {
   WalConfig cfg_;
   struct Record {
     std::uint64_t bytes;
+    std::optional<WalRecord> rec;
     std::function<void()> done;
   };
   std::deque<Record> pending_;
+  std::vector<WalRecord> stable_;
   bool sync_in_flight_ = false;
+  std::uint64_t epoch_ = 0;  // bumped on crash; orphans the in-flight sync
   std::uint64_t appends_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t bytes_ = 0;

@@ -22,7 +22,17 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
   void begin() {
     begin_req_ = cl_.simulator().now();
     auto self = shared_from_this();
-    cl_.begin(site_, [self](core::MutTxnPtr t) { self->reads(t, 0); });
+    // Under faults a request or its response can be lost for good (crashed
+    // coordinator, broken connection): give up after the cluster's client
+    // timeout instead of hanging the client loop forever.
+    if (cl_.client_timeout() > 0)
+      cl_.simulator().after(cl_.client_timeout(),
+                            [self] { self->timeout(); });
+    cl_.begin(site_, [self](core::MutTxnPtr t) {
+      if (self->finished_) return;
+      self->txn_ = t;
+      self->reads(t, 0);
+    });
   }
 
  private:
@@ -33,6 +43,7 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
     }
     auto self = shared_from_this();
     cl_.read(site_, t, profile_->reads[i], [self, t, i](bool ok) {
+      if (self->finished_) return;
       if (!ok) {
         self->finish(*t, false, /*exec_failure=*/true, self->begin_req_);
         return;
@@ -47,20 +58,36 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       return;
     }
     auto self = shared_from_this();
-    cl_.write(site_, t, profile_->writes[i],
-              [self, t, i] { self->writes(t, i + 1); });
+    cl_.write(site_, t, profile_->writes[i], [self, t, i] {
+      if (self->finished_) return;
+      self->writes(t, i + 1);
+    });
   }
 
   void commit(const core::MutTxnPtr& t) {
     commit_req_ = cl_.simulator().now();
     auto self = shared_from_this();
     cl_.commit(site_, t, [self, t](bool ok) {
+      if (self->finished_) return;
       self->finish(*t, ok, /*exec_failure=*/false, self->commit_req_);
     });
   }
 
+  void timeout() {
+    if (finished_) return;
+    finished_ = true;
+    ++metrics_.txns_timed_out;
+    // Unknown outcome reported as non-committed: the history checker uses
+    // commits affirmatively only, so this is conservative even when the
+    // transaction in fact committed server-side.
+    if (observer_ && txn_) observer_(*txn_, false);
+    if (done_) done_();
+  }
+
   void finish(const core::TxnRecord& t, bool committed, bool exec_failure,
               SimTime term_req) {
+    if (finished_) return;
+    finished_ = true;
     const SimTime now = cl_.simulator().now();
     const bool read_only = profile_->read_only;
     if (exec_failure) {
@@ -83,6 +110,8 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
   harness::Metrics& metrics_;
   TxnObserver observer_;
   std::function<void()> done_;
+  core::MutTxnPtr txn_;     // last known record, for the timeout observer
+  bool finished_ = false;   // terminal response seen or timed out
   SimTime begin_req_ = 0;
   SimTime commit_req_ = 0;
 };

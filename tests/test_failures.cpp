@@ -1,12 +1,16 @@
-// Failure-injection tests (§5.3): a site outage in the crash-recovery model.
+// Availability tests (§5.3): a site *pause* — a benign outage (process
+// freeze, VM migration) during which the site does no work but loses
+// nothing; queued messages are processed when it resumes. Crashes with
+// state loss are a different model — see sim/fault and
+// tests/test_fault_injection.cpp.
 //
 // The dependability trade-off the paper quantifies:
-//   * 2PC needs every participant — one failed replica blocks commitment
-//     until it recovers;
+//   * 2PC needs every participant — one unavailable replica blocks
+//     commitment until it resumes;
 //   * group-communication commitment needs only a voting quorum — with
-//     replication (DT), one failed replica of an object is masked by the
-//     other;
-//   * Paxos Commit needs only a majority of acceptors — a failed
+//     replication (DT), one unavailable replica of an object is masked by
+//     the other;
+//   * Paxos Commit needs only a majority of acceptors — an unavailable
 //     non-participant acceptor is masked.
 #include <gtest/gtest.h>
 
@@ -48,9 +52,9 @@ std::shared_ptr<std::optional<Outcome>> launch_write(Cluster& cl, SiteId coord,
   return out;
 }
 
-TEST(Failures, TwoPcBlocksUntilParticipantRecovers) {
+TEST(Failures, TwoPcBlocksUntilParticipantResumes) {
   Cluster cl(config(4, 1), protocols::walter());
-  // Object 1 lives at site 1 only; site 1 is down until t = 500ms.
+  // Object 1 lives at site 1 only; site 1 is paused until t = 500ms.
   cl.transport().pause_site(1, milliseconds(500));
   const auto out = launch_write(cl, 0, 1, milliseconds(10));
   cl.simulator().run();
@@ -59,10 +63,10 @@ TEST(Failures, TwoPcBlocksUntilParticipantRecovers) {
   EXPECT_GT((*out)->at, milliseconds(500)) << "2PC must block on the outage";
 }
 
-TEST(Failures, GcQuorumMasksOneReplicaFailureUnderDt) {
-  // P-Store, DT: object 1 is replicated at sites 1 and 2. Site 2 is down;
-  // the voting quorum only needs one replica per object, so the
-  // transaction commits long before the outage ends.
+TEST(Failures, GcQuorumMasksOnePausedReplicaUnderDt) {
+  // P-Store, DT: object 1 is replicated at sites 1 and 2. Site 2 is
+  // paused; the voting quorum only needs one replica per object, so the
+  // transaction commits long before the pause ends.
   Cluster cl(config(4, 2), protocols::p_store());
   cl.transport().pause_site(2, seconds(5));
   const auto out = launch_write(cl, 0, 1, milliseconds(10));
@@ -73,7 +77,7 @@ TEST(Failures, GcQuorumMasksOneReplicaFailureUnderDt) {
       << "GC commitment must mask a single replica failure";
 }
 
-TEST(Failures, TwoPcDoesNotMaskReplicaFailureEvenUnderDt) {
+TEST(Failures, TwoPcDoesNotMaskPausedReplicaEvenUnderDt) {
   Cluster cl(config(4, 2), protocols::p_store_2pc());
   cl.transport().pause_site(2, milliseconds(800));
   const auto out = launch_write(cl, 0, 1, milliseconds(10));
@@ -84,9 +88,9 @@ TEST(Failures, TwoPcDoesNotMaskReplicaFailureEvenUnderDt) {
       << "2PC waits for every participant, replicated or not";
 }
 
-TEST(Failures, PaxosCommitMasksMinorityAcceptorFailure) {
+TEST(Failures, PaxosCommitMasksMinorityAcceptorPause) {
   // Site 3 is neither coordinator nor replica of object 1, but it is one
-  // of the four acceptors. Its failure must not delay commitment.
+  // of the four acceptors. Its unavailability must not delay commitment.
   Cluster cl(config(4, 1), protocols::p_store_paxos());
   cl.transport().pause_site(3, seconds(5));
   const auto out = launch_write(cl, 0, 1, milliseconds(10));
@@ -96,12 +100,14 @@ TEST(Failures, PaxosCommitMasksMinorityAcceptorFailure) {
   EXPECT_LT((*out)->at, milliseconds(500));
 }
 
-TEST(Failures, PausedSiteRecoversAndServesConsistentReads) {
+TEST(Failures, PausedSiteResumesAndServesConsistentReads) {
   Cluster cl(config(4, 2), protocols::walter());
   cl.transport().pause_site(2, milliseconds(400));
-  // Commit a write to object 1 (replicas 1 and 2) during the outage.
+  // Commit a write to object 1 (replicas 1 and 2) during the pause: the
+  // messages buffer and are processed when the site resumes — nothing is
+  // lost (contrast with the crash tests in test_fault_injection.cpp).
   const auto w = launch_write(cl, 0, 1, milliseconds(10));
-  // After recovery, a reader served by site 2 must observe the write.
+  // After the pause, a reader served by site 2 must observe the write.
   auto saw_writer = std::make_shared<std::optional<bool>>();
   cl.simulator().at(seconds(1), [&cl, saw_writer] {
     cl.begin(2, [&cl, saw_writer](MutTxnPtr t) {
@@ -118,7 +124,7 @@ TEST(Failures, PausedSiteRecoversAndServesConsistentReads) {
   EXPECT_TRUE(**saw_writer);
 }
 
-TEST(Failures, NonParticipantOutageIsInvisibleToTwoPc) {
+TEST(Failures, NonParticipantPauseIsInvisibleToTwoPc) {
   Cluster cl(config(4, 1), protocols::jessy2pc());
   cl.transport().pause_site(3, seconds(5));
   // Coordinator 0 writes object 1 (site 1): site 3 plays no role.
