@@ -12,14 +12,19 @@ AtomicBroadcast::AtomicBroadcast(net::Transport& transport, DeliverFn deliver,
 
 void AtomicBroadcast::broadcast(McastMsg msg) {
   // Step 1: ship the message to the sequencer.
-  net_.send(msg.origin, sequencer_, msg.bytes, [this, msg = std::move(msg)] {
-    const std::uint64_t seq = next_seq_++;
-    // Step 2: the sequencer assigns the order and forwards to everyone.
-    for (SiteId d = 0; d < static_cast<SiteId>(net_.sites()); ++d) {
-      net_.send(sequencer_, d, msg.bytes + net::wire::control(),
-                [this, d, seq, msg] { on_sequenced(d, seq, msg); });
-    }
-  });
+  const obs::MsgClass cls = msg.cls;
+  net_.send(
+      msg.origin, sequencer_, msg.bytes,
+      [this, msg = std::move(msg)] {
+        const std::uint64_t seq = next_seq_++;
+        // Step 2: the sequencer assigns the order and forwards to everyone.
+        for (SiteId d = 0; d < static_cast<SiteId>(net_.sites()); ++d) {
+          net_.send(sequencer_, d, msg.bytes + net::wire::control(),
+                    [this, d, seq, msg] { on_sequenced(d, seq, msg); },
+                    msg.cls);
+        }
+      },
+      cls);
 }
 
 void AtomicBroadcast::on_sequenced(SiteId at, std::uint64_t seq,
@@ -30,7 +35,7 @@ void AtomicBroadcast::on_sequenced(SiteId at, std::uint64_t seq,
   // Step 3: acknowledge to everyone (uniformity).
   for (SiteId d = 0; d < static_cast<SiteId>(net_.sites()); ++d) {
     net_.send(at, d, net::wire::control(),
-              [this, d, seq] { on_ack(d, seq); });
+              [this, d, seq] { on_ack(d, seq); }, obs::MsgClass::kOrdering);
   }
   try_deliver(at);
 }

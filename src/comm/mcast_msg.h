@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/events.h"
 
 namespace gdur::comm {
 
@@ -22,6 +23,9 @@ struct McastMsg {
   /// does not block ordering. Empty means every destination proposes.
   std::vector<SiteId> proposers;
   std::uint64_t bytes = 0;          // payload wire size
+  /// Observability tag for the payload-carrying sends (ordering rounds the
+  /// primitive adds on top are tagged kOrdering by the primitive itself).
+  obs::MsgClass cls = obs::MsgClass::kTermination;
   std::shared_ptr<const void> payload;
 
   template <typename T>

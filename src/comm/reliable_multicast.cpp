@@ -5,7 +5,7 @@ namespace gdur::comm {
 void ReliableMulticast::multicast(const McastMsg& msg) {
   for (SiteId d : msg.dests) {
     net_.send(msg.origin, d, msg.bytes,
-              [this, d, msg] { deliver_(d, msg); });
+              [this, d, msg] { deliver_(d, msg); }, msg.cls);
   }
 }
 

@@ -16,7 +16,8 @@ void SkeenMulticast::multicast(const McastMsg& msg) {
   assert(!msg.dests.empty());
   assert(std::is_sorted(msg.dests.begin(), msg.dests.end()));
   for (SiteId d : msg.dests) {
-    net_.send(msg.origin, d, msg.bytes, [this, d, msg] { on_step1(d, msg); });
+    net_.send(msg.origin, d, msg.bytes, [this, d, msg] { on_step1(d, msg); },
+              msg.cls);
   }
 }
 
@@ -50,10 +51,15 @@ void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
   if (ft_) {
     // Log the proposal at a witness before announcing it (2 extra delays).
     const SiteId w = witness(at);
-    net_.send(at, w, net::wire::control(), [this, at, w, id, prop, dests] {
-      net_.send(w, at, net::wire::control(),
-                [this, at, id, prop, dests] { send_proposal(at, id, prop, dests); });
-    });
+    net_.send(at, w, net::wire::control(),
+              [this, at, w, id, prop, dests] {
+                net_.send(w, at, net::wire::control(),
+                          [this, at, id, prop, dests] {
+                            send_proposal(at, id, prop, dests);
+                          },
+                          obs::MsgClass::kOrdering);
+              },
+              obs::MsgClass::kOrdering);
   } else {
     send_proposal(at, id, prop, dests);
   }
@@ -66,7 +72,8 @@ void SkeenMulticast::send_proposal(SiteId at, std::uint64_t id, TsKey prop,
       on_proposal(at, id, prop);
     } else {
       net_.send(at, d, net::wire::control() + 16,
-                [this, d, id, prop] { on_proposal(d, id, prop); });
+                [this, d, id, prop] { on_proposal(d, id, prop); },
+                obs::MsgClass::kOrdering);
     }
   }
 }
@@ -93,15 +100,19 @@ void SkeenMulticast::finalize(SiteId at, Pending& p) {
     p.delivered_blocked = true;
     const SiteId w = witness(at);
     const std::uint64_t id = p.msg.id;
-    net_.send(at, w, net::wire::control(), [this, at, w, id] {
-      net_.send(w, at, net::wire::control(), [this, at, id] {
-        auto it = states_[at].pending.find(id);
-        if (it == states_[at].pending.end()) return;
-        it->second.finalized = true;
-        it->second.delivered_blocked = false;
-        try_deliver(at);
-      });
-    });
+    net_.send(at, w, net::wire::control(),
+              [this, at, w, id] {
+                net_.send(w, at, net::wire::control(),
+                          [this, at, id] {
+                            auto it = states_[at].pending.find(id);
+                            if (it == states_[at].pending.end()) return;
+                            it->second.finalized = true;
+                            it->second.delivered_blocked = false;
+                            try_deliver(at);
+                          },
+                          obs::MsgClass::kOrdering);
+              },
+              obs::MsgClass::kOrdering);
   } else {
     p.finalized = true;
     try_deliver(at);

@@ -4,6 +4,7 @@ namespace gdur {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+const LogClock* g_clock = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,8 +28,18 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+void set_log_clock(const LogClock* clock) { g_clock = clock; }
+const LogClock* log_clock() { return g_clock; }
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  if (g_clock != nullptr) {
+    const SimTime t = g_clock->log_now();
+    std::fprintf(stderr, "[%s %lld.%06llds] %s\n", level_name(level),
+                 static_cast<long long>(t / 1'000'000'000),
+                 static_cast<long long>((t / 1'000) % 1'000'000), msg.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

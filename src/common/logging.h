@@ -3,11 +3,19 @@
 // The simulator is single-threaded, so no synchronization is needed. Logging
 // defaults to Warn so benchmarks stay quiet; tests can raise verbosity to
 // trace protocol decisions.
+//
+// Timestamps: log lines carry no wall-clock time (meaningless in a
+// simulation). Instead a clock source can be installed — sim::Simulator
+// registers itself on construction — and every line is then prefixed with
+// the current *simulated* time, so GDUR_TRACE output lines up with the
+// TraceRecorder's spans.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <utility>
+
+#include "common/sim_time.h"
 
 namespace gdur {
 
@@ -15,6 +23,18 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// A source of simulated timestamps for log lines.
+class LogClock {
+ public:
+  virtual ~LogClock() = default;
+  [[nodiscard]] virtual SimTime log_now() const = 0;
+};
+
+/// Installs `clock` as the log timestamp source (nullptr = no timestamps).
+/// Not owned; the installer must outlive its installation or clear it.
+void set_log_clock(const LogClock* clock);
+[[nodiscard]] const LogClock* log_clock();
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

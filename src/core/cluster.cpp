@@ -54,6 +54,8 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
   term_timeout_ = cfg.term_timeout;
   client_timeout_ = cfg.client_timeout;
   vote_retry_ = cfg.vote_retry;
+  trace_ = cfg.trace;
+  net_->set_trace(trace_);
   if (!cfg.faults.empty()) {
     assert((cfg.faults.crashes.empty() || cfg.durable) &&
            "crash windows need durable=true: recovery replays the WAL");
@@ -65,8 +67,14 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
         net_->cpu(c.site).crash_until(c.recover_at);
         if (auto* w = wal(c.site)) w->on_crash();
         replicas_[c.site]->on_crash();
+        if (trace_ != nullptr)
+          trace_->fault(obs::FaultKind::kCrash, c.site, kNoSite, sim_.now());
       });
-      sim_.at(c.recover_at, [this, s = c.site] { replicas_[s]->on_recover(); });
+      sim_.at(c.recover_at, [this, s = c.site] {
+        replicas_[s]->on_recover();
+        if (trace_ != nullptr)
+          trace_->fault(obs::FaultKind::kRecovery, s, kNoSite, sim_.now());
+      });
     }
   }
 }
@@ -176,13 +184,15 @@ void Cluster::xcast_term(const TxnPtr& t, std::vector<SiteId> dests) {
 
 void Cluster::send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote) {
   net_->send(from, to, net::wire::vote(),
-             [this, to, t, vote, from] { replicas_[to]->on_vote(t, from, vote); });
+             [this, to, t, vote, from] { replicas_[to]->on_vote(t, from, vote); },
+             obs::MsgClass::kVote);
 }
 
 void Cluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
                             bool commit) {
   net_->send(from, to, net::wire::decision(),
-             [this, to, t, commit] { replicas_[to]->on_decision(t, commit); });
+             [this, to, t, commit] { replicas_[to]->on_decision(t, commit); },
+             obs::MsgClass::kDecision);
 }
 
 void Cluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
@@ -190,7 +200,8 @@ void Cluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
   net_->send(from, acceptor, net::wire::vote(),
              [this, acceptor, t, participant, vote] {
                replicas_[acceptor]->on_paxos_2a(t, participant, vote);
-             });
+             },
+             obs::MsgClass::kPaxos2a);
 }
 
 void Cluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
@@ -198,7 +209,8 @@ void Cluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
   net_->send(from, to, net::wire::vote(),
              [this, to, t, participant, vote, acceptor] {
                replicas_[to]->on_paxos_2b(t, participant, vote, acceptor);
-             });
+             },
+             obs::MsgClass::kPaxos2b);
 }
 
 void Cluster::propagate_stamp(SiteId from, const TxnRecord& t,
@@ -209,6 +221,7 @@ void Cluster::propagate_stamp(SiteId from, const TxnRecord& t,
   msg.origin = from;
   msg.dests = dests;
   msg.bytes = net::wire::control() + 16;
+  msg.cls = obs::MsgClass::kPropagation;
   msg.payload = std::make_shared<versioning::Stamp>(t.stamp);
   rm_bg_->multicast(msg);
 }

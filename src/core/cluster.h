@@ -18,6 +18,7 @@
 #include "core/replica.h"
 #include "core/transaction.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
 #include "store/partitioner.h"
@@ -56,6 +57,11 @@ struct ClusterConfig {
   /// Initial interval for protocol-level vote re-announcement (doubles up
   /// to 8x while a transaction stays undecided).
   SimDuration vote_retry = milliseconds(150);
+  /// Trace recorder to attach (obs), or nullptr for a trace-free run. Not
+  /// owned; must outlive the cluster. Every hook in the engine is a null
+  /// check on this pointer, so a trace-free run is byte-identical to one
+  /// built before the observability layer existed.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Cluster {
@@ -95,6 +101,9 @@ class Cluster {
   [[nodiscard]] sim::FaultInjector* fault_injector() const {
     return fault_.get();
   }
+
+  /// Attached trace recorder, or nullptr. Hooks must guard on this.
+  [[nodiscard]] obs::TraceRecorder* trace() const { return trace_; }
   [[nodiscard]] SimDuration term_timeout() const { return term_timeout_; }
   [[nodiscard]] SimDuration client_timeout() const { return client_timeout_; }
   [[nodiscard]] SimDuration vote_retry() const { return vote_retry_; }
@@ -160,6 +169,7 @@ class Cluster {
   std::uint64_t mcast_ids_ = 0;
   std::vector<std::unique_ptr<store::WriteAheadLog>> wals_;
   std::unique_ptr<sim::FaultInjector> fault_;
+  obs::TraceRecorder* trace_ = nullptr;
   SimDuration term_timeout_ = 0;
   SimDuration client_timeout_ = 0;
   SimDuration vote_retry_ = 0;

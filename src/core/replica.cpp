@@ -71,7 +71,8 @@ void Replica::exec_read(const MutTxnPtr& t, ObjectId x,
   cl_.transport().send(id_, target, req,
                        [this, target, t, x, cb = std::move(cb)] {
                          cl_.replica(target).serve_remote_read(id_, t, x, cb);
-                       });
+                       },
+                       obs::MsgClass::kRemoteRead);
 }
 
 void Replica::local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
@@ -173,7 +174,8 @@ void Replica::remote_read_attempt(SiteId requester, const MutTxnPtr& t,
                          cl_.replica(requester).record_read(
                              t, x, v.has_value() ? &*v : nullptr);
                          done(true);
-                       });
+                       },
+                       obs::MsgClass::kReadReply);
 }
 
 void Replica::exec_write(const MutTxnPtr& t, ObjectId x,
@@ -202,6 +204,12 @@ void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
   commit_cbs_[t->id] = std::move(cb);
   auto& st = state_of(ct);
   (void)st;
+  GDUR_TRACE("site %d submit txn %d.%llu rs=%zu ws=%zu", static_cast<int>(id_),
+             static_cast<int>(t->id.coord),
+             static_cast<unsigned long long>(t->id.seq), t->rs.size(),
+             t->ws.size());
+  if (auto* tr = cl_.trace())
+    tr->txn_submitted(t->id, id_, t->submit_time, t->read_only());
 
   std::vector<SiteId> dests;
   if (cs.all) {
@@ -233,6 +241,11 @@ void Replica::on_term_delivered(const TxnPtr& t) {
   if (st.in_q || st.voted || st.decided) return;
   st.in_q = true;
   q_.push_back(t->id);
+  GDUR_TRACE("site %d xdeliver txn %d.%llu |Q|=%zu", static_cast<int>(id_),
+             static_cast<int>(t->id.coord),
+             static_cast<unsigned long long>(t->id.seq), q_.size());
+  if (auto* tr = cl_.trace())
+    tr->term_delivered(t->id, id_, cl_.simulator().now());
 
   // Under fault injection the delivery itself is a recoverable state change
   // (it rebuilds Q on replay); logged fire-and-forget — the vote is the
@@ -290,13 +303,20 @@ void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
   auto& st = state_of(t);
   st.voted = true;
   const bool cheap = preemptive_abort || cl_.spec().trivial_certify;
+  const SimDuration service =
+      cheap ? cl_.transport().cost().queue_op : certify_cost(*t);
   cl_.transport().local_work(
-      id_, cheap ? cl_.transport().cost().queue_op : certify_cost(*t),
-      [this, t, preemptive_abort] {
+      id_, service, [this, t, preemptive_abort, service] {
         const bool v =
             !preemptive_abort &&
             cl_.spec().certify(
                 CertContext{*this, *t, cl_.simulator().now()});
+        GDUR_TRACE("site %d certify txn %d.%llu vote=%d",
+                   static_cast<int>(id_), static_cast<int>(t->id.coord),
+                   static_cast<unsigned long long>(t->id.seq),
+                   static_cast<int>(v));
+        if (auto* tr = cl_.trace())
+          tr->certified(t->id, id_, cl_.simulator().now(), service, v);
         // Crash-recovery durability (§5.3): the vote is a state change of
         // the commitment protocol and must reach stable storage before it
         // is announced.
@@ -384,8 +404,11 @@ void Replica::arm_term_timeout(const TxnPtr& t, int round) {
       // resolving an in-doubt transaction as aborted cannot contradict a
       // commit decided elsewhere.
       ++timeout_aborts_;
+      GDUR_DEBUG("site %d term timeout: presumed abort txn %d.%llu",
+                 static_cast<int>(id_), static_cast<int>(t->id.coord),
+                 static_cast<unsigned long long>(t->id.seq));
       send_2pc_decisions(t, false);
-      decide(t, false);
+      decide(t, false, obs::AbortReason::kPresumedAbort);
       return;
     }
     // Group communication decides from vote quorums at every site: a
@@ -413,11 +436,11 @@ void Replica::send_2pc_decisions(const TxnPtr& t, bool commit) {
 }
 
 void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
-  if (const bool* out = known_outcome(t->id)) {
+  if (const Outcome* out = known_outcome(t->id)) {
     // A re-announced vote reached a site that already decided: answer with
     // the decision so the in-doubt voter can terminate.
     if (cl_.fault_tolerance_on() && voter != id_)
-      cl_.send_decision(id_, voter, t, *out);
+      cl_.send_decision(id_, voter, t, out->committed);
     return;
   }
   auto& st = state_of(t);
@@ -433,7 +456,7 @@ void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
       // decision on record means abort.
       ++timeout_aborts_;
       send_2pc_decisions(t, false);
-      decide(t, false);
+      decide(t, false, obs::AbortReason::kPresumedAbort);
       return;
     }
     if (st.votes_expected == 0) {
@@ -527,11 +550,11 @@ void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
 
 void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
                           SiteId acceptor) {
-  if (const bool* out = known_outcome(t->id)) {
+  if (const Outcome* out = known_outcome(t->id)) {
     // A re-acked instance of an already-decided transaction: tell the
     // still-in-doubt participant the outcome.
     if (cl_.fault_tolerance_on() && participant != id_)
-      cl_.send_decision(id_, participant, t, *out);
+      cl_.send_decision(id_, participant, t, out->committed);
     return;
   }
   auto& st = state_of(t);
@@ -542,7 +565,7 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
     // terminated: presumed abort (see on_vote).
     ++timeout_aborts_;
     send_2pc_decisions(t, false);
-    decide(t, false);
+    decide(t, false, obs::AbortReason::kPresumedAbort);
     return;
   }
   auto& acks = st.paxos_acks[participant];
@@ -579,18 +602,25 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
 
 void Replica::on_decision(const TxnPtr& t, bool commit) { decide(t, commit); }
 
-void Replica::decide(const TxnPtr& t, bool commit) {
+void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
   if (known_outcome(t->id) != nullptr) return;  // straggler duplicate
   auto& st = state_of(t);
   if (st.decided) return;
   st.decided = true;
   st.committed = commit;
-  decided_cache_.emplace(t->id, commit);
+  decided_cache_.emplace(
+      t->id, Outcome{commit, commit ? obs::AbortReason::kNone : reason});
   decided_fifo_.push_back(t->id);
   if (decided_fifo_.size() > kDecidedCacheCap) {
     decided_cache_.erase(decided_fifo_.front());
     decided_fifo_.pop_front();
   }
+  GDUR_DEBUG("site %d decide txn %d.%llu -> %s", static_cast<int>(id_),
+             static_cast<int>(t->id.coord),
+             static_cast<unsigned long long>(t->id.seq),
+             commit ? "commit" : obs::abort_reason_name(reason));
+  if (auto* tr = cl_.trace())
+    tr->decided(t->id, id_, cl_.simulator().now(), commit, reason);
 
   // Garbage-collect the termination state well after any straggler message.
   cl_.simulator().after(seconds(5),
@@ -684,11 +714,11 @@ void Replica::apply_commit(const TxnPtr& t) {
     }
     // The store mutation is synchronous (so successors certify against it);
     // its CPU cost is charged as a fire-and-forget job.
-    cl_.transport().local_work(
-        id_,
+    const SimDuration apply_cost =
         cl_.transport().cost().apply_per_obj *
-            static_cast<SimDuration>(local_ws.size()),
-        [] {});
+        static_cast<SimDuration>(local_ws.size());
+    cl_.transport().local_work(id_, apply_cost, [] {});
+    if (auto* tr = cl_.trace()) tr->applied(txn.id, id_, now, apply_cost);
   } else {
     const std::uint64_t seq = cl_.oracle().on_commit_observed(id_);
     if (cl_.spec().track_all_objects && seq != 0)
@@ -753,6 +783,8 @@ void Replica::on_recover() {
   ++recoveries_;
   auto* wal = cl_.wal(id_);
   if (wal == nullptr) return;
+  GDUR_DEBUG("site %d recovering: replaying %zu stable WAL records",
+             static_cast<int>(id_), wal->stable().size());
 
   // Replay the stable log in append (= original delivery) order.
   std::size_t replayed = 0;

@@ -24,6 +24,7 @@
 #include "common/types.h"
 #include "core/protocol_spec.h"
 #include "core/transaction.h"
+#include "obs/events.h"
 #include "store/mv_store.h"
 
 namespace gdur::core {
@@ -130,6 +131,15 @@ class Replica {
   }
   [[nodiscard]] std::size_t queue_length() const { return q_.size(); }
 
+  /// Why a decided transaction aborted here (kNone if committed or if this
+  /// replica never learned the outcome). Clients query their coordinator's
+  /// cache to classify aborts for the abort-reason taxonomy.
+  [[nodiscard]] obs::AbortReason outcome_reason(const TxnId& id) const {
+    auto it = decided_cache_.find(id);
+    return it == decided_cache_.end() ? obs::AbortReason::kNone
+                                      : it->second.reason;
+  }
+
  private:
   struct TermState {
     TxnPtr txn;
@@ -170,11 +180,19 @@ class Replica {
   /// first announcement and fault-driven re-announcements.
   void send_vote_msgs(const TxnPtr& t, bool vote);
   void check_gc_outcome(const TxnPtr& t);
-  void decide(const TxnPtr& t, bool commit);
+  /// `reason` classifies an abort (ignored on commit): certification
+  /// conflicts are the default; timeout paths pass kPresumedAbort.
+  void decide(const TxnPtr& t, bool commit,
+              obs::AbortReason reason = obs::AbortReason::kCertConflict);
   // --- fault-tolerance helpers (active only when the cluster runs with a
   // fault plan and a termination timeout) ---
+  /// A decided transaction's cached outcome (survives the 5s term-state GC).
+  struct Outcome {
+    bool committed = false;
+    obs::AbortReason reason = obs::AbortReason::kNone;
+  };
   /// Outcome already known here? (Survives the 5s term-state GC.)
-  [[nodiscard]] const bool* known_outcome(const TxnId& id) const {
+  [[nodiscard]] const Outcome* known_outcome(const TxnId& id) const {
     auto it = decided_cache_.find(id);
     return it == decided_cache_.end() ? nullptr : &it->second;
   }
@@ -207,7 +225,7 @@ class Replica {
   // Decided-transaction outcomes, retained (bounded FIFO) past the term-state
   // GC so that retried votes and replayed log records are answered with the
   // decision instead of reopening certification.
-  std::unordered_map<TxnId, bool> decided_cache_;
+  std::unordered_map<TxnId, Outcome> decided_cache_;
   std::deque<TxnId> decided_fifo_;
   static constexpr std::size_t kDecidedCacheCap = 200'000;
   std::uint64_t timeout_aborts_ = 0;

@@ -8,12 +8,76 @@
 
 namespace gdur::harness {
 
+namespace {
+
+/// Periodic time-series sampler over the measurement window. Reads cluster
+/// state (committed count, per-site CPU utilization and load, certification
+/// queue depth) into the recorder's counter track; it never mutates protocol
+/// state, so attaching it changes nothing but events_per_second.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(core::Cluster& cluster, const Metrics& metrics,
+                    obs::TraceRecorder& tr, SimTime end)
+      : cl_(cluster),
+        metrics_(metrics),
+        tr_(tr),
+        bucket_(tr.config().timeseries_bucket),
+        end_(end) {}
+
+  void start() {
+    last_committed_ = metrics_.committed();
+    arm();
+  }
+
+ private:
+  void arm() {
+    cl_.simulator().after(bucket_, [this] { tick(); });
+  }
+
+  void tick() {
+    const SimTime now = cl_.simulator().now();
+    const std::uint64_t committed = metrics_.committed();
+    tr_.sample("throughput_tps", kNoSite, now,
+               static_cast<double>(committed - last_committed_) /
+                   to_seconds(bucket_));
+    last_committed_ = committed;
+    for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s) {
+      tr_.sample("cpu_util", s, now,
+                 cl_.transport().cpu(s).utilization(now - bucket_, now));
+      tr_.sample("cpu_inflight", s, now,
+                 static_cast<double>(cl_.transport().cpu(s).inflight()));
+      tr_.sample("cert_queue", s, now,
+                 static_cast<double>(cl_.replica(s).queue_length()));
+    }
+    if (now + bucket_ <= end_) arm();
+  }
+
+  core::Cluster& cl_;
+  const Metrics& metrics_;
+  obs::TraceRecorder& tr_;
+  SimDuration bucket_;
+  SimTime end_;
+  std::uint64_t last_committed_ = 0;
+};
+
+}  // namespace
+
 RunResult run_experiment(const core::ProtocolSpec& spec,
                          const ExperimentConfig& cfg) {
   core::ClusterConfig ccfg = cfg.cluster;
   ccfg.seed = cfg.seed;
   core::Cluster cluster(ccfg, spec);
   Metrics metrics;
+
+  obs::TraceRecorder* tr = cluster.trace();
+  if (tr != nullptr) {
+    // Fold finished update commits into the per-phase latency stats. The
+    // sink fires for every report; aborted and read-only transactions are
+    // skipped so the breakdown matches upd_term_latency's population.
+    tr->set_phase_sink([&metrics](const obs::TxnPhaseReport& rep) {
+      if (rep.committed && !rep.read_only) metrics.add_phase_report(rep);
+    });
+  }
 
   std::vector<std::unique_ptr<workload::ClientActor>> clients;
   clients.reserve(static_cast<std::size_t>(cfg.clients));
@@ -31,6 +95,13 @@ RunResult run_experiment(const core::ProtocolSpec& spec,
   sim.run_until(cfg.warmup);
   metrics.reset();
   cluster.transport().reset_accounting();
+  if (tr != nullptr) tr->reset_counters();
+  std::unique_ptr<TimeSeriesSampler> sampler;
+  if (tr != nullptr && tr->config().timeseries_bucket > 0) {
+    sampler = std::make_unique<TimeSeriesSampler>(cluster, metrics, *tr,
+                                                  cfg.warmup + cfg.window);
+    sampler->start();
+  }
   const std::uint64_t events_before = sim.events_processed();
 
   sim.run_until(cfg.warmup + cfg.window);
@@ -41,8 +112,13 @@ RunResult run_experiment(const core::ProtocolSpec& spec,
   r.clients = cfg.clients;
   r.throughput_tps = static_cast<double>(metrics.committed()) / window_s;
   r.upd_term_latency_ms = metrics.upd_term_latency.mean_ms();
+  r.upd_term_latency_p50 = metrics.upd_term_latency.percentile_ms(0.50);
+  r.upd_term_latency_p95 = metrics.upd_term_latency.percentile_ms(0.95);
   r.upd_term_latency_p99 = metrics.upd_term_latency.percentile_ms(0.99);
   r.txn_latency_ms = metrics.txn_latency.mean_ms();
+  r.txn_latency_p50 = metrics.txn_latency.percentile_ms(0.50);
+  r.txn_latency_p95 = metrics.txn_latency.percentile_ms(0.95);
+  r.txn_latency_p99 = metrics.txn_latency.percentile_ms(0.99);
   r.abort_ratio_pct = metrics.abort_ratio_pct();
   r.upd_abort_ratio_pct = metrics.upd_abort_ratio_pct();
   r.committed = metrics.committed();
@@ -67,6 +143,13 @@ RunResult run_experiment(const core::ProtocolSpec& spec,
     r.recoveries += cluster.replica(s).recoveries();
     r.recovery_ms += to_ms(cluster.replica(s).recovery_busy());
   }
+  r.aborts_by_reason = metrics.aborts_by_reason;
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const LatencyStat& st = metrics.phase[p];
+    r.phase_count[p] = st.count();
+    r.phase_mean_ms[p] = st.mean_ms();
+    r.phase_p99_ms[p] = st.percentile_ms(0.99);
+  }
   return r;
 }
 
@@ -84,16 +167,32 @@ std::vector<RunResult> run_sweep(const core::ProtocolSpec& spec,
 
 void print_header(const std::string& title) {
   std::printf("\n# %s\n", title.c_str());
-  std::printf("# %-12s %8s %12s %12s %12s %10s %10s %8s\n", "protocol",
-              "clients", "tput(tps)", "termlat(ms)", "txnlat(ms)", "abort(%)",
-              "updabort%", "cpu");
+  std::printf("# %-12s %8s %12s %12s %12s %9s %9s %9s %10s %10s %8s\n",
+              "protocol", "clients", "tput(tps)", "termlat(ms)", "txnlat(ms)",
+              "p50(ms)", "p95(ms)", "p99(ms)", "abort(%)", "updabort%", "cpu");
 }
 
 void print_result(const RunResult& r) {
-  std::printf("  %-12s %8d %12.0f %12.2f %12.2f %10.2f %10.2f %8.2f\n",
-              r.protocol.c_str(), r.clients, r.throughput_tps,
-              r.upd_term_latency_ms, r.txn_latency_ms, r.abort_ratio_pct,
-              r.upd_abort_ratio_pct, r.cpu_utilization);
+  std::printf(
+      "  %-12s %8d %12.0f %12.2f %12.2f %9.2f %9.2f %9.2f %10.2f %10.2f "
+      "%8.2f\n",
+      r.protocol.c_str(), r.clients, r.throughput_tps, r.upd_term_latency_ms,
+      r.txn_latency_ms, r.txn_latency_p50, r.txn_latency_p95,
+      r.txn_latency_p99, r.abort_ratio_pct, r.upd_abort_ratio_pct,
+      r.cpu_utilization);
+}
+
+void print_phase_breakdown(const RunResult& r) {
+  if (!r.has_phase_breakdown()) return;
+  std::printf("  %-12s %-16s %10s %12s %12s\n", r.protocol.c_str(), "phase",
+              "count", "mean(ms)", "p99(ms)");
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    if (r.phase_count[p] == 0) continue;
+    std::printf("  %-12s %-16s %10llu %12.3f %12.3f\n", r.protocol.c_str(),
+                obs::phase_name(static_cast<obs::Phase>(p)),
+                static_cast<unsigned long long>(r.phase_count[p]),
+                r.phase_mean_ms[p], r.phase_p99_ms[p]);
+  }
 }
 
 }  // namespace gdur::harness

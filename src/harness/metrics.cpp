@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace gdur::harness {
 
 int LatencyStat::bucket_of(SimDuration d) {
@@ -25,15 +27,24 @@ void LatencyStat::add(SimDuration d) {
 }
 
 double LatencyStat::percentile_ms(double q) const {
-  if (count_ == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(count_) + 0.5);
+  // Contract (see header): empty stat or q <= 0 -> 0.0; q > 1 -> max_ms().
+  // Without the q <= 0 guard, target would round to 0 and the first bucket
+  // (even an empty one) would satisfy seen >= target immediately.
+  if (count_ == 0 || q <= 0.0) return 0.0;
+  if (q > 1.0) return to_ms(max_);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += hist_[static_cast<std::size_t>(b)];
     if (seen >= target) return to_ms(bucket_upper(b));
   }
   return to_ms(max_);
+}
+
+void Metrics::add_phase_report(const obs::TxnPhaseReport& r) {
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+    if (r.phase[p] > 0) phase[p].add(r.phase[p]);
 }
 
 }  // namespace gdur::harness

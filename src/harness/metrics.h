@@ -6,6 +6,11 @@
 #include <cstdint>
 
 #include "common/sim_time.h"
+#include "obs/events.h"
+
+namespace gdur::obs {
+struct TxnPhaseReport;
+}
 
 namespace gdur::harness {
 
@@ -21,7 +26,10 @@ class LatencyStat {
     return count_ == 0 ? 0.0 : to_ms(sum_) / static_cast<double>(count_);
   }
   [[nodiscard]] double max_ms() const { return to_ms(max_); }
-  /// q in (0, 1], e.g. 0.5 or 0.99.
+  /// Percentile estimate (upper edge of the histogram bucket containing the
+  /// q-th sample). Contract: q in (0, 1] is the meaningful range; out-of-range
+  /// arguments clamp to the distribution's edges — q <= 0 returns 0.0 and
+  /// q > 1 returns max_ms() — and an empty stat returns 0.0 for any q.
   [[nodiscard]] double percentile_ms(double q) const;
 
  private:
@@ -49,7 +57,26 @@ struct Metrics {
   LatencyStat upd_term_latency;  // commit request -> client response, updates
   LatencyStat txn_latency;       // begin request -> final response, committed
 
+  /// Abort-reason taxonomy: every non-committed transaction is counted
+  /// under exactly one obs::AbortReason (always on — maintained by the
+  /// client flow whether or not a trace recorder is attached).
+  std::array<std::uint64_t, obs::kAbortReasonCount> aborts_by_reason{};
+
+  /// Per-phase latency breakdown of committed update transactions, indexed
+  /// by obs::Phase. Filled from TxnPhaseReports, so it is populated only
+  /// when the run has a trace recorder attached (empty stats otherwise).
+  std::array<LatencyStat, obs::kPhaseCount> phase{};
+
   void reset() { *this = {}; }
+
+  [[nodiscard]] std::uint64_t aborts_with(obs::AbortReason r) const {
+    return aborts_by_reason[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const LatencyStat& phase_stat(obs::Phase p) const {
+    return phase[static_cast<std::size_t>(p)];
+  }
+  /// Folds one finished transaction's phase report into `phase`.
+  void add_phase_report(const obs::TxnPhaseReport& r);
 
   [[nodiscard]] std::uint64_t committed() const {
     return committed_ro + committed_upd;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace gdur::net {
 
 Transport::Transport(sim::Simulator& simulator, Topology topology,
@@ -46,21 +48,27 @@ SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
       return arrival;
     }
     ++fstats_.dropped;
+    if (trace_ != nullptr)
+      trace_->fault(obs::FaultKind::kDrop, src, dst, attempt);
     // The ack timer fires `rto` after the attempt; retransmit then.
     attempt += rto;
     rto = std::min(static_cast<SimDuration>(double(rto) * rc.backoff),
                    rc.max_rto);
     if (attempt - departure > rc.give_up) {
       ++fstats_.expired;
+      if (trace_ != nullptr)
+        trace_->fault(obs::FaultKind::kExpire, src, dst, attempt);
       return sim::kNever;
     }
     ++fstats_.retransmissions;
+    if (trace_ != nullptr)
+      trace_->fault(obs::FaultKind::kRetransmit, src, dst, attempt);
     cpu(src).charge_after(attempt, cost_.msg_send);
   }
 }
 
 void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
-                     Handler handler) {
+                     Handler handler, obs::MsgClass cls) {
   if (fault_ != nullptr && cpu(src).down_at(sim_.now())) return;  // dead site
   ++messages_;
   bytes_ += bytes;
@@ -73,6 +81,8 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
   // keeps the FIFO horizon exact over lossy links.
   const SimTime departure = cpu(src).charge(send_cost);
   if (src == dst) {
+    if (trace_ != nullptr)
+      trace_->message(cls, src, dst, bytes, departure, departure);
     sim_.at(departure, [this, dst, recv_cost, handler = std::move(handler)]() mutable {
       cpu(dst).submit(recv_cost, std::move(handler));
     });
@@ -86,6 +96,8 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
   }
   const SimTime arrival = std::max(reach, link_clock_[idx]);
   link_clock_[idx] = arrival;
+  if (trace_ != nullptr)
+    trace_->message(cls, src, dst, bytes, departure, arrival);
   sim_.at(arrival, [this, idx, dst, recv_cost,
                     handler = std::move(handler)]() mutable {
     // One connection is drained by one receiver thread: handlers for the
@@ -96,6 +108,8 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
       // receiver acknowledged at the transport level but lost the message
       // before the application saw it. Protocol retries must recover it.
       ++fstats_.expired;
+      if (trace_ != nullptr)
+        trace_->fault(obs::FaultKind::kExpire, dst, kNoSite, sim_.now());
       return;
     }
     const SimTime done = c.charge_after(recv_clock_[idx], recv_cost);
@@ -117,6 +131,9 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
 void Transport::client_send(SiteId dst, std::uint64_t bytes, Handler handler) {
   ++messages_;
   bytes_ += bytes;
+  if (trace_ != nullptr)
+    trace_->message(obs::MsgClass::kClientReq, kNoSite, dst, bytes, sim_.now(),
+                    sim_.now() + topo_.client_latency());
   const SimDuration recv_cost = cost_.msg_recv + cost_.unmarshal(bytes);
   sim_.after(topo_.client_latency(),
              [this, dst, recv_cost, handler = std::move(handler)]() mutable {
@@ -128,6 +145,9 @@ void Transport::send_to_client(SiteId src, std::uint64_t bytes,
                                Handler handler) {
   ++messages_;
   bytes_ += bytes;
+  if (trace_ != nullptr)
+    trace_->message(obs::MsgClass::kClientResp, src, kNoSite, bytes, sim_.now(),
+                    sim_.now() + topo_.client_latency());
   const SimDuration send_cost = cost_.msg_send + cost_.marshal(bytes);
   cpu(src).submit(send_cost, [this, handler = std::move(handler)]() mutable {
     sim_.after(topo_.client_latency(), std::move(handler));

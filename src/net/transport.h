@@ -32,10 +32,15 @@
 #include "common/sim_time.h"
 #include "common/types.h"
 #include "net/topology.h"
+#include "obs/events.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
+
+namespace gdur::obs {
+class TraceRecorder;
+}
 
 namespace gdur::net {
 
@@ -66,8 +71,10 @@ class Transport {
   /// Sends `bytes` from `src` to `dst`; runs `handler` at the destination
   /// once the message has been received and unmarshaled. src == dst is a
   /// local loopback (no latency, but still a queued CPU job, preserving
-  /// the no-reentrancy discipline of the protocol handlers).
-  void send(SiteId src, SiteId dst, std::uint64_t bytes, Handler handler);
+  /// the no-reentrancy discipline of the protocol handlers). `cls` tags the
+  /// message for the observability layer; it never affects delivery.
+  void send(SiteId src, SiteId dst, std::uint64_t bytes, Handler handler,
+            obs::MsgClass cls = obs::MsgClass::kControl);
 
   /// Client machine -> replica request (client CPUs are not modeled).
   void client_send(SiteId dst, std::uint64_t bytes, Handler handler);
@@ -101,6 +108,11 @@ class Transport {
   [[nodiscard]] sim::FaultInjector* fault_injector() const { return fault_; }
   [[nodiscard]] const FaultStats& fault_stats() const { return fstats_; }
 
+  /// Installs a trace recorder (obs); nullptr disables. Not owned. Every
+  /// hook is a null check — tracing never perturbs the simulation.
+  void set_trace(obs::TraceRecorder* tr) { trace_ = tr; }
+  [[nodiscard]] obs::TraceRecorder* trace() const { return trace_; }
+
  private:
   [[nodiscard]] SimDuration link_delay(SiteId src, SiteId dst,
                                        std::uint64_t bytes);
@@ -124,6 +136,7 @@ class Transport {
   std::uint64_t bytes_ = 0;
   sim::FaultInjector* fault_ = nullptr;
   FaultStats fstats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace gdur::net

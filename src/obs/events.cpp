@@ -1,0 +1,99 @@
+#include "obs/events.h"
+
+namespace gdur::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kExecute:
+      return "execute";
+    case Phase::kRead:
+      return "read";
+    case Phase::kWriteBuffer:
+      return "write-buffer";
+    case Phase::kXcast:
+      return "xcast";
+    case Phase::kCertWait:
+      return "cert-wait";
+    case Phase::kCertify:
+      return "certify";
+    case Phase::kVoteCollect:
+      return "vote-collect";
+    case Phase::kApply:
+      return "apply";
+    case Phase::kClientResponse:
+      return "response";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kCertConflict:
+      return "cert-conflict";
+    case AbortReason::kSnapshotFailure:
+      return "snapshot-failure";
+    case AbortReason::kTimeout:
+      return "timeout";
+    case AbortReason::kPresumedAbort:
+      return "presumed-abort";
+    case AbortReason::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* msg_class_name(MsgClass c) {
+  switch (c) {
+    case MsgClass::kControl:
+      return "control";
+    case MsgClass::kClientReq:
+      return "client-req";
+    case MsgClass::kClientResp:
+      return "client-resp";
+    case MsgClass::kRemoteRead:
+      return "remote-read";
+    case MsgClass::kReadReply:
+      return "read-reply";
+    case MsgClass::kTermination:
+      return "termination";
+    case MsgClass::kOrdering:
+      return "ordering";
+    case MsgClass::kVote:
+      return "vote";
+    case MsgClass::kPaxos2a:
+      return "paxos-2a";
+    case MsgClass::kPaxos2b:
+      return "paxos-2b";
+    case MsgClass::kDecision:
+      return "decision";
+    case MsgClass::kPropagation:
+      return "propagation";
+    case MsgClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kRetransmit:
+      return "retransmit";
+    case FaultKind::kExpire:
+      return "expire";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecovery:
+      return "recovery";
+    case FaultKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace gdur::obs

@@ -11,13 +11,25 @@
 #include <queue>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/sim_time.h"
 
 namespace gdur::sim {
 
-class Simulator {
+class Simulator : public LogClock {
  public:
   using Event = std::function<void()>;
+
+  /// The newest simulator becomes the log-timestamp source, so GDUR_TRACE
+  /// lines carry simulated time (common/logging).
+  Simulator() { set_log_clock(this); }
+  ~Simulator() override {
+    if (log_clock() == this) set_log_clock(nullptr);
+  }
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime log_now() const override { return now_; }
 
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }

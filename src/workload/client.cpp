@@ -31,6 +31,9 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
     cl_.begin(site_, [self](core::MutTxnPtr t) {
       if (self->finished_) return;
       self->txn_ = t;
+      if (auto* tr = self->cl_.trace())
+        tr->txn_started(t->id, self->site_, self->begin_req_,
+                        self->cl_.simulator().now());
       self->reads(t, 0);
     });
   }
@@ -42,8 +45,12 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       return;
     }
     auto self = shared_from_this();
-    cl_.read(site_, t, profile_->reads[i], [self, t, i](bool ok) {
+    const SimTime start = cl_.simulator().now();
+    cl_.read(site_, t, profile_->reads[i], [self, t, i, start](bool ok) {
       if (self->finished_) return;
+      if (auto* tr = self->cl_.trace())
+        tr->txn_op(t->id, obs::Phase::kRead, self->site_, start,
+                   self->cl_.simulator().now());
       if (!ok) {
         self->finish(*t, false, /*exec_failure=*/true, self->begin_req_);
         return;
@@ -58,8 +65,12 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       return;
     }
     auto self = shared_from_this();
-    cl_.write(site_, t, profile_->writes[i], [self, t, i] {
+    const SimTime start = cl_.simulator().now();
+    cl_.write(site_, t, profile_->writes[i], [self, t, i, start] {
       if (self->finished_) return;
+      if (auto* tr = self->cl_.trace())
+        tr->txn_op(t->id, obs::Phase::kWriteBuffer, self->site_, start,
+                   self->cl_.simulator().now());
       self->writes(t, i + 1);
     });
   }
@@ -77,6 +88,10 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
     if (finished_) return;
     finished_ = true;
     ++metrics_.txns_timed_out;
+    ++metrics_.aborts_by_reason[static_cast<std::size_t>(
+        obs::AbortReason::kTimeout)];
+    if (auto* tr = cl_.trace(); tr != nullptr && txn_)
+      tr->txn_timed_out(txn_->id, site_, cl_.simulator().now());
     // Unknown outcome reported as non-committed: the history checker uses
     // commits affirmatively only, so this is conservative even when the
     // transaction in fact committed server-side.
@@ -90,6 +105,20 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
     finished_ = true;
     const SimTime now = cl_.simulator().now();
     const bool read_only = profile_->read_only;
+    // Classify the abort: execution-phase failures are snapshot misses;
+    // termination aborts carry a reason in the coordinator's decided cache
+    // (kCertConflict if the cache entry already aged out).
+    obs::AbortReason reason = obs::AbortReason::kNone;
+    if (!committed) {
+      if (exec_failure) {
+        reason = obs::AbortReason::kSnapshotFailure;
+      } else {
+        reason = cl_.replica(site_).outcome_reason(t.id);
+        if (reason == obs::AbortReason::kNone)
+          reason = obs::AbortReason::kCertConflict;
+      }
+      ++metrics_.aborts_by_reason[static_cast<std::size_t>(reason)];
+    }
     if (exec_failure) {
       ++metrics_.exec_failures;
     } else if (committed) {
@@ -100,6 +129,8 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       (read_only ? metrics_.aborted_ro : metrics_.aborted_upd)++;
       if (!read_only) metrics_.upd_term_latency.add(now - term_req);
     }
+    if (auto* tr = cl_.trace())
+      tr->txn_finished(t.id, site_, now, committed, read_only, reason);
     if (observer_) observer_(t, committed);
     if (done_) done_();
   }

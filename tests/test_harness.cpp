@@ -37,6 +37,27 @@ TEST(LatencyStat, EmptyStatIsZero) {
   EXPECT_EQ(s.percentile_ms(0.99), 0.0);
 }
 
+TEST(LatencyStat, PercentileContractAtTheEdges) {
+  // Contract: q <= 0 -> 0.0, q > 1 -> max_ms(), any q on empty -> 0.0.
+  LatencyStat empty;
+  EXPECT_EQ(empty.percentile_ms(-1.0), 0.0);
+  EXPECT_EQ(empty.percentile_ms(0.0), 0.0);
+  EXPECT_EQ(empty.percentile_ms(2.0), 0.0);
+
+  LatencyStat s;
+  for (int i = 1; i <= 100; ++i) s.add(milliseconds(i));
+  EXPECT_EQ(s.percentile_ms(0.0), 0.0);
+  EXPECT_EQ(s.percentile_ms(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(1.5), s.max_ms());
+  EXPECT_DOUBLE_EQ(s.percentile_ms(100.0), s.max_ms());
+  // q = 1 stays within the histogram (upper edge of the last sample's
+  // bucket), never below the true maximum's bucket lower edge.
+  EXPECT_GE(s.percentile_ms(1.0), s.percentile_ms(0.99));
+  // A tiny-but-positive q targets the first sample, not zero.
+  EXPECT_GT(s.percentile_ms(1e-9), 0.0);
+  EXPECT_LE(s.percentile_ms(1e-9), s.percentile_ms(0.5));
+}
+
 TEST(LatencyStat, ResetClears) {
   LatencyStat s;
   s.add(milliseconds(5));
