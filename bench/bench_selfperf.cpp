@@ -1,0 +1,145 @@
+// Self-performance harness: simulated committed transactions per second of
+// WALL-CLOCK time, per protocol. Every other bench reports simulated-time
+// metrics (throughput inside the model); this one measures the simulator
+// itself, establishing the repo's performance trajectory against the
+// ROADMAP's "as fast as the hardware allows" north star.
+//
+// Two scenarios per protocol:
+//   * deep-queue  — few hot objects, many clients, mostly updates: the
+//     termination queue grows long and certification's commute scans
+//     dominate engine CPU. This is the scenario the ConflictIndex targets.
+//   * default     — the standard Workload A point, guarding against
+//     regressions on the uncontended path.
+//
+// Output: a human-readable table on stdout and a JSON report
+// (BENCH_selfperf.json by default) with one record per (protocol,
+// scenario): simulated committed txns, wall seconds, committed/wall-s, and
+// simulated events/wall-s. Wall-clock numbers vary with the host; compare
+// ratios against a baseline build on the same machine, not absolute values
+// across machines (see EXPERIMENTS.md).
+//
+// Flags:
+//   --short       smaller windows / fewer clients (CI smoke mode)
+//   --out FILE    JSON report path (default BENCH_selfperf.json)
+//   --deep-only   skip the default-workload scenario
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace gdur;
+
+namespace {
+
+struct SelfPerfResult {
+  std::string protocol;
+  std::string scenario;
+  std::uint64_t committed = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double committed_per_wall_s = 0;
+  double events_per_wall_s = 0;
+};
+
+SelfPerfResult measure(const std::string& protocol, const std::string& scenario,
+                       const harness::ExperimentConfig& cfg) {
+  const auto spec = protocols::by_name(protocol);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = harness::run_experiment(spec, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SelfPerfResult out;
+  out.protocol = protocol;
+  out.scenario = scenario;
+  out.committed = r.committed;
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  // events_per_second is simulated events per simulated second over the
+  // measurement window; recover the event count from the window length.
+  out.events = static_cast<std::uint64_t>(
+      r.events_per_second * (static_cast<double>(cfg.window) / seconds(1)));
+  if (out.wall_s > 0) {
+    out.committed_per_wall_s = static_cast<double>(out.committed) / out.wall_s;
+    out.events_per_wall_s = static_cast<double>(out.events) / out.wall_s;
+  }
+  return out;
+}
+
+void append_json(std::string& json, const SelfPerfResult& r, bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"protocol\": \"%s\", \"scenario\": \"%s\", "
+                "\"committed\": %llu, \"wall_s\": %.3f, "
+                "\"committed_per_wall_s\": %.1f, "
+                "\"sim_events\": %llu, \"events_per_wall_s\": %.0f}%s\n",
+                r.protocol.c_str(), r.scenario.c_str(),
+                static_cast<unsigned long long>(r.committed), r.wall_s,
+                r.committed_per_wall_s,
+                static_cast<unsigned long long>(r.events),
+                r.events_per_wall_s, last ? "" : ",");
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  bool deep_only = false;
+  const char* out_path = "BENCH_selfperf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--deep-only") == 0) deep_only = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  // Deep-queue high-contention scenario: a small hot set and an
+  // update-heavy interactive workload keep |Q| large at every replica, so
+  // commute-scan cost is the dominant engine term.
+  auto deep = bench::base_config(4, /*replication=*/1,
+                                 workload::WorkloadSpec::B(0.1));
+  deep.cluster.objects_per_site = 512;
+  deep.clients = short_mode ? 256 : 1024;
+  deep.warmup = seconds(0.3);
+  deep.window = short_mode ? seconds(0.6) : seconds(1.5);
+
+  // Default point: Workload A as run by the figure benches.
+  auto dflt = bench::base_config(4, /*replication=*/1,
+                                 workload::WorkloadSpec::A(0.9));
+  dflt.clients = short_mode ? 128 : 256;
+  dflt.warmup = seconds(0.3);
+  dflt.window = short_mode ? seconds(0.5) : seconds(1.0);
+
+  const std::vector<std::string> names{"P-Store", "S-DUR",    "GMU", "Serrano",
+                                       "Walter",  "Jessy2pc", "RC"};
+
+  std::vector<SelfPerfResult> results;
+  harness::print_header(
+      "Self-perf: simulated committed txns per wall-clock second");
+  std::printf("%-10s %-10s %10s %8s %14s %14s\n", "protocol", "scenario",
+              "committed", "wall_s", "commit/wall_s", "events/wall_s");
+  for (const auto& name : names) {
+    std::vector<std::pair<std::string, const harness::ExperimentConfig*>> runs;
+    runs.emplace_back("deep-queue", &deep);
+    if (!deep_only) runs.emplace_back("default", &dflt);
+    for (const auto& [scenario, cfg] : runs) {
+      const auto r = measure(name, scenario, *cfg);
+      std::printf("%-10s %-10s %10llu %8.3f %14.1f %14.0f\n",
+                  r.protocol.c_str(), r.scenario.c_str(),
+                  static_cast<unsigned long long>(r.committed), r.wall_s,
+                  r.committed_per_wall_s, r.events_per_wall_s);
+      results.push_back(r);
+    }
+  }
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i)
+    append_json(json, results[i], i + 1 == results.size());
+  json += "]\n";
+  std::ofstream out(out_path, std::ios::binary);
+  out << json;
+  std::printf("\n# wrote %zu records to %s\n", results.size(), out_path);
+  return 0;
+}

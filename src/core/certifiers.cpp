@@ -67,6 +67,24 @@ bool sdur(const CertContext& ctx) {
     const auto* chain = ctx.replica.db().chain(r.obj);
     if (chain == nullptr) continue;
     const PartitionId p = part.partition_of(r.obj);
+    // Pruned prefix: the newest pruned version (retained by the chain's
+    // PrunedSummary) stands in for everything GC dropped, so the verdict no
+    // longer silently flips to commit past depth 32. If it lies outside
+    // Ti's snapshot the prefix conflicted (itself, at least) — abort, as
+    // the unpruned scan would have. If it is visible, so is every older
+    // pruned version from the same origin (per-origin visibility is
+    // monotone in seq); an older pruned version from an origin with no
+    // newer version anywhere in the chain can still escape — the summary
+    // trades that narrow interleaving for O(1) space per chain.
+    const auto& pruned = chain->pruned();
+    if (pruned.count > 0) {
+      const store::Version newest_pruned{.writer = TxnId{},
+                                         .pidx = pruned.newest_pidx,
+                                         .commit_time =
+                                             pruned.newest_commit_time,
+                                         .stamp = pruned.newest_stamp};
+      if (!cl.oracle().visible(newest_pruned, p, ctx.txn.snap)) return false;
+    }
     for (std::size_t i = 0; i < chain->size(); ++i) {
       if (!cl.oracle().visible(chain->at(i), p, ctx.txn.snap)) return false;
     }

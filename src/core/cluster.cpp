@@ -183,6 +183,9 @@ void Cluster::xcast_term(const TxnPtr& t, std::vector<SiteId> dests) {
 }
 
 void Cluster::send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote) {
+  if (vote_observer_)
+    vote_observer_(VoteEvent{.voter = from, .to = to, .txn = t->id,
+                             .vote = vote});
   net_->send(from, to, net::wire::vote(),
              [this, to, t, vote, from] { replicas_[to]->on_vote(t, from, vote); },
              obs::MsgClass::kVote);
@@ -197,6 +200,9 @@ void Cluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
 
 void Cluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
                             SiteId participant, bool vote) {
+  if (vote_observer_)
+    vote_observer_(VoteEvent{.voter = participant, .to = acceptor,
+                             .txn = t->id, .vote = vote});
   net_->send(from, acceptor, net::wire::vote(),
              [this, acceptor, t, participant, vote] {
                replicas_[acceptor]->on_paxos_2a(t, participant, vote);

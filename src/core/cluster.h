@@ -152,6 +152,21 @@ class Cluster {
     return install_observer_;
   }
 
+  /// A certification vote leaving `voter` (2PC vote or Paxos 2a proposal;
+  /// re-announcements included, at send time — losses happen later).
+  struct VoteEvent {
+    SiteId voter;
+    SiteId to;
+    TxnId txn;
+    bool vote;
+  };
+  /// Observer invoked on every outgoing vote (tests only; adds no cost when
+  /// unset). Lets fault tests assert a site never contradicts itself: every
+  /// legitimate resend carries the same value for the same (voter, txn).
+  void set_vote_observer(std::function<void(const VoteEvent&)> obs) {
+    vote_observer_ = std::move(obs);
+  }
+
  private:
   [[nodiscard]] std::uint64_t term_bytes(const TxnRecord& t) const;
 
@@ -174,6 +189,7 @@ class Cluster {
   SimDuration client_timeout_ = 0;
   SimDuration vote_retry_ = 0;
   std::function<void(const InstallEvent&)> install_observer_;
+  std::function<void(const VoteEvent&)> vote_observer_;
 };
 
 }  // namespace gdur::core

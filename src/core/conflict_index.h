@@ -1,0 +1,187 @@
+// Certification data structures (see DESIGN.md §9).
+//
+// ConflictIndex — the per-replica ObjectId → queued-transaction map behind
+// the termination protocol's commute scans. Every transaction in the
+// termination queue Q is indexed under each object of its footprint
+// (rs ∪ ws); the three certification sites that used to walk Q pairwise
+// (preemptive-abort vote, gc_try_votes, the recovery re-vote loop) instead
+// visit only the transactions that share at least one object with the
+// candidate, turning an O(|Q|) scan per query into O(footprint · bucket).
+// This is the object-indexed certification of Parallel Deferred Update
+// Replication (Pacheco et al.), adapted to G-DUR's pluggable commute().
+//
+// The rewrite is exact — not a heuristic — whenever commute() is
+// *footprint-local* (transactions with disjoint footprints always commute),
+// which every predicate in protocol_spec.h satisfies. Specs with a custom
+// non-footprint-local commute() clear ProtocolSpec::commute_footprint_local
+// and fall back to the pairwise queue scan. The pairwise scan is also kept
+// as a cross-checking oracle: with GDUR_VERIFY_CERT=1 in the environment
+// (or set_verify_cert_for_testing), every indexed answer is recomputed
+// pairwise and a mismatch aborts the process.
+//
+// Determinism: the index is maintained at deliver/decide/crash points that
+// are themselves deterministic, buckets preserve insertion (= queue) order,
+// and a query only ever feeds a boolean into the existing control flow — no
+// simulator events are created or reordered. A run with the index is
+// byte-identical (traces, timelines, metrics) to one with the pairwise scan.
+//
+// RecencyIndex — the committed-transaction side of the same pipeline:
+// the bounded window of recently committed transactions and, per object,
+// the recently committed update transactions that read it (S-DUR's
+// write-read certification input, spec.track_committed_readers). Kept next
+// to ConflictIndex so queued and committed read-tracking maintenance live
+// in one place.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/obj_set.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "core/transaction.h"
+
+namespace gdur::core {
+
+/// Is the pairwise cross-check of indexed certification answers on?
+/// Reads GDUR_VERIFY_CERT from the environment once, unless a test override
+/// is installed.
+[[nodiscard]] bool verify_cert_enabled();
+/// Test override for the cross-check (nullopt restores the env default).
+void set_verify_cert_for_testing(std::optional<bool> on);
+
+class ConflictIndex {
+ public:
+  struct Candidate {
+    const TxnRecord& txn;
+    std::uint64_t pos;  // enqueue position (monotonic per replica)
+  };
+
+  /// Indexes `t` under every object of its footprint. Returns the assigned
+  /// enqueue position. `t` must not already be indexed.
+  std::uint64_t add(TxnPtr t);
+
+  /// Removes a transaction (no-op if it is not indexed).
+  void remove(const TxnId& id);
+
+  /// Drops everything (crash with state loss).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool contains(const TxnId& id) const {
+    return nodes_.contains(id);
+  }
+  /// Enqueue position of an indexed transaction (nullopt if absent). The
+  /// termination queue is always sorted by position, so removal can binary
+  /// search instead of scanning.
+  [[nodiscard]] std::optional<std::uint64_t> position(const TxnId& id) const {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? std::nullopt
+                              : std::optional<std::uint64_t>(it->second.pos);
+  }
+
+  /// Visits every indexed transaction sharing at least one footprint object
+  /// with `t` — each exactly once, buckets in footprint order, candidates in
+  /// enqueue order within a bucket. Stops early (returning true) as soon as
+  /// `visit` returns true.
+  template <typename F>
+  bool scan(const TxnRecord& t, F&& visit) const {
+    const std::uint64_t epoch = ++epoch_;
+    bool hit = false;
+    for_each_footprint(t, [&](ObjectId o) {
+      if (hit) return;
+      auto it = buckets_.find(o);
+      if (it == buckets_.end()) return;
+      for (const Node* n : it->second) {
+        if (n->visit == epoch) continue;
+        n->visit = epoch;
+        if (visit(Candidate{*n->txn, n->pos})) {
+          hit = true;
+          return;
+        }
+      }
+    });
+    return hit;
+  }
+
+ private:
+  struct Node {
+    TxnPtr txn;  // owns the record: an index entry outlives term-state GC
+    std::uint64_t pos = 0;
+    mutable std::uint64_t visit = 0;  // scan dedup epoch
+  };
+
+  /// rs(t) ∪ ws(t), each object once (two-pointer merge of the sorted sets).
+  template <typename F>
+  static void for_each_footprint(const TxnRecord& t, F&& f) {
+    auto a = t.rs.begin();
+    auto b = t.ws.begin();
+    while (a != t.rs.end() || b != t.ws.end()) {
+      if (b == t.ws.end() || (a != t.rs.end() && *a < *b)) {
+        f(*a++);
+      } else if (a == t.rs.end() || *b < *a) {
+        f(*b++);
+      } else {
+        f(*a);
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  std::unordered_map<TxnId, Node> nodes_;
+  std::unordered_map<ObjectId, std::vector<const Node*>> buckets_;
+  std::uint64_t next_pos_ = 0;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+/// A recently committed transaction, retained for certification tests that
+/// compare against concurrent committed transactions.
+struct CommittedInfo {
+  TxnId id;
+  ObjSet rs;
+  ObjSet ws;
+  SimTime commit_time = 0;
+};
+
+/// A committed update transaction that read an object (S-DUR certification
+/// input; identified by its stamp so visibility is testable).
+struct ReaderInfo {
+  SiteId origin = 0;  // stamp identity of the reading transaction
+  std::uint64_t seq = 0;
+  SimTime commit_time = 0;
+};
+
+class RecencyIndex {
+ public:
+  RecencyIndex(SimDuration window, std::size_t max_readers_per_object)
+      : window_(window), max_readers_(max_readers_per_object) {}
+
+  /// Records a commit in the sliding window and expires old entries.
+  void note_commit(const TxnRecord& t, SimTime now);
+
+  /// Records that committed update transaction `r` read `o`; keeps only the
+  /// newest `max_readers_per_object` entries (older ones are visible in any
+  /// live snapshot and can never fail the S-DUR write-read test).
+  void note_reader(ObjectId o, const ReaderInfo& r);
+
+  [[nodiscard]] const std::deque<CommittedInfo>& recent() const {
+    return recent_;
+  }
+  [[nodiscard]] const std::vector<ReaderInfo>* readers(ObjectId o) const {
+    auto it = readers_.find(o);
+    return it == readers_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  SimDuration window_;
+  std::size_t max_readers_;
+  std::deque<CommittedInfo> recent_;
+  std::unordered_map<ObjectId, std::vector<ReaderInfo>> readers_;
+};
+
+}  // namespace gdur::core

@@ -90,6 +90,14 @@ struct ProtocolSpec {
   /// order? Drives both the GC convoy behavior and 2PC preemptive aborts.
   std::function<bool(const TxnRecord&, const TxnRecord&)> commute;
 
+  /// commute() is *footprint-local*: transactions whose footprints (rs ∪ ws)
+  /// are disjoint always commute. Lets the replica answer commute scans from
+  /// its per-object ConflictIndex in O(footprint) instead of walking the
+  /// whole termination queue; every predicate below satisfies it. A custom
+  /// spec whose commute() can order footprint-disjoint transactions must
+  /// clear this to fall back to the pairwise queue scan.
+  bool commute_footprint_local = true;
+
   /// certify(T) at one replica; see core/certifiers.h for the library.
   std::function<bool(const CertContext&)> certify;
 

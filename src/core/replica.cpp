@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 #include "common/logging.h"
@@ -112,10 +114,22 @@ void Replica::record_read(const MutTxnPtr& t, ObjectId x,
                           const store::Version* v) {
   const PartitionId p = cl_.partitioner().partition_of(x);
   t->rs.insert(x);
-  t->reads.push_back(ReadEntry{.obj = x,
-                               .part = p,
-                               .writer = v != nullptr ? v->writer : TxnId{},
-                               .pidx = v != nullptr ? v->pidx : 0});
+  const ReadEntry entry{.obj = x,
+                        .part = p,
+                        .writer = v != nullptr ? v->writer : TxnId{},
+                        .pidx = v != nullptr ? v->pidx : 0};
+  // Idempotent per object: a re-read replaces the old entry (keeping the
+  // latest observed version) instead of appending a duplicate. rs.insert
+  // already dedups, and certifiers / read_of must see one entry per object
+  // — a stale duplicate would be re-checked and read_of would answer with
+  // whichever came first.
+  auto it = std::find_if(t->reads.begin(), t->reads.end(),
+                         [x](const ReadEntry& e) { return e.obj == x; });
+  if (it != t->reads.end()) {
+    *it = entry;
+  } else {
+    t->reads.push_back(entry);
+  }
   cl_.oracle().note_read(v, p, t->snap);
 }
 
@@ -241,6 +255,7 @@ void Replica::on_term_delivered(const TxnPtr& t) {
   if (st.in_q || st.voted || st.decided) return;
   st.in_q = true;
   q_.push_back(t->id);
+  st.q_pos = cidx_.add(t);
   GDUR_TRACE("site %d xdeliver txn %d.%llu |Q|=%zu", static_cast<int>(id_),
              static_cast<int>(t->id.coord),
              static_cast<unsigned long long>(t->id.seq), q_.size());
@@ -261,41 +276,71 @@ void Replica::on_term_delivered(const TxnPtr& t) {
   if (cl_.spec().ac != AcKind::kGroupComm) {
     // Algorithm 4 lines 1-7 (also Paxos Commit): vote immediately; a
     // non-commuting transaction already in Q triggers a preemptive abort.
-    bool preempt = false;
-    for (const TxnId& other : q_) {
-      if (other == t->id) continue;
-      const auto it = term_.find(other);
-      if (it == term_.end() || it->second.decided) continue;
-      if (!cl_.spec().commute(*t, *it->second.txn)) {
-        preempt = true;
-        break;
-      }
-    }
-    cast_vote(t, preempt);
+    cast_vote(t, queued_conflict(*t, st.q_pos, /*preceding_only=*/false));
   } else {
     gc_try_votes();
   }
+}
+
+bool Replica::queued_conflict_pairwise(const TxnRecord& t,
+                                       bool preceding_only) const {
+  const auto& spec = cl_.spec();
+  for (const TxnId& other : q_) {
+    if (other == t.id) {
+      if (preceding_only) return false;  // only transactions delivered first
+      continue;
+    }
+    const auto it = term_.find(other);
+    if (it == term_.end()) continue;
+    // The convoy test orders against *every* predecessor in Q, decided or
+    // not; the preemptive test only fears transactions still in flight.
+    if (!preceding_only && it->second.decided) continue;
+    if (!spec.commute(t, *it->second.txn)) return true;
+  }
+  return false;
+}
+
+bool Replica::queued_conflict(const TxnRecord& t, std::uint64_t pos,
+                              bool preceding_only) const {
+  if (!cl_.spec().commute_footprint_local)
+    return queued_conflict_pairwise(t, preceding_only);
+  const bool conflict =
+      cidx_.scan(t, [&](const ConflictIndex::Candidate& c) {
+        if (c.pos == pos) return false;  // self
+        if (preceding_only && c.pos > pos) return false;
+        const auto it = term_.find(c.txn.id);
+        if (it == term_.end()) return false;
+        if (!preceding_only && it->second.decided) return false;
+        return !cl_.spec().commute(t, c.txn);
+      });
+  if (verify_cert_enabled()) {
+    const bool pairwise = queued_conflict_pairwise(t, preceding_only);
+    if (pairwise != conflict) {
+      std::fprintf(stderr,
+                   "GDUR_VERIFY_CERT: site %d txn %d.%llu %s scan mismatch "
+                   "(indexed=%d pairwise=%d, |Q|=%zu)\n",
+                   static_cast<int>(id_), static_cast<int>(t.id.coord),
+                   static_cast<unsigned long long>(t.id.seq),
+                   preceding_only ? "convoy" : "preemptive",
+                   static_cast<int>(conflict), static_cast<int>(pairwise),
+                   q_.size());
+      std::abort();
+    }
+  }
+  return conflict;
 }
 
 void Replica::gc_try_votes() {
   if (cl_.spec().ac != AcKind::kGroupComm) return;
   // Algorithm 3 lines 1-3: T may be certified once it commutes with every
   // transaction preceding it in Q.
-  std::vector<const TxnRecord*> preceding;
-  preceding.reserve(q_.size());
   for (const TxnId& id : q_) {
-    auto& st = term_.at(id);
-    if (!st.voted) {
-      bool ok = true;
-      for (const TxnRecord* prev : preceding) {
-        if (!cl_.spec().commute(*st.txn, *prev)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) cast_vote(st.txn, false);
-    }
-    preceding.push_back(st.txn.get());
+    const auto it = term_.find(id);
+    if (it == term_.end()) continue;
+    TermState& st = it->second;
+    if (st.voted) continue;
+    if (!queued_conflict(*st.txn, st.q_pos, /*preceding_only=*/true))
+      cast_vote(st.txn, false);
   }
 }
 
@@ -355,7 +400,9 @@ void Replica::send_vote_msgs(const TxnPtr& t, bool v) {
 }
 
 void Replica::announce_vote(const TxnPtr& t, bool v) {
-  state_of(t).my_vote = v;
+  auto& st0 = state_of(t);
+  st0.my_vote = v;
+  st0.announced = true;
   const auto& spec = cl_.spec();
   if (spec.ac == AcKind::kGroupComm &&
       spec.vote_snd == VoteScope::kLocalObjects) {
@@ -384,7 +431,8 @@ void Replica::schedule_vote_retry(const TxnPtr& t, int round) {
   cl_.simulator().after(delay, [this, t, round] {
     if (known_outcome(t->id) != nullptr) return;
     auto it = term_.find(t->id);
-    if (it == term_.end() || it->second.decided || !it->second.voted) return;
+    if (it == term_.end() || it->second.decided || !it->second.announced)
+      return;
     if (cl_.transport().cpu(id_).down_at(cl_.simulator().now()))
       return;  // crashed meanwhile: on_recover re-announces and re-arms
     send_vote_msgs(t, it->second.my_vote);
@@ -414,9 +462,11 @@ void Replica::arm_term_timeout(const TxnPtr& t, int round) {
     // Group communication decides from vote quorums at every site: a
     // unilateral abort here could contradict a commit already decided at
     // another replica. Re-announce our vote — decided sites answer with
-    // the outcome — and keep waiting.
+    // the outcome — and keep waiting. Only a finalized (announced) vote may
+    // be resent: between cast_vote and announce_vote my_vote still holds
+    // the default, and shipping it would contradict the real vote.
     auto it = term_.find(t->id);
-    if (it != term_.end() && it->second.voted)
+    if (it != term_.end() && it->second.announced)
       send_vote_msgs(t, it->second.my_vote);
     if (round + 1 < kMaxVoteRetries) arm_term_timeout(t, round + 1);
   });
@@ -656,6 +706,7 @@ void Replica::process_queue_head() {
     const TxnPtr t = st.txn;
     st.in_q = false;
     q_.pop_front();
+    cidx_.remove(t->id);
     if (st.committed) apply_commit(t);
   }
   gc_try_votes();
@@ -665,6 +716,7 @@ void Replica::remove_from_q(const TxnId& id) {
   auto it = std::find(q_.begin(), q_.end(), id);
   if (it != q_.end()) {
     q_.erase(it);
+    cidx_.remove(id);
     if (auto ts = term_.find(id); ts != term_.end()) ts->second.in_q = false;
     gc_try_votes();
     if (cl_.spec().ac == AcKind::kGroupComm && cl_.spec().wait_head_of_queue)
@@ -729,22 +781,13 @@ void Replica::apply_commit(const TxnPtr& t) {
     cl_.oracle().on_propagate(id_, txn.stamp);
   }
 
-  recent_.push_back(
-      CommittedInfo{.id = txn.id, .rs = txn.rs, .ws = txn.ws, .commit_time = now});
-  while (!recent_.empty() && recent_.front().commit_time < now - kRecentWindow)
-    recent_.pop_front();
-
+  recency_.note_commit(txn, now);
   if (cl_.spec().track_committed_readers && !txn.read_only()) {
     for (ObjectId o : txn.rs) {
       if (!part.is_local(id_, o)) continue;
-      auto& readers = recent_readers_[o];
-      readers.push_back(ReaderInfo{.origin = txn.stamp.origin,
-                                   .seq = txn.stamp.seq,
-                                   .commit_time = now});
-      // Old entries are visible in any live snapshot; keep the tail short.
-      if (readers.size() > kMaxTrackedReaders)
-        readers.erase(readers.begin(),
-                      readers.end() - static_cast<long>(kMaxTrackedReaders));
+      recency_.note_reader(o, ReaderInfo{.origin = txn.stamp.origin,
+                                         .seq = txn.stamp.seq,
+                                         .commit_time = now});
     }
   }
 
@@ -769,11 +812,12 @@ void Replica::finish_coordinator(const TxnPtr& t, bool commit) {
 void Replica::on_crash() {
   // Volatile protocol state vanishes with the process.
   q_.clear();
+  cidx_.clear();  // mirrors q_ exactly, always
   term_.clear();
   commit_cbs_.clear();
   paxos_acc_.clear();
   paxos_acc_fifo_.clear();
-  // The committed store (db_, recent_, latest_seq_, recent_readers_) and the
+  // The committed store (db_, recency_, latest_seq_) and the
   // decided-transaction cache are kept: both are exactly what log replay
   // rebuilds in a real deployment, and re-deriving identical state here
   // would only add simulated replay cost (charged in on_recover).
@@ -799,6 +843,7 @@ void Replica::on_recover() {
         if (!st.in_q && !st.decided) {
           st.in_q = true;
           q_.push_back(r.txn);
+          st.q_pos = cidx_.add(t);  // re-indexed in replay (= delivery) order
         }
         break;
       }
@@ -806,6 +851,9 @@ void Replica::on_recover() {
         if (known_outcome(r.txn) != nullptr) break;
         auto& st = state_of(t);
         st.voted = true;
+        // The logged value is exactly what announce_vote shipped (or was
+        // about to ship): final, safe to re-announce.
+        st.announced = true;
         st.my_vote = r.flag;
         break;
       }
@@ -818,39 +866,36 @@ void Replica::on_recover() {
     }
   }
 
-  // Re-vote for rebuilt queue entries whose vote never reached the log.
-  const auto& spec = cl_.spec();
-  if (spec.ac != AcKind::kGroupComm) {
-    for (const TxnId& id : q_) {
-      auto& st = term_.at(id);
-      if (st.voted || st.decided) continue;
-      bool preempt = false;
-      for (const TxnId& other : q_) {
-        if (other == id) continue;
-        const auto it = term_.find(other);
-        if (it == term_.end() || it->second.decided) continue;
-        if (!spec.commute(*st.txn, *it->second.txn)) {
-          preempt = true;
-          break;
-        }
-      }
-      cast_vote(st.txn, preempt);
-    }
-  } else {
-    gc_try_votes();
-  }
-
   // Re-announce logged votes whose outcome is unknown, and restart the
-  // coordinator's in-doubt resolution for transactions it owns.
+  // coordinator's in-doubt resolution for transactions it owns. This pass
+  // MUST run before the re-vote pass below: cast_vote marks a transaction
+  // voted immediately while the vote's value is recomputed asynchronously,
+  // so a re-announce pass running after it would ship the default (false)
+  // my_vote for freshly re-voted transactions — a contradictory abort vote
+  // the coordinator may count before the real one arrives.
   if (cl_.fault_tolerance_on()) {
     for (auto& [id, st] : term_) {
       if (st.decided) continue;
-      if (st.voted) {
+      if (st.announced) {
         send_vote_msgs(st.txn, st.my_vote);
         schedule_vote_retry(st.txn, 0);
       }
       if (id.coord == id_) arm_term_timeout(st.txn, 0);
     }
+  }
+
+  // Re-vote for rebuilt queue entries whose vote never reached the log.
+  if (cl_.spec().ac != AcKind::kGroupComm) {
+    for (const TxnId& id : q_) {
+      const auto it = term_.find(id);
+      if (it == term_.end()) continue;
+      TermState& st = it->second;
+      if (st.voted || st.decided) continue;
+      cast_vote(st.txn,
+                queued_conflict(*st.txn, st.q_pos, /*preceding_only=*/false));
+    }
+  } else {
+    gc_try_votes();
   }
 
   // Charge the replay work (one queue operation per log record).

@@ -22,6 +22,7 @@
 
 #include "common/obj_set.h"
 #include "common/types.h"
+#include "core/conflict_index.h"
 #include "core/protocol_spec.h"
 #include "core/transaction.h"
 #include "obs/events.h"
@@ -30,15 +31,6 @@
 namespace gdur::core {
 
 class Cluster;
-
-/// A recently committed transaction, retained for certification tests that
-/// compare against concurrent committed transactions (S-DUR).
-struct CommittedInfo {
-  TxnId id;
-  ObjSet rs;
-  ObjSet ws;
-  SimTime commit_time = 0;
-};
 
 class Replica {
  public:
@@ -115,21 +107,20 @@ class Replica {
   /// `x` across the whole system (requires spec.track_all_objects).
   [[nodiscard]] std::uint64_t latest_seq_of(ObjectId x) const;
   [[nodiscard]] const std::deque<CommittedInfo>& recent_commits() const {
-    return recent_;
+    return recency_.recent();
   }
-
-  /// A committed update transaction that read an object (S-DUR cert).
-  struct ReaderInfo {
-    SiteId origin;       // stamp identity of the reading transaction
-    std::uint64_t seq;
-    SimTime commit_time;
-  };
   /// Recently committed update readers of `x` (spec.track_committed_readers).
   [[nodiscard]] const std::vector<ReaderInfo>* recent_readers(ObjectId x) const {
-    auto it = recent_readers_.find(x);
-    return it == recent_readers_.end() ? nullptr : &it->second;
+    return recency_.readers(x);
   }
   [[nodiscard]] std::size_t queue_length() const { return q_.size(); }
+  [[nodiscard]] const ConflictIndex& conflict_index() const { return cidx_; }
+
+  /// Test seam: installs a committed version directly into the local store
+  /// (drives ObjectChain pruning in certification regression tests).
+  void install_version_for_testing(ObjectId o, store::Version v) {
+    db_.install(o, std::move(v));
+  }
 
   /// Why a decided transaction aborted here (kNone if committed or if this
   /// replica never learned the outcome). Clients query their coordinator's
@@ -143,9 +134,11 @@ class Replica {
  private:
   struct TermState {
     TxnPtr txn;
+    std::uint64_t q_pos = 0;  // enqueue position (= ConflictIndex position)
     bool in_q = false;
-    bool voted = false;
-    bool my_vote = false;  // remembered for re-announcement under faults
+    bool voted = false;     // cast_vote ran (value may still be computing)
+    bool announced = false; // my_vote is final: announced or WAL-replayed
+    bool my_vote = false;   // remembered for re-announcement under faults
     bool decided = false;
     bool committed = false;
     bool any_false = false;
@@ -172,6 +165,21 @@ class Replica {
 
   // --- termination helpers ---
   TermState& state_of(const TxnPtr& t);
+  /// The one commute scan behind all three certification sites (preemptive
+  /// 2PC/Paxos vote, gc_try_votes, recovery re-vote): does `t` conflict
+  /// (fail to commute) with another queued transaction? `pos` is t's
+  /// enqueue position; `preceding_only` restricts the scan to transactions
+  /// delivered before t (Algorithm 3's convoy test, which considers decided
+  /// but still-queued predecessors too), otherwise decided transactions are
+  /// skipped (Algorithm 4's preemptive-abort test). Answered from the
+  /// ConflictIndex when the spec's commute() is footprint-local; with
+  /// GDUR_VERIFY_CERT on, every indexed answer is cross-checked against the
+  /// pairwise queue scan.
+  [[nodiscard]] bool queued_conflict(const TxnRecord& t, std::uint64_t pos,
+                                     bool preceding_only) const;
+  /// The original O(|Q|) pairwise scan — fallback and verification oracle.
+  [[nodiscard]] bool queued_conflict_pairwise(const TxnRecord& t,
+                                              bool preceding_only) const;
   void gc_try_votes();
   void cast_vote(const TxnPtr& t, bool preemptive_abort);
   /// Second half of cast_vote, after the (optional) durable log write.
@@ -220,8 +228,11 @@ class Replica {
   std::deque<TxnId> paxos_acc_fifo_;
   static constexpr std::size_t kPaxosAcceptorCap = 100'000;
   std::unordered_map<ObjectId, std::uint64_t> latest_seq_;  // Serrano index
-  std::deque<CommittedInfo> recent_;
-  std::unordered_map<ObjectId, std::vector<ReaderInfo>> recent_readers_;
+  // Certification pipeline (core/conflict_index.h): queued transactions
+  // indexed by footprint object, mirroring q_ exactly; plus the bounded
+  // recently-committed window and S-DUR's per-object committed readers.
+  ConflictIndex cidx_;
+  RecencyIndex recency_{kRecentWindow, kMaxTrackedReaders};
   // Decided-transaction outcomes, retained (bounded FIFO) past the term-state
   // GC so that retried votes and replayed log records are answered with the
   // decision instead of reopening certification.

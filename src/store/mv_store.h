@@ -26,6 +26,21 @@ struct Version {
 
 class ObjectChain {
  public:
+  /// What pruning dropped off the front of the chain. Certification tests
+  /// that scan the whole chain (S-DUR) cannot inspect pruned versions
+  /// individually, so the summary retains enough to treat the pruned prefix
+  /// conservatively: how many versions are gone and the identity of the
+  /// newest one (the last version whose snapshot-visibility the prefix can
+  /// still be tested against). Without it, a pruned snapshot-invisible
+  /// version silently disappears from certification and the verdict flips
+  /// to commit — correctness must not depend on a GC constant.
+  struct PrunedSummary {
+    std::size_t count = 0;  // versions dropped so far
+    versioning::Stamp newest_stamp;
+    std::uint64_t newest_pidx = 0;
+    SimTime newest_commit_time = 0;
+  };
+
   [[nodiscard]] bool empty() const { return versions_.empty(); }
   [[nodiscard]] std::size_t size() const { return versions_.size(); }
 
@@ -33,12 +48,20 @@ class ObjectChain {
   /// pidx 0) is implicit and handled by the callers' "version 0" convention.
   [[nodiscard]] const Version& at(std::size_t i) const { return versions_[i]; }
   [[nodiscard]] const Version& latest() const { return versions_.back(); }
+  [[nodiscard]] const PrunedSummary& pruned() const { return pruned_; }
 
   void install(Version v) {
     versions_.push_back(std::move(v));
-    if (versions_.size() > kMaxDepth)
+    if (versions_.size() > kMaxDepth) {
+      const std::size_t drop = versions_.size() - kKeepDepth;
+      const Version& newest_dropped = versions_[drop - 1];
+      pruned_.count += drop;
+      pruned_.newest_stamp = newest_dropped.stamp;
+      pruned_.newest_pidx = newest_dropped.pidx;
+      pruned_.newest_commit_time = newest_dropped.commit_time;
       versions_.erase(versions_.begin(),
-                      versions_.begin() + (versions_.size() - kKeepDepth));
+                      versions_.begin() + static_cast<long>(drop));
+    }
   }
 
   static constexpr std::size_t kMaxDepth = 32;
@@ -46,6 +69,7 @@ class ObjectChain {
 
  private:
   std::vector<Version> versions_;
+  PrunedSummary pruned_;
 };
 
 class MVStore {

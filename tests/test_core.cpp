@@ -372,6 +372,72 @@ TEST(Engine, TwoPcTerminationIsFasterThanAbCast) {
             term_latency(protocols::serrano()));
 }
 
+// record_read must be idempotent per object: a transaction that re-reads an
+// object keeps ONE ReadEntry, updated to the version the re-read observed.
+// Before the fix, every re-read appended a duplicate — certifiers re-checked
+// the stale entry and read_of() answered with whichever came first.
+TEST(RepeatedRead, LocalReReadKeepsOneEntryWithLatestVersion) {
+  Cluster cl(small_config(), protocols::by_name("P-Store"));
+  // Object 4 lives at coordinator site 0: both reads take the local path.
+  ASSERT_EQ(run_txn(cl, 0, {}, {4}), std::optional<bool>(true));
+
+  MutTxnPtr reader;
+  int reads_ok = 0;
+  cl.simulator().at(seconds(1), [&] {
+    cl.begin(0, [&](MutTxnPtr t) {
+      reader = t;
+      cl.read(0, t, 4, [&](bool ok) { reads_ok += ok ? 1 : 0; });
+    });
+  });
+  // A writer commits a second version of object 4 between the two reads.
+  cl.simulator().at(seconds(2), [&] {
+    cl.begin(0, [&](MutTxnPtr t) {
+      cl.write(0, t, 4, [&cl, t] { cl.commit(0, t, [](bool) {}); });
+    });
+  });
+  cl.simulator().at(seconds(3), [&] {
+    cl.read(0, reader, 4, [&](bool ok) { reads_ok += ok ? 1 : 0; });
+  });
+  cl.simulator().run();
+
+  ASSERT_EQ(reads_ok, 2);
+  ASSERT_EQ(reader->reads.size(), 1u);  // no duplicate entry
+  EXPECT_EQ(reader->reads[0].obj, ObjectId(4));
+  // P-Store chooses the last committed version, so the re-read observed the
+  // writer's install and the single entry must carry it.
+  EXPECT_EQ(reader->reads[0].pidx, cl.replica(0).latest_pidx(4));
+  EXPECT_EQ(reader->rs.size(), 1u);
+}
+
+TEST(RepeatedRead, RemoteReReadKeepsOneEntryWithLatestVersion) {
+  Cluster cl(small_config(), protocols::by_name("P-Store"));
+  // Object 5 lives at site 1: reads from coordinator 0 take the remote path.
+  ASSERT_EQ(run_txn(cl, 1, {}, {5}), std::optional<bool>(true));
+
+  MutTxnPtr reader;
+  int reads_ok = 0;
+  cl.simulator().at(seconds(1), [&] {
+    cl.begin(0, [&](MutTxnPtr t) {
+      reader = t;
+      cl.read(0, t, 5, [&](bool ok) { reads_ok += ok ? 1 : 0; });
+    });
+  });
+  cl.simulator().at(seconds(2), [&] {
+    cl.begin(1, [&](MutTxnPtr t) {
+      cl.write(1, t, 5, [&cl, t] { cl.commit(1, t, [](bool) {}); });
+    });
+  });
+  cl.simulator().at(seconds(3), [&] {
+    cl.read(0, reader, 5, [&](bool ok) { reads_ok += ok ? 1 : 0; });
+  });
+  cl.simulator().run();
+
+  ASSERT_EQ(reads_ok, 2);
+  ASSERT_EQ(reader->reads.size(), 1u);
+  EXPECT_EQ(reader->reads[0].obj, ObjectId(5));
+  EXPECT_EQ(reader->reads[0].pidx, cl.replica(1).latest_pidx(5));
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   auto run_once = [] {
     Cluster cl(small_config(), protocols::gmu());

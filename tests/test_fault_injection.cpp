@@ -5,8 +5,12 @@
 // lossy links, a healed partition, and a crash with WAL recovery.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "checker/history.h"
@@ -237,9 +241,11 @@ const ProtocolCase kProtocols[] = {
 
 struct FaultyRig {
   FaultyRig(const core::ProtocolSpec& spec, core::ClusterConfig cfg,
-            int clients, SimDuration window)
+            int clients, SimDuration window,
+            const std::function<void(core::Cluster&)>& setup = {})
       : cluster(cfg, spec) {
     history.attach(cluster);
+    if (setup) setup(cluster);
     for (int i = 0; i < clients; ++i) {
       actors.push_back(std::make_unique<workload::ClientActor>(
           cluster, static_cast<SiteId>(i % cfg.sites),
@@ -319,6 +325,48 @@ TEST_P(FaultMatrix, CrashWithWalRecoveryUpholdsCriterion) {
   for (SiteId s = 0; s < 4; ++s)
     recoveries += rig.cluster.replica(s).recoveries();
   EXPECT_EQ(recoveries, 1u);
+  const auto r = rig.history.check_criterion(GetParam().criterion);
+  EXPECT_TRUE(r.ok) << GetParam().name << ": " << r.detail;
+}
+
+// A site must never contradict itself: once its certification vote for a
+// transaction is announced, every resend — protocol retries, timeout
+// re-announcements, post-crash recovery — carries the same value. The
+// recovery path used to violate this: the re-vote loop marked transactions
+// voted while their value was still being recomputed, and the re-announce
+// loop then shipped the default (false) my_vote, later contradicted by the
+// real vote.
+TEST_P(FaultMatrix, ExactlyOneVoteValuePerSiteAndTxnAcrossCrashes) {
+  auto cfg = faulty_config(/*rf=*/2);
+  cfg.durable = true;
+  cfg.faults.crash(1, milliseconds(400), milliseconds(700));
+  cfg.faults.crash(2, milliseconds(900), milliseconds(1200));
+
+  std::map<std::tuple<SiteId, SiteId, std::uint64_t>, bool> first_vote;
+  std::vector<std::string> contradictions;
+  const auto watch_votes = [&](core::Cluster& cl) {
+    cl.set_vote_observer([&](const core::Cluster::VoteEvent& e) {
+      const auto key = std::make_tuple(e.voter, e.txn.coord, e.txn.seq);
+      auto [it, inserted] = first_vote.emplace(key, e.vote);
+      if (!inserted && it->second != e.vote)
+        contradictions.push_back(
+            "site " + std::to_string(e.voter) + " txn " +
+            std::to_string(e.txn.coord) + "." + std::to_string(e.txn.seq) +
+            ": " + (it->second ? "true" : "false") + " then " +
+            (e.vote ? "true" : "false"));
+    });
+  };
+  FaultyRig rig(protocols::by_name(GetParam().name), cfg, 16, seconds(3),
+                watch_votes);
+
+  EXPECT_GT(rig.metrics.committed(), 50u);
+  std::uint64_t recoveries = 0;
+  for (SiteId s = 0; s < 4; ++s)
+    recoveries += rig.cluster.replica(s).recoveries();
+  EXPECT_EQ(recoveries, 2u);
+  EXPECT_TRUE(contradictions.empty())
+      << contradictions.size() << " contradictory votes, first: "
+      << contradictions.front();
   const auto r = rig.history.check_criterion(GetParam().criterion);
   EXPECT_TRUE(r.ok) << GetParam().name << ": " << r.detail;
 }

@@ -32,6 +32,40 @@ TEST(ObjectChain, PrunesOldVersions) {
   EXPECT_GT(c.at(0).pidx, 1u);
 }
 
+TEST(ObjectChain, NoPruningMeansEmptySummary) {
+  ObjectChain c;
+  for (std::uint64_t i = 1; i <= ObjectChain::kMaxDepth; ++i) c.install(v(i));
+  EXPECT_EQ(c.pruned().count, 0u);
+}
+
+TEST(ObjectChain, PrunedSummaryTracksNewestDroppedVersion) {
+  ObjectChain c;
+  for (std::uint64_t i = 1; i <= ObjectChain::kMaxDepth + 1; ++i) {
+    Version x = v(i);
+    x.stamp.origin = 2;
+    x.stamp.seq = i;
+    x.commit_time = static_cast<SimTime>(i);
+    c.install(x);
+  }
+  // First prune: 33 versions drop to kKeepDepth=24, losing versions 1..9.
+  const std::size_t first_drop = ObjectChain::kMaxDepth + 1 -
+                                 ObjectChain::kKeepDepth;
+  EXPECT_EQ(c.size(), ObjectChain::kKeepDepth);
+  EXPECT_EQ(c.pruned().count, first_drop);
+  EXPECT_EQ(c.pruned().newest_pidx, first_drop);
+  EXPECT_EQ(c.pruned().newest_stamp.origin, 2);
+  EXPECT_EQ(c.pruned().newest_stamp.seq, first_drop);
+  EXPECT_EQ(c.pruned().newest_commit_time, static_cast<SimTime>(first_drop));
+  EXPECT_EQ(c.at(0).pidx, first_drop + 1);  // retained suffix is contiguous
+
+  // A second prune accumulates the count and advances the newest summary.
+  for (std::uint64_t i = ObjectChain::kMaxDepth + 2;
+       i <= 2 * ObjectChain::kMaxDepth; ++i)
+    c.install(v(i));
+  EXPECT_EQ(c.pruned().count + c.size(), 2 * ObjectChain::kMaxDepth);
+  EXPECT_EQ(c.pruned().newest_pidx + 1, c.at(0).pidx);
+}
+
 TEST(MVStore, ChainIsNullBeforeFirstInstall) {
   MVStore db;
   EXPECT_EQ(db.chain(42), nullptr);
