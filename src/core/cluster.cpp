@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "net/wire.h"
 
@@ -77,6 +78,54 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
       });
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Transport/scheduler seam — simulator backend.
+// ---------------------------------------------------------------------------
+
+void Cluster::run_after(SiteId /*at*/, SimDuration delay,
+                        std::function<void()> fn) {
+  sim_.after(delay, std::move(fn));
+}
+
+void Cluster::run_local(SiteId at, SimDuration service,
+                        std::function<void()> fn) {
+  net_->local_work(at, service, std::move(fn));
+}
+
+bool Cluster::site_down(SiteId s) const {
+  return net_->cpu(s).down_at(sim_.now());
+}
+
+void Cluster::remote_read(SiteId from, SiteId target, const MutTxnPtr& t,
+                          ObjectId x, std::function<void(bool)> cb) {
+  // Line 13 of Algorithm 1: the request carries the snapshot; the reply
+  // carries the chosen version, applied to the record at the coordinator.
+  const std::uint64_t req = net::wire::read_request() + meta_bytes();
+  net_->send(
+      from, target, req,
+      [this, from, target, t, x, cb = std::move(cb)] {
+        replicas_[target]->serve_remote_read(
+            from, t, x,
+            [this, from, target, t, x, cb](bool ok,
+                                           std::optional<store::Version> v) {
+              const std::uint64_t reply = net::wire::read_reply(meta_bytes());
+              net_->send(
+                  target, from, reply,
+                  [this, from, t, x, ok, v = std::move(v), cb] {
+                    if (!ok) {
+                      cb(false);
+                      return;
+                    }
+                    replicas_[from]->record_read(t, x,
+                                                 v.has_value() ? &*v : nullptr);
+                    cb(true);
+                  },
+                  obs::MsgClass::kReadReply);
+            });
+      },
+      obs::MsgClass::kRemoteRead);
 }
 
 std::uint64_t Cluster::meta_bytes() const {

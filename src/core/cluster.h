@@ -67,22 +67,56 @@ struct ClusterConfig {
 class Cluster {
  public:
   Cluster(const ClusterConfig& cfg, ProtocolSpec spec);
+  virtual ~Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   // ------------------------------------------------------------------
   // Client API (each call is one client->replica->client round trip).
   // ------------------------------------------------------------------
-  void begin(SiteId coord, std::function<void(MutTxnPtr)> cb);
-  void read(SiteId coord, const MutTxnPtr& t, ObjectId x,
-            std::function<void(bool)> cb);
-  void write(SiteId coord, const MutTxnPtr& t, ObjectId x,
-             std::function<void()> cb);
-  void commit(SiteId coord, const MutTxnPtr& t, std::function<void(bool)> cb);
+  virtual void begin(SiteId coord, std::function<void(MutTxnPtr)> cb);
+  virtual void read(SiteId coord, const MutTxnPtr& t, ObjectId x,
+                    std::function<void(bool)> cb);
+  virtual void write(SiteId coord, const MutTxnPtr& t, ObjectId x,
+                     std::function<void()> cb);
+  virtual void commit(SiteId coord, const MutTxnPtr& t,
+                      std::function<void(bool)> cb);
+
+  // ------------------------------------------------------------------
+  // Transport/scheduler seam. Replica and the client flow talk to the
+  // deployment exclusively through these virtuals, so one protocol engine
+  // runs unchanged on the deterministic simulator (this class) and on real
+  // sockets and threads (live::LiveCluster). The contract either backend
+  // must honor: exactly-once delivery, FIFO per (src,dst) link, and all
+  // handlers of one site running single-threaded.
+  // ------------------------------------------------------------------
+  /// Current time: virtual simulated time here, wall clock in live mode.
+  [[nodiscard]] virtual SimTime now() const { return sim_.now(); }
+  /// Runs `fn` on site `at`'s execution context after `delay`.
+  virtual void run_after(SiteId at, SimDuration delay,
+                         std::function<void()> fn);
+  /// Runs `fn` on site `at` after charging `service` CPU time (live mode
+  /// spends real CPU instead and ignores the analytic charge).
+  virtual void run_local(SiteId at, SimDuration service,
+                         std::function<void()> fn);
+  /// Is site `s` currently crashed? (Always false in live mode: the live
+  /// runtime is fault-free.)
+  [[nodiscard]] virtual bool site_down(SiteId s) const;
+  /// Remote read (Algorithm 1 lines 13, 26-30): ships `t`'s snapshot to
+  /// `target`, serves the read there, applies the chosen version at
+  /// `from` via Replica::record_read, then runs `cb`.
+  virtual void remote_read(SiteId from, SiteId target, const MutTxnPtr& t,
+                           ObjectId x, std::function<void(bool)> cb);
 
   // ------------------------------------------------------------------
   // Wiring used by Replica and by protocol plug-ins.
   // ------------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Transport& transport() { return *net_; }
+  /// Analytic cost model (CPU service times). Shared by both backends: the
+  /// sim charges these durations, live mode uses them only where a real
+  /// cost exists (e.g. nothing — real CPU is spent instead).
+  [[nodiscard]] const sim::CostModel& cost() const { return net_->cost(); }
   [[nodiscard]] const store::Partitioner& partitioner() const { return part_; }
   [[nodiscard]] versioning::VersionOracle& oracle() { return *oracle_; }
   [[nodiscard]] const ProtocolSpec& spec() const { return spec_; }
@@ -114,22 +148,23 @@ class Cluster {
 
   /// Propagates `t` to replicas(certifying_obj(t)) with the spec's xcast
   /// (Algorithm 2 line 15). `dests` must be the sorted destination sites.
-  void xcast_term(const TxnPtr& t, std::vector<SiteId> dests);
+  virtual void xcast_term(const TxnPtr& t, std::vector<SiteId> dests);
 
-  void send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote);
-  void send_decision(SiteId from, SiteId to, const TxnPtr& t, bool commit);
+  virtual void send_vote(SiteId from, SiteId to, const TxnPtr& t, bool vote);
+  virtual void send_decision(SiteId from, SiteId to, const TxnPtr& t,
+                             bool commit);
 
   /// Paxos Commit messaging (AC = paxos): a participant's vote travels to
   /// every acceptor (2a), acceptances travel to the coordinator (2b).
-  void send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
-                     SiteId participant, bool vote);
-  void send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
-                     SiteId participant, bool vote, SiteId acceptor);
+  virtual void send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
+                             SiteId participant, bool vote);
+  virtual void send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
+                             SiteId participant, bool vote, SiteId acceptor);
 
   /// Background propagation of a commit's version number (Walter / S-DUR
   /// post_commit): `dests` learn t.stamp via oracle().on_propagate.
-  void propagate_stamp(SiteId from, const TxnRecord& t,
-                       const std::vector<SiteId>& dests);
+  virtual void propagate_stamp(SiteId from, const TxnRecord& t,
+                               const std::vector<SiteId>& dests);
 
   /// Replica of `x` closest to `from` (for remote reads).
   [[nodiscard]] SiteId nearest_replica(SiteId from, ObjectId x) const;
@@ -167,7 +202,7 @@ class Cluster {
     vote_observer_ = std::move(obs);
   }
 
- private:
+ protected:
   [[nodiscard]] std::uint64_t term_bytes(const TxnRecord& t) const;
 
   ProtocolSpec spec_;

@@ -32,7 +32,7 @@ bool Replica::has_local_writes(const TxnRecord& t) const {
 }
 
 SimDuration Replica::certify_cost(const TxnRecord& t) const {
-  const auto& cost = cl_.transport().cost();
+  const auto& cost = cl_.cost();
   return cost.certify_base +
          cost.certify_per_obj * static_cast<SimDuration>(t.rs.size() + t.ws.size());
 }
@@ -44,7 +44,7 @@ SimDuration Replica::certify_cost(const TxnRecord& t) const {
 void Replica::exec_begin(std::function<void(MutTxnPtr)> cb) {
   auto t = std::make_shared<TxnRecord>();
   t->id = TxnId{id_, ++txn_counter_};
-  t->begin_time = cl_.simulator().now();
+  t->begin_time = cl_.now();
   cl_.oracle().begin_snapshot(id_, t->snap);
   cb(std::move(t));
 }
@@ -56,25 +56,20 @@ void Replica::exec_read(const MutTxnPtr& t, ObjectId x,
     cb(true);
     return;
   }
-  const auto& cost = cl_.transport().cost();
+  const auto& cost = cl_.cost();
   const SimDuration snap_cost = cl_.spec().choose == ChooseKind::kCons
                                     ? cost.snapshot_maintain
                                     : SimDuration{0};
   const SiteId target = cl_.nearest_replica(id_, x);
   if (target == id_) {
     // Line 11: local read.
-    cl_.transport().local_work(
+    cl_.run_local(
         id_, cost.read_local + cost.version_select + snap_cost,
         [this, t, x, cb = std::move(cb)] { local_read_attempt(t, x, 0, cb); });
     return;
   }
   // Line 13: asynchronous remote read (the snapshot travels with it).
-  const std::uint64_t req = net::wire::read_request() + cl_.meta_bytes();
-  cl_.transport().send(id_, target, req,
-                       [this, target, t, x, cb = std::move(cb)] {
-                         cl_.replica(target).serve_remote_read(id_, t, x, cb);
-                       },
-                       obs::MsgClass::kRemoteRead);
+  cl_.remote_read(id_, target, t, x, std::move(cb));
 }
 
 void Replica::local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
@@ -94,12 +89,12 @@ void Replica::local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
       cb(false);
       return;
     }
-    cl_.simulator().after(kReadRetryDelay, [this, t, x, attempt, cb] {
-      const auto& cost = cl_.transport().cost();
-      cl_.transport().local_work(id_, cost.read_local + cost.version_select,
-                                 [this, t, x, attempt, cb] {
-                                   local_read_attempt(t, x, attempt + 1, cb);
-                                 });
+    cl_.run_after(id_, kReadRetryDelay, [this, t, x, attempt, cb] {
+      const auto& cost = cl_.cost();
+      cl_.run_local(id_, cost.read_local + cost.version_select,
+                    [this, t, x, attempt, cb] {
+                      local_read_attempt(t, x, attempt + 1, cb);
+                    });
     });
     return;
   }
@@ -134,22 +129,22 @@ void Replica::record_read(const MutTxnPtr& t, ObjectId x,
 }
 
 void Replica::serve_remote_read(SiteId requester, const MutTxnPtr& t,
-                                ObjectId x, std::function<void(bool)> done) {
-  const auto& cost = cl_.transport().cost();
+                                ObjectId x, ReadReplyFn reply) {
+  const auto& cost = cl_.cost();
   const SimDuration snap_cost = cl_.spec().choose == ChooseKind::kCons
                                     ? cost.snapshot_maintain
                                     : SimDuration{0};
-  cl_.transport().local_work(id_, cost.read_local + cost.version_select + snap_cost,
-                             [this, requester, t, x, done = std::move(done)] {
-                               remote_read_attempt(requester, t, x, 0, done);
-                             });
+  cl_.run_local(id_, cost.read_local + cost.version_select + snap_cost,
+                [this, requester, t, x, reply = std::move(reply)] {
+                  remote_read_attempt(requester, t, x, 0, reply);
+                });
 }
 
 void Replica::remote_read_attempt(SiteId requester, const MutTxnPtr& t,
-                                  ObjectId x, int attempt,
-                                  std::function<void(bool)> done) {
+                                  ObjectId x, int attempt, ReadReplyFn reply) {
   // Lines 26-30: choose a version against the requester's snapshot and
-  // reply. The transaction record is updated at the coordinator, on reply.
+  // reply. The transaction record is updated at the coordinator, on reply
+  // (the deployment backend routes `reply` back through record_read).
   const auto& part = cl_.partitioner();
   const auto* chain = db_.chain(x);
   int idx;
@@ -162,14 +157,14 @@ void Replica::remote_read_attempt(SiteId requester, const MutTxnPtr& t,
   }
   if (idx == versioning::kNoCompatibleVersion &&
       attempt + 1 < kMaxReadAttempts) {
-    cl_.simulator().after(kReadRetryDelay, [this, requester, t, x, attempt,
-                                            done = std::move(done)] {
-      const auto& c = cl_.transport().cost();
-      cl_.transport().local_work(id_, c.read_local + c.version_select,
-                                 [this, requester, t, x, attempt, done] {
-                                   remote_read_attempt(requester, t, x,
-                                                       attempt + 1, done);
-                                 });
+    cl_.run_after(id_, kReadRetryDelay, [this, requester, t, x, attempt,
+                                         reply = std::move(reply)] {
+      const auto& c = cl_.cost();
+      cl_.run_local(id_, c.read_local + c.version_select,
+                    [this, requester, t, x, attempt, reply] {
+                      remote_read_attempt(requester, t, x, attempt + 1,
+                                          reply);
+                    });
     });
     return;
   }
@@ -177,32 +172,19 @@ void Replica::remote_read_attempt(SiteId requester, const MutTxnPtr& t,
   std::optional<store::Version> v;
   if (ok && idx != versioning::kInitialVersion)
     v = chain->at(static_cast<std::size_t>(idx));
-  const std::uint64_t reply = net::wire::read_reply(cl_.meta_bytes());
-  cl_.transport().send(id_, requester, reply,
-                       [this, requester, t, x, ok, v = std::move(v),
-                        done = std::move(done)] {
-                         if (!ok) {
-                           done(false);
-                           return;
-                         }
-                         cl_.replica(requester).record_read(
-                             t, x, v.has_value() ? &*v : nullptr);
-                         done(true);
-                       },
-                       obs::MsgClass::kReadReply);
+  reply(ok, std::move(v));
 }
 
 void Replica::exec_write(const MutTxnPtr& t, ObjectId x,
                          std::function<void()> cb) {
   // Lines 16-18: buffer the after-value in ws(T).
   t->ws.insert(x);
-  cl_.transport().local_work(id_, cl_.transport().cost().client_op,
-                             std::move(cb));
+  cl_.run_local(id_, cl_.cost().client_op, std::move(cb));
 }
 
 void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
   // Algorithm 2, submit(T).
-  t->submit_time = cl_.simulator().now();
+  t->submit_time = cl_.now();
   if (!t->read_only())
     t->stamp = cl_.oracle().submit_stamp(id_, ++coord_seq_, t->snap);
 
@@ -260,7 +242,7 @@ void Replica::on_term_delivered(const TxnPtr& t) {
              static_cast<int>(t->id.coord),
              static_cast<unsigned long long>(t->id.seq), q_.size());
   if (auto* tr = cl_.trace())
-    tr->term_delivered(t->id, id_, cl_.simulator().now());
+    tr->term_delivered(t->id, id_, cl_.now());
 
   // Under fault injection the delivery itself is a recoverable state change
   // (it rebuilds Q on replay); logged fire-and-forget — the vote is the
@@ -349,19 +331,18 @@ void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
   st.voted = true;
   const bool cheap = preemptive_abort || cl_.spec().trivial_certify;
   const SimDuration service =
-      cheap ? cl_.transport().cost().queue_op : certify_cost(*t);
-  cl_.transport().local_work(
+      cheap ? cl_.cost().queue_op : certify_cost(*t);
+  cl_.run_local(
       id_, service, [this, t, preemptive_abort, service] {
         const bool v =
             !preemptive_abort &&
-            cl_.spec().certify(
-                CertContext{*this, *t, cl_.simulator().now()});
+            cl_.spec().certify(CertContext{*this, *t, cl_.now()});
         GDUR_TRACE("site %d certify txn %d.%llu vote=%d",
                    static_cast<int>(id_), static_cast<int>(t->id.coord),
                    static_cast<unsigned long long>(t->id.seq),
                    static_cast<int>(v));
         if (auto* tr = cl_.trace())
-          tr->certified(t->id, id_, cl_.simulator().now(), service, v);
+          tr->certified(t->id, id_, cl_.now(), service, v);
         // Crash-recovery durability (§5.3): the vote is a state change of
         // the commitment protocol and must reach stable storage before it
         // is announced.
@@ -428,12 +409,12 @@ void Replica::schedule_vote_retry(const TxnPtr& t, int round) {
   if (round >= kMaxVoteRetries) return;
   const auto delay = cl_.vote_retry() *
                      static_cast<SimDuration>(1 << std::min(round, 3));
-  cl_.simulator().after(delay, [this, t, round] {
+  cl_.run_after(id_, delay, [this, t, round] {
     if (known_outcome(t->id) != nullptr) return;
     auto it = term_.find(t->id);
     if (it == term_.end() || it->second.decided || !it->second.announced)
       return;
-    if (cl_.transport().cpu(id_).down_at(cl_.simulator().now()))
+    if (cl_.site_down(id_))
       return;  // crashed meanwhile: on_recover re-announces and re-arms
     send_vote_msgs(t, it->second.my_vote);
     schedule_vote_retry(t, round + 1);
@@ -441,9 +422,9 @@ void Replica::schedule_vote_retry(const TxnPtr& t, int round) {
 }
 
 void Replica::arm_term_timeout(const TxnPtr& t, int round) {
-  cl_.simulator().after(cl_.term_timeout(), [this, t, round] {
+  cl_.run_after(id_, cl_.term_timeout(), [this, t, round] {
     if (known_outcome(t->id) != nullptr) return;
-    if (cl_.transport().cpu(id_).down_at(cl_.simulator().now()))
+    if (cl_.site_down(id_))
       return;  // crashed: on_recover restarts in-doubt resolution
     const auto& spec = cl_.spec();
     if (spec.ac == AcKind::kTwoPhaseCommit ||
@@ -670,11 +651,10 @@ void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
              static_cast<unsigned long long>(t->id.seq),
              commit ? "commit" : obs::abort_reason_name(reason));
   if (auto* tr = cl_.trace())
-    tr->decided(t->id, id_, cl_.simulator().now(), commit, reason);
+    tr->decided(t->id, id_, cl_.now(), commit, reason);
 
   // Garbage-collect the termination state well after any straggler message.
-  cl_.simulator().after(seconds(5),
-                        [this, id = t->id] { term_.erase(id); });
+  cl_.run_after(id_, seconds(5), [this, id = t->id] { term_.erase(id); });
 
   if (!commit) {
     // Algorithm 2 lines 25-29.
@@ -727,7 +707,7 @@ void Replica::remove_from_q(const TxnId& id) {
 void Replica::apply_commit(const TxnPtr& t) {
   const TxnRecord& txn = *t;
   const auto& part = cl_.partitioner();
-  const SimTime now = cl_.simulator().now();
+  const SimTime now = cl_.now();
 
   std::vector<ObjectId> local_ws;
   for (ObjectId o : txn.ws)
@@ -767,9 +747,8 @@ void Replica::apply_commit(const TxnPtr& t) {
     // The store mutation is synchronous (so successors certify against it);
     // its CPU cost is charged as a fire-and-forget job.
     const SimDuration apply_cost =
-        cl_.transport().cost().apply_per_obj *
-        static_cast<SimDuration>(local_ws.size());
-    cl_.transport().local_work(id_, apply_cost, [] {});
+        cl_.cost().apply_per_obj * static_cast<SimDuration>(local_ws.size());
+    cl_.run_local(id_, apply_cost, [] {});
     if (auto* tr = cl_.trace()) tr->applied(txn.id, id_, now, apply_cost);
   } else {
     const std::uint64_t seq = cl_.oracle().on_commit_observed(id_);
@@ -901,9 +880,9 @@ void Replica::on_recover() {
   // Charge the replay work (one queue operation per log record).
   if (replayed > 0) {
     const auto replay_cost =
-        cl_.transport().cost().queue_op * static_cast<SimDuration>(replayed);
+        cl_.cost().queue_op * static_cast<SimDuration>(replayed);
     recovery_busy_ += replay_cost;
-    cl_.transport().local_work(id_, replay_cost, [] {});
+    cl_.run_local(id_, replay_cost, [] {});
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -63,9 +64,21 @@ class Replica {
   void on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
                    SiteId acceptor);
 
+  /// Reply path of a remote read: invoked exactly once with whether a
+  /// compatible version exists and (if so, and it is not the implicit
+  /// initial version) the version chosen. The deployment backend ships it
+  /// back to the requester — Cluster::remote_read wires both directions.
+  using ReadReplyFn =
+      std::function<void(bool ok, std::optional<store::Version> v)>;
+
   /// Remote read service (lines 26-30 of Algorithm 1).
   void serve_remote_read(SiteId requester, const MutTxnPtr& t, ObjectId x,
-                         std::function<void(bool)> done);
+                         ReadReplyFn reply);
+
+  /// Applies a chosen version to the transaction record at its coordinator.
+  /// `v` is nullptr for the initial version. Public: the deployment backend
+  /// (sim or live) applies remote-read replies through it.
+  void record_read(const MutTxnPtr& t, ObjectId x, const store::Version* v);
 
   // ------------------------------------------------------------------
   // Crash-recovery (sim/fault). Cluster invokes these around a crash
@@ -158,10 +171,7 @@ class Replica {
   void local_read_attempt(const MutTxnPtr& t, ObjectId x, int attempt,
                           std::function<void(bool)> cb);
   void remote_read_attempt(SiteId requester, const MutTxnPtr& t, ObjectId x,
-                           int attempt, std::function<void(bool)> done);
-  /// Applies a chosen version to the transaction record. `v` is nullptr for
-  /// the initial version.
-  void record_read(const MutTxnPtr& t, ObjectId x, const store::Version* v);
+                           int attempt, ReadReplyFn reply);
 
   // --- termination helpers ---
   TermState& state_of(const TxnPtr& t);

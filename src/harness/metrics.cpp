@@ -42,6 +42,29 @@ double LatencyStat::percentile_ms(double q) const {
   return to_ms(max_);
 }
 
+void LatencyStat::merge_from(const LatencyStat& o) {
+  count_ += o.count_;
+  sum_ += o.sum_;
+  max_ = std::max(max_, o.max_);
+  for (int b = 0; b < kBuckets; ++b)
+    hist_[static_cast<std::size_t>(b)] += o.hist_[static_cast<std::size_t>(b)];
+}
+
+void Metrics::merge_from(const Metrics& o) {
+  committed_ro += o.committed_ro;
+  committed_upd += o.committed_upd;
+  aborted_ro += o.aborted_ro;
+  aborted_upd += o.aborted_upd;
+  exec_failures += o.exec_failures;
+  txns_timed_out += o.txns_timed_out;
+  upd_term_latency.merge_from(o.upd_term_latency);
+  txn_latency.merge_from(o.txn_latency);
+  for (std::size_t i = 0; i < aborts_by_reason.size(); ++i)
+    aborts_by_reason[i] += o.aborts_by_reason[i];
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
+    phase[p].merge_from(o.phase[p]);
+}
+
 void Metrics::add_phase_report(const obs::TxnPhaseReport& r) {
   for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
     if (r.phase[p] > 0) phase[p].add(r.phase[p]);

@@ -21,6 +21,10 @@ class LatencyStat {
   void add(SimDuration d);
   void reset() { *this = {}; }
 
+  /// Folds another stat's samples into this one (histogram-exact; merged
+  /// percentiles equal those of the concatenated sample streams).
+  void merge_from(const LatencyStat& o);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean_ms() const {
     return count_ == 0 ? 0.0 : to_ms(sum_) / static_cast<double>(count_);
@@ -68,6 +72,10 @@ struct Metrics {
   std::array<LatencyStat, obs::kPhaseCount> phase{};
 
   void reset() { *this = {}; }
+
+  /// Folds another Metrics into this one (live mode records per-site
+  /// metrics on each site thread and merges them after the run).
+  void merge_from(const Metrics& o);
 
   [[nodiscard]] std::uint64_t aborts_with(obs::AbortReason r) const {
     return aborts_by_reason[static_cast<std::size_t>(r)];

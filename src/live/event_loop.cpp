@@ -1,0 +1,201 @@
+#include "live/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gdur::live {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+EventLoop::~EventLoop() {
+  stop();
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+int EventLoop::add_connection(int fd) {
+  set_nonblocking(fd);
+  auto c = std::make_unique<Conn>();
+  c->fd = fd;
+  conns_.push_back(std::move(c));
+  return static_cast<int>(conns_.size()) - 1;
+}
+
+void EventLoop::start() {
+  if (running_) return;
+  if (::pipe(wake_pipe_) != 0) {
+    GDUR_ERROR("live: pipe() failed: %s", std::strerror(errno));
+    return;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void EventLoop::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard lk(stop_mu_);
+    stopping_ = true;
+  }
+  wake();
+  thread_.join();
+  running_ = false;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void EventLoop::wake() {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void EventLoop::send_frame(int conn_id,
+                           const std::vector<std::uint8_t>& body) {
+  if (conn_id < 0 || conn_id >= static_cast<int>(conns_.size())) return;
+  Conn& c = *conns_[conn_id];
+  const auto len = static_cast<std::uint32_t>(body.size());
+  {
+    std::lock_guard lk(c.out_mu);
+    c.out.push_back(static_cast<std::uint8_t>(len & 0xff));
+    c.out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+    c.out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+    c.out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+    c.out.insert(c.out.end(), body.begin(), body.end());
+  }
+  wake();
+}
+
+void EventLoop::loop() {
+  std::vector<pollfd> fds;
+  for (;;) {
+    {
+      std::lock_guard lk(stop_mu_);
+      if (stopping_) return;
+    }
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (auto& cp : conns_) {
+      Conn& c = *cp;
+      short ev = 0;
+      if (!c.dead) {
+        ev = POLLIN;
+        std::lock_guard lk(c.out_mu);
+        if (c.out.size() > c.out_off) ev |= POLLOUT;
+      }
+      fds.push_back(pollfd{c.dead ? -1 : c.fd, ev, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      GDUR_ERROR("live: poll failed: %s", std::strerror(errno));
+      return;
+    }
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = *conns_[i];
+      if (c.dead) continue;
+      const short rev = fds[i + 1].revents;
+      if (rev & (POLLIN | POLLERR | POLLHUP)) {
+        handle_readable(c, static_cast<int>(i));
+      }
+      if (!c.dead && (rev & POLLOUT)) flush_writable(c);
+      // A send may have been queued after we built the poll set; flush
+      // opportunistically so small runs don't wait a poll cycle.
+      if (!c.dead) flush_writable(c);
+    }
+  }
+}
+
+void EventLoop::handle_readable(Conn& c, int conn_id) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+    if (n > 0) {
+      c.in.insert(c.in.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer closed (normal during teardown) or hard error.
+    c.dead = true;
+    break;
+  }
+  // Extract complete frames.
+  while (c.in.size() - c.in_off >= 4) {
+    const std::uint32_t len = read_le32(c.in.data() + c.in_off);
+    if (len > kMaxFrame) {
+      GDUR_ERROR("live: oversized frame (%u bytes), dropping conn", len);
+      c.dead = true;
+      return;
+    }
+    if (c.in.size() - c.in_off < 4 + static_cast<std::size_t>(len)) break;
+    std::vector<std::uint8_t> frame(c.in.begin() + c.in_off + 4,
+                                    c.in.begin() + c.in_off + 4 + len);
+    c.in_off += 4 + len;
+    ++frames_in_;
+    if (on_frame_) on_frame_(conn_id, std::move(frame));
+  }
+  if (c.in_off > 0 && c.in_off == c.in.size()) {
+    c.in.clear();
+    c.in_off = 0;
+  } else if (c.in_off > (1u << 16)) {
+    c.in.erase(c.in.begin(), c.in.begin() + c.in_off);
+    c.in_off = 0;
+  }
+}
+
+void EventLoop::flush_writable(Conn& c) {
+  std::lock_guard lk(c.out_mu);
+  while (c.out.size() > c.out_off) {
+    // MSG_NOSIGNAL: a peer closing during teardown must not SIGPIPE us.
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    c.dead = true;  // EPIPE etc.: peer gone (teardown)
+    break;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (1u << 16)) {
+    c.out.erase(c.out.begin(), c.out.begin() + c.out_off);
+    c.out_off = 0;
+  }
+}
+
+}  // namespace gdur::live

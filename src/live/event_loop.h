@@ -1,0 +1,83 @@
+// Socket event loop for the live runtime.
+//
+// One thread poll()s every registered connection. Frames are
+// length-prefixed: a 4-byte little-endian body size followed by the body
+// (first body byte is the codec::MsgType tag, but the loop is agnostic to
+// that). Writes from any thread append to a per-connection locked output
+// buffer and wake the loop through a self-pipe; the loop flushes buffers as
+// sockets become writable, so senders never block on the network.
+//
+// TCP gives per-connection byte ordering and no duplication, and the loop
+// extracts frames in arrival order — together that is the exactly-once,
+// FIFO-per-link delivery contract the protocol layer was built against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdur::live {
+
+class EventLoop {
+ public:
+  /// Called on the loop thread for every complete frame.
+  using FrameHandler =
+      std::function<void(int conn_id, std::vector<std::uint8_t> frame)>;
+
+  /// Frames larger than this are treated as a protocol error and the
+  /// connection is dropped (largest legitimate frame is a termination
+  /// record with after-values: a few KiB).
+  static constexpr std::uint32_t kMaxFrame = 1u << 24;
+
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers an established socket; the loop takes ownership of the fd
+  /// and switches it to non-blocking. Returns the connection id. Must be
+  /// called before start().
+  int add_connection(int fd);
+
+  void set_frame_handler(FrameHandler h) { on_frame_ = std::move(h); }
+
+  void start();
+  /// Idempotent. Closes every connection and joins the loop thread.
+  void stop();
+
+  /// Queues one frame (length prefix added here) for `conn_id`.
+  /// Thread-safe; never blocks on the socket.
+  void send_frame(int conn_id, const std::vector<std::uint8_t>& body);
+
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_in_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool dead = false;
+    std::vector<std::uint8_t> in;   // loop thread only
+    std::size_t in_off = 0;         // parsed prefix of `in`
+    std::mutex out_mu;
+    std::vector<std::uint8_t> out;  // length-prefixed, pending write
+    std::size_t out_off = 0;
+  };
+
+  void loop();
+  void handle_readable(Conn& c, int conn_id);
+  void flush_writable(Conn& c);
+  void wake();
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+  FrameHandler on_frame_;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint64_t frames_in_ = 0;  // loop thread only
+  bool running_ = false;
+  std::mutex stop_mu_;
+  bool stopping_ = false;  // guarded by stop_mu_
+  std::thread thread_;
+};
+
+}  // namespace gdur::live

@@ -1,0 +1,536 @@
+#include "live/live_cluster.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+
+namespace gdur::live {
+
+namespace codec = net::codec;
+using core::TxnPtr;
+using core::TxnRecord;
+
+namespace {
+
+/// Serializing decorator around the version oracle. The oracle is the one
+/// piece of engine state shared across site threads (per-site clock slots
+/// plus internal memo caches live in a single object), so in live mode every
+/// call goes through one mutex. Uncontended in the common case: each call is
+/// a few vector reads/writes.
+class LockedOracle final : public versioning::VersionOracle {
+ public:
+  LockedOracle(std::unique_ptr<versioning::VersionOracle> inner,
+               const store::Partitioner& part)
+      : versioning::VersionOracle(part), inner_(std::move(inner)) {}
+
+  [[nodiscard]] versioning::VersioningKind kind() const override {
+    return inner_->kind();
+  }
+
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    std::lock_guard lk(mu_);
+    return inner_->metadata_bytes();
+  }
+
+  void begin_snapshot(SiteId coord,
+                      versioning::TxnSnapshot& snap) const override {
+    std::lock_guard lk(mu_);
+    inner_->begin_snapshot(coord, snap);
+  }
+
+  [[nodiscard]] int choose(SiteId at, const store::ObjectChain* chain,
+                           PartitionId p,
+                           const versioning::TxnSnapshot& snap) const override {
+    std::lock_guard lk(mu_);
+    return inner_->choose(at, chain, p, snap);
+  }
+
+  void note_read(const store::Version* v, PartitionId p,
+                 versioning::TxnSnapshot& snap) const override {
+    std::lock_guard lk(mu_);
+    inner_->note_read(v, p, snap);
+  }
+
+  [[nodiscard]] versioning::Stamp submit_stamp(
+      SiteId coord, std::uint64_t coord_seq,
+      const versioning::TxnSnapshot& snap) const override {
+    std::lock_guard lk(mu_);
+    return inner_->submit_stamp(coord, coord_seq, snap);
+  }
+
+  std::vector<std::uint64_t> on_apply(
+      SiteId at, versioning::Stamp& stamp,
+      const std::vector<PartitionId>& parts_written,
+      const versioning::TxnSnapshot& snap) override {
+    std::lock_guard lk(mu_);
+    return inner_->on_apply(at, stamp, parts_written, snap);
+  }
+
+  std::uint64_t on_commit_observed(SiteId at) override {
+    std::lock_guard lk(mu_);
+    return inner_->on_commit_observed(at);
+  }
+
+  void on_propagate(SiteId at, const versioning::Stamp& stamp) override {
+    std::lock_guard lk(mu_);
+    inner_->on_propagate(at, stamp);
+  }
+
+  [[nodiscard]] bool visible(const store::Version& v, PartitionId p,
+                             const versioning::TxnSnapshot& snap) const override {
+    std::lock_guard lk(mu_);
+    return inner_->visible(v, p, snap);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<versioning::VersionOracle> inner_;
+};
+
+/// Live mode is fault-free and in-memory: strip the sim-only knobs so the
+/// base class never builds a fault injector or WALs.
+core::ClusterConfig live_base(core::ClusterConfig cfg) {
+  cfg.durable = false;
+  cfg.faults = {};
+  cfg.client_timeout = 0;
+  cfg.term_timeout = 0;
+  return cfg;
+}
+
+obs::MsgClass class_of(codec::MsgType t) {
+  switch (t) {
+    case codec::MsgType::kTermDeliver:
+      return obs::MsgClass::kTermination;
+    case codec::MsgType::kTermSubmit:
+      return obs::MsgClass::kOrdering;
+    case codec::MsgType::kVote:
+      return obs::MsgClass::kVote;
+    case codec::MsgType::kDecision:
+      return obs::MsgClass::kDecision;
+    case codec::MsgType::kPaxos2a:
+      return obs::MsgClass::kPaxos2a;
+    case codec::MsgType::kPaxos2b:
+      return obs::MsgClass::kPaxos2b;
+    case codec::MsgType::kReadRequest:
+      return obs::MsgClass::kRemoteRead;
+    case codec::MsgType::kReadReply:
+      return obs::MsgClass::kReadReply;
+    case codec::MsgType::kPropagate:
+      return obs::MsgClass::kPropagation;
+    case codec::MsgType::kControl:
+      return obs::MsgClass::kControl;
+  }
+  return obs::MsgClass::kControl;
+}
+
+}  // namespace
+
+LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
+    : core::Cluster(live_base(cfg.base), std::move(spec)) {
+  // Swap in the serializing oracle before any thread exists.
+  oracle_ = std::make_unique<LockedOracle>(std::move(oracle_), part_);
+  t0_ = std::chrono::steady_clock::now();
+
+  const int n = sites();
+  dispatch_state_.resize(n);
+  mailboxes_.reserve(n);
+  for (int s = 0; s < n; ++s) mailboxes_.push_back(std::make_unique<Mailbox>());
+
+  transport_live_ = std::make_unique<LiveTransport>(
+      n, wheel_, [this](SiteId src, SiteId dst, std::vector<std::uint8_t> f) {
+        post(dst, [this, src, dst, f = std::move(f)]() mutable {
+          dispatch(src, dst, std::move(f));
+        });
+      });
+  if (cfg.delay_scale > 0) {
+    const auto& topo = net_->topology();
+    for (SiteId i = 0; i < static_cast<SiteId>(n); ++i)
+      for (SiteId j = 0; j < static_cast<SiteId>(n); ++j) {
+        if (i == j) continue;
+        const auto d = static_cast<std::int64_t>(
+            static_cast<double>(topo.latency(i, j)) * cfg.delay_scale);
+        transport_live_->set_link_delay(i, j, std::chrono::nanoseconds(d));
+      }
+  }
+}
+
+LiveCluster::~LiveCluster() { stop(); }
+
+void LiveCluster::start() {
+  if (started_) return;
+  started_ = true;
+  t0_ = std::chrono::steady_clock::now();
+  wheel_.start();
+  transport_live_->start();
+  threads_.reserve(mailboxes_.size());
+  for (auto& mb : mailboxes_)
+    threads_.emplace_back([m = mb.get()] { m->run(); });
+}
+
+void LiveCluster::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Order matters: silence the timer and I/O threads first so nothing new
+  // lands in a mailbox, then stop the site threads. Base-class teardown
+  // (replicas, oracle) happens only after every thread has joined.
+  wheel_.stop();
+  transport_live_->stop();
+  for (auto& mb : mailboxes_) mb->stop();
+  for (auto& th : threads_) th.join();
+  threads_.clear();
+}
+
+void LiveCluster::post(SiteId at, std::function<void()> fn) {
+  mailboxes_[at]->post(std::move(fn));
+}
+
+SimTime LiveCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void LiveCluster::run_after(SiteId at, SimDuration delay,
+                            std::function<void()> fn) {
+  wheel_.schedule_after(std::chrono::nanoseconds(delay),
+                        [this, at, fn = std::move(fn)]() mutable {
+                          post(at, std::move(fn));
+                        });
+}
+
+void LiveCluster::run_local(SiteId at, SimDuration /*service*/,
+                            std::function<void()> fn) {
+  // Real CPU is spent executing the work; the analytic charge is sim-only.
+  post(at, std::move(fn));
+}
+
+// --- client API --------------------------------------------------------------
+
+void LiveCluster::begin(SiteId coord, std::function<void(core::MutTxnPtr)> cb) {
+  post(coord, [this, coord, cb = std::move(cb)]() mutable {
+    replicas_[coord]->exec_begin(std::move(cb));
+  });
+}
+
+void LiveCluster::read(SiteId coord, const core::MutTxnPtr& t, ObjectId x,
+                       std::function<void(bool)> cb) {
+  post(coord, [this, coord, t, x, cb = std::move(cb)]() mutable {
+    replicas_[coord]->exec_read(t, x, std::move(cb));
+  });
+}
+
+void LiveCluster::write(SiteId coord, const core::MutTxnPtr& t, ObjectId x,
+                        std::function<void()> cb) {
+  post(coord, [this, coord, t, x, cb = std::move(cb)]() mutable {
+    replicas_[coord]->exec_write(t, x, std::move(cb));
+  });
+}
+
+void LiveCluster::commit(SiteId coord, const core::MutTxnPtr& t,
+                         std::function<void(bool)> cb) {
+  post(coord, [this, coord, t, cb = std::move(cb)]() mutable {
+    replicas_[coord]->exec_commit(t, std::move(cb));
+  });
+}
+
+// --- wire plumbing -----------------------------------------------------------
+
+void LiveCluster::send_frame(SiteId from, SiteId to,
+                             const codec::Writer& w) {
+  transport_live_->send(from, to, w.data());
+}
+
+void LiveCluster::remote_read(SiteId from, SiteId target,
+                              const core::MutTxnPtr& t, ObjectId x,
+                              std::function<void(bool)> cb) {
+  // Runs on `from`'s mailbox thread (called from exec_read).
+  auto& st = dispatch_state_[from];
+  const std::uint64_t req = ++st.read_seq;
+  st.reads.emplace(req, PendingRead{t, x, std::move(cb)});
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kReadRequest));
+  codec::encode_read_request(w, {req, from, x, t->snap});
+  send_frame(from, target, w);
+}
+
+void LiveCluster::xcast_term(const TxnPtr& t, std::vector<SiteId> dests) {
+  // Runs on the coordinator's mailbox thread.
+  const SiteId origin = t->id.coord;
+  register_txn(origin, t);
+  if (spec_.ac == core::AcKind::kGroupComm) {
+    // Every GC xcast flavor is realized as sequencer-relayed delivery: a
+    // total order over FIFO links, strictly stronger than AB, AM or
+    // pairwise ordering require.
+    if (origin == kSequencer) {
+      relay_term(t, dests);
+    } else {
+      codec::Writer w;
+      w.u8(static_cast<std::uint8_t>(codec::MsgType::kTermSubmit));
+      codec::encode_term_submit(w, {std::move(dests), *t}, net::wire::kPayload);
+      send_frame(origin, kSequencer, w);
+    }
+  } else {
+    // 2PC / Paxos Commit order their own decisions; fan out directly.
+    codec::Writer w;
+    w.u8(static_cast<std::uint8_t>(codec::MsgType::kTermDeliver));
+    codec::encode_txn(w, *t, net::wire::kPayload);
+    for (SiteId d : dests) {
+      if (d == origin) {
+        post(d, [this, d, t] { deliver_term(d, t); });
+      } else {
+        send_frame(origin, d, w);
+      }
+    }
+  }
+}
+
+void LiveCluster::relay_term(const TxnPtr& t,
+                             const std::vector<SiteId>& dests) {
+  // Runs on the sequencer's mailbox thread; execution order here IS the
+  // total delivery order.
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kTermDeliver));
+  codec::encode_txn(w, *t, net::wire::kPayload);
+  for (SiteId d : dests) {
+    if (d == kSequencer) {
+      post(d, [this, d, t] { deliver_term(d, t); });
+    } else {
+      send_frame(kSequencer, d, w);
+    }
+  }
+}
+
+void LiveCluster::send_vote(SiteId from, SiteId to, const TxnPtr& t,
+                            bool vote) {
+  if (vote_observer_) vote_observer_({from, to, t->id, vote});
+  if (to == from) {
+    post(to, [this, to, t, from, vote] { replicas_[to]->on_vote(t, from, vote); });
+    return;
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kVote));
+  codec::encode_vote(w, {t->id, from, vote});
+  send_frame(from, to, w);
+}
+
+void LiveCluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
+                                bool commit) {
+  if (to == from) {
+    post(to, [this, to, t, commit] { replicas_[to]->on_decision(t, commit); });
+    return;
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kDecision));
+  codec::encode_decision(w, {t->id, commit});
+  send_frame(from, to, w);
+}
+
+void LiveCluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
+                                SiteId participant, bool vote) {
+  if (acceptor == from) {
+    post(acceptor, [this, acceptor, t, participant, vote] {
+      replicas_[acceptor]->on_paxos_2a(t, participant, vote);
+    });
+    return;
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kPaxos2a));
+  codec::encode_paxos(w, {t->id, participant, vote, acceptor});
+  send_frame(from, acceptor, w);
+}
+
+void LiveCluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
+                                SiteId participant, bool vote,
+                                SiteId acceptor) {
+  if (to == from) {
+    post(to, [this, to, t, participant, vote, acceptor] {
+      replicas_[to]->on_paxos_2b(t, participant, vote, acceptor);
+    });
+    return;
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kPaxos2b));
+  codec::encode_paxos(w, {t->id, participant, vote, acceptor});
+  send_frame(from, to, w);
+}
+
+void LiveCluster::propagate_stamp(SiteId from, const TxnRecord& t,
+                                  const std::vector<SiteId>& dests) {
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kPropagate));
+  codec::encode_propagate(w, {from, t.stamp});
+  for (SiteId d : dests) {
+    if (d == from) {
+      post(d, [this, d, stamp = t.stamp] { oracle().on_propagate(d, stamp); });
+    } else {
+      send_frame(from, d, w);
+    }
+  }
+}
+
+// --- inbound dispatch (always on dst's mailbox thread) -----------------------
+
+const TxnPtr& LiveCluster::register_txn(SiteId dst, const TxnPtr& t) {
+  auto& st = dispatch_state_[dst];
+  auto [it, inserted] = st.txns.emplace(t->id, t);
+  if (inserted) {
+    st.txn_fifo.push_back(t->id);
+    if (st.txn_fifo.size() > kTxnCacheCap) {
+      const TxnId old = st.txn_fifo.front();
+      st.txn_fifo.pop_front();
+      st.txns.erase(old);
+      st.pending.erase(old);
+    }
+  }
+  return it->second;
+}
+
+void LiveCluster::deliver_term(SiteId dst, const TxnPtr& t) {
+  // First record seen wins: the coordinator keeps its original pointer when
+  // the sequencer echoes its own submission back.
+  const TxnPtr canon = register_txn(dst, t);
+  replicas_[dst]->on_term_delivered(canon);
+  auto& st = dispatch_state_[dst];
+  auto it = st.pending.find(canon->id);
+  if (it != st.pending.end()) {
+    auto fns = std::move(it->second);
+    st.pending.erase(it);
+    for (auto& fn : fns) fn(canon);
+  }
+}
+
+void LiveCluster::with_txn(SiteId dst, const TxnId& id,
+                           std::function<void(const TxnPtr&)> fn) {
+  auto& st = dispatch_state_[dst];
+  auto it = st.txns.find(id);
+  if (it != st.txns.end()) {
+    const TxnPtr t = it->second;
+    fn(t);
+    return;
+  }
+  st.pending[id].push_back(std::move(fn));
+}
+
+void LiveCluster::dispatch(SiteId src, SiteId dst,
+                           std::vector<std::uint8_t> frame) {
+  codec::Reader r(frame);
+  const auto tag = r.u8();
+  if (!tag) return;
+  const auto type = static_cast<codec::MsgType>(*tag);
+  if (trace_ != nullptr) {
+    const SimTime t = now();
+    trace_->message(class_of(type), src, dst, frame.size() + 4, t, t);
+  }
+  switch (type) {
+    case codec::MsgType::kTermDeliver: {
+      auto m = codec::decode_txn(r);
+      if (!m) break;
+      deliver_term(dst, std::make_shared<const TxnRecord>(std::move(*m)));
+      return;
+    }
+    case codec::MsgType::kTermSubmit: {
+      auto m = codec::decode_term_submit(r);
+      if (!m) break;
+      relay_term(std::make_shared<const TxnRecord>(std::move(m->txn)),
+                 m->dests);
+      return;
+    }
+    case codec::MsgType::kVote: {
+      auto m = codec::decode_vote(r);
+      if (!m) break;
+      with_txn(dst, m->txn,
+               [this, dst, voter = m->voter, v = m->vote](const TxnPtr& t) {
+                 replicas_[dst]->on_vote(t, voter, v);
+               });
+      return;
+    }
+    case codec::MsgType::kDecision: {
+      auto m = codec::decode_decision(r);
+      if (!m) break;
+      with_txn(dst, m->txn, [this, dst, c = m->commit](const TxnPtr& t) {
+        replicas_[dst]->on_decision(t, c);
+      });
+      return;
+    }
+    case codec::MsgType::kPaxos2a: {
+      auto m = codec::decode_paxos(r);
+      if (!m) break;
+      // An acceptor need not be a certification participant, so it may
+      // never receive the termination record; Paxos acceptor logic only
+      // needs the transaction's identity.
+      auto& st = dispatch_state_[dst];
+      auto it = st.txns.find(m->txn);
+      TxnPtr t;
+      if (it != st.txns.end()) {
+        t = it->second;
+      } else {
+        auto stub = std::make_shared<TxnRecord>();
+        stub->id = m->txn;
+        t = stub;
+      }
+      replicas_[dst]->on_paxos_2a(t, m->participant, m->vote);
+      return;
+    }
+    case codec::MsgType::kPaxos2b: {
+      auto m = codec::decode_paxos(r);
+      if (!m) break;
+      with_txn(dst, m->txn,
+               [this, dst, p = m->participant, v = m->vote,
+                a = m->acceptor](const TxnPtr& t) {
+                 replicas_[dst]->on_paxos_2b(t, p, v, a);
+               });
+      return;
+    }
+    case codec::MsgType::kReadRequest: {
+      auto m = codec::decode_read_request(r);
+      if (!m) break;
+      // The served transaction exists only at its coordinator; the request
+      // carries everything the serving side consults (its snapshot).
+      auto shadow = std::make_shared<TxnRecord>();
+      shadow->snap = m->snap;
+      replicas_[dst]->serve_remote_read(
+          m->requester, shadow, m->obj,
+          [this, dst, requester = m->requester, req = m->req](
+              bool ok, std::optional<store::Version> v) {
+            codec::Writer w;
+            w.u8(static_cast<std::uint8_t>(codec::MsgType::kReadReply));
+            codec::encode_read_reply(
+                w, {req, ok, v.has_value(), v ? *v : store::Version{},
+                    v ? net::wire::kPayload : 0});
+            send_frame(dst, requester, w);
+          });
+      return;
+    }
+    case codec::MsgType::kReadReply: {
+      auto m = codec::decode_read_reply(r);
+      if (!m) break;
+      auto& st = dispatch_state_[dst];
+      auto it = st.reads.find(m->req);
+      if (it == st.reads.end()) break;
+      PendingRead pr = std::move(it->second);
+      st.reads.erase(it);
+      if (m->ok) {
+        replicas_[dst]->record_read(pr.t, pr.obj,
+                                    m->has_version ? &m->version : nullptr);
+      }
+      pr.cb(m->ok);
+      return;
+    }
+    case codec::MsgType::kPropagate: {
+      auto m = codec::decode_propagate(r);
+      if (!m) break;
+      oracle().on_propagate(dst, m->stamp);
+      return;
+    }
+    case codec::MsgType::kControl:
+      return;  // handshake-only; nothing to do mid-run
+  }
+  GDUR_WARN("live: dropping malformed frame type=%u src=%u dst=%u",
+            static_cast<unsigned>(*tag), static_cast<unsigned>(src),
+            static_cast<unsigned>(dst));
+}
+
+}  // namespace gdur::live

@@ -1,0 +1,160 @@
+// LiveCluster — the G-DUR engine deployed on real sockets and threads.
+//
+// Inherits the entire protocol wiring from core::Cluster (partitioner,
+// oracle, replicas, plug-in spec) and overrides only the transport/scheduler
+// seam: time is the wall clock, per-site work runs on a dedicated mailbox
+// thread, and every protocol message travels as real bytes through
+// net::codec over loopback TCP (live::LiveTransport).
+//
+// Threading model
+//   * One thread per site drains that site's Mailbox; the replica and all
+//     its handlers run only there (the sim's single-threaded-site invariant,
+//     preserved).
+//   * One event-loop thread moves bytes; it never touches protocol state —
+//     it posts decode+dispatch tasks to the destination's mailbox.
+//   * One timer-wheel thread fires run_after callbacks and emulated link
+//     delays, again only posting to mailboxes.
+//   * The version oracle is the one piece of engine state shared across
+//     sites (per-site clock slots live in one object); it is wrapped in a
+//     serializing mutex decorator at construction.
+//
+// Group communication: all xcast flavors (AB, AM, pairwise) are realized by
+// relaying termination messages through a fixed sequencer site (site 0) over
+// FIFO TCP links. That yields a total delivery order — strictly stronger
+// than any of the three primitives requires — so every plug-in's ordering
+// assumption holds. 2PC/Paxos decisions, votes, reads and background
+// propagation go directly between sites.
+//
+// What the simulator guarantees that live mode does not: determinism (thread
+// and network scheduling are real), analytic CPU cost accounting (real CPU
+// is spent instead), and fault injection (live runs are fault-free).
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "live/live_transport.h"
+#include "live/mailbox.h"
+#include "live/timer_wheel.h"
+#include "net/codec.h"
+
+namespace gdur::live {
+
+struct LiveConfig {
+  /// Base deployment shape. Live mode is fault-free and in-memory:
+  /// `faults`, `durable` and `client_timeout` must stay at their defaults.
+  core::ClusterConfig base;
+  /// Emulated one-way link delay = topology latency × this factor
+  /// (0 = raw loopback). Lets live runs reproduce geo-replication spacing.
+  double delay_scale = 0.0;
+};
+
+class LiveCluster : public core::Cluster {
+ public:
+  LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec);
+  ~LiveCluster() override;
+
+  /// Spawns site threads, the event loop and the timer wheel. Call once.
+  void start();
+  /// Quiesces and joins everything. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Posts `fn` to site `at`'s mailbox (any thread).
+  void post(SiteId at, std::function<void()> fn);
+
+  // --- transport/scheduler seam -----------------------------------------
+  [[nodiscard]] SimTime now() const override;
+  void run_after(SiteId at, SimDuration delay,
+                 std::function<void()> fn) override;
+  void run_local(SiteId at, SimDuration service,
+                 std::function<void()> fn) override;
+  [[nodiscard]] bool site_down(SiteId) const override { return false; }
+  void remote_read(SiteId from, SiteId target, const core::MutTxnPtr& t,
+                   ObjectId x, std::function<void(bool)> cb) override;
+
+  // --- client API: posts straight onto the coordinator's mailbox --------
+  void begin(SiteId coord, std::function<void(core::MutTxnPtr)> cb) override;
+  void read(SiteId coord, const core::MutTxnPtr& t, ObjectId x,
+            std::function<void(bool)> cb) override;
+  void write(SiteId coord, const core::MutTxnPtr& t, ObjectId x,
+             std::function<void()> cb) override;
+  void commit(SiteId coord, const core::MutTxnPtr& t,
+              std::function<void(bool)> cb) override;
+
+  // --- protocol messaging over the wire ---------------------------------
+  void xcast_term(const core::TxnPtr& t, std::vector<SiteId> dests) override;
+  void send_vote(SiteId from, SiteId to, const core::TxnPtr& t,
+                 bool vote) override;
+  void send_decision(SiteId from, SiteId to, const core::TxnPtr& t,
+                     bool commit) override;
+  void send_paxos_2a(SiteId from, SiteId acceptor, const core::TxnPtr& t,
+                     SiteId participant, bool vote) override;
+  void send_paxos_2b(SiteId from, SiteId to, const core::TxnPtr& t,
+                     SiteId participant, bool vote, SiteId acceptor) override;
+  void propagate_stamp(SiteId from, const core::TxnRecord& t,
+                       const std::vector<SiteId>& dests) override;
+
+  [[nodiscard]] std::uint64_t live_messages() const {
+    return transport_live_->messages_sent();
+  }
+  [[nodiscard]] std::uint64_t live_bytes() const {
+    return transport_live_->bytes_sent();
+  }
+
+ private:
+  /// The fixed relay site giving all group-communication flavors a total
+  /// delivery order over FIFO links.
+  static constexpr SiteId kSequencer = 0;
+
+  struct PendingRead {
+    core::MutTxnPtr t;
+    ObjectId obj = 0;
+    std::function<void(bool)> cb;
+  };
+
+  /// Per-site dispatcher state. Touched only by the site's mailbox thread.
+  struct SiteState {
+    /// Termination records known here, so id-only wire messages (votes,
+    /// decisions, Paxos) can be dispatched against the full record.
+    std::unordered_map<TxnId, core::TxnPtr> txns;
+    std::deque<TxnId> txn_fifo;  // bounded GC, mirrors Replica's caches
+    /// Messages that arrived before their termination record (possible:
+    /// votes travel on different links than the sequencer relay). Flushed
+    /// in arrival order on delivery.
+    std::unordered_map<TxnId,
+                       std::vector<std::function<void(const core::TxnPtr&)>>>
+        pending;
+    std::unordered_map<std::uint64_t, PendingRead> reads;
+    std::uint64_t read_seq = 0;
+  };
+
+  void dispatch(SiteId src, SiteId dst, std::vector<std::uint8_t> frame);
+  /// Registers `t` at `dst` if unknown; returns the canonical record (the
+  /// first one seen wins, so the coordinator keeps its original pointer).
+  const core::TxnPtr& register_txn(SiteId dst, const core::TxnPtr& t);
+  void deliver_term(SiteId dst, const core::TxnPtr& t);
+  /// Runs `fn(txn)` now if dst knows `id`, else buffers it until delivery.
+  void with_txn(SiteId dst, const TxnId& id,
+                std::function<void(const core::TxnPtr&)> fn);
+  /// Sequencer-side relay of one termination record to its destinations.
+  void relay_term(const core::TxnPtr& t, const std::vector<SiteId>& dests);
+  void send_frame(SiteId from, SiteId to, const net::codec::Writer& w);
+
+  static constexpr std::size_t kTxnCacheCap = 200'000;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> threads_;
+  std::vector<SiteState> dispatch_state_;
+  TimerWheel wheel_;
+  std::unique_ptr<LiveTransport> transport_live_;
+  std::chrono::steady_clock::time_point t0_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace gdur::live

@@ -1,0 +1,221 @@
+#include "live/live_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "checker/history.h"
+#include "common/rng.h"
+#include "live/live_cluster.h"
+#include "protocols/protocols.h"
+#include "workload/client.h"
+
+namespace gdur::live {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Everything one site's clients share; touched only on that site's
+/// mailbox thread once the run is going.
+struct SiteCollector {
+  harness::Metrics metrics;
+  std::vector<checker::TxnOutcome> outcomes;
+  std::vector<core::Cluster::InstallEvent> installs;
+};
+
+/// One closed-loop client flow: exactly one interactive transaction in
+/// flight, relaunched from its own completion callback on the
+/// coordinator's mailbox thread.
+struct ClosedLoop : std::enable_shared_from_this<ClosedLoop> {
+  LiveCluster& cl;
+  SiteId site;
+  workload::Generator gen;
+  SiteCollector& col;
+  std::atomic<bool>& running;
+  std::atomic<int>& inflight;
+  workload::TxnObserver observer;
+
+  ClosedLoop(LiveCluster& c, SiteId s, const workload::WorkloadSpec& spec,
+             SiteCollector& sc, std::atomic<bool>& run, std::atomic<int>& inf,
+             std::uint64_t seed)
+      : cl(c),
+        site(s),
+        gen(spec, c.partitioner(), s, seed),
+        col(sc),
+        running(run),
+        inflight(inf) {
+    observer = [this](const core::TxnRecord& t, bool committed) {
+      col.outcomes.push_back({t, committed, cl.now()});
+    };
+  }
+
+  void next() {
+    if (!running.load(std::memory_order_acquire)) {
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    auto self = shared_from_this();
+    workload::run_transaction(
+        cl, site, std::make_shared<workload::TxnProfile>(gen.next()),
+        col.metrics, observer, [self] { self->next(); });
+  }
+};
+
+/// Open-loop Poisson source for one site: arrivals fire regardless of
+/// completions, paced by the cluster's real-clock run_after.
+struct OpenLoop : std::enable_shared_from_this<OpenLoop> {
+  LiveCluster& cl;
+  SiteId site;
+  workload::Generator gen;
+  Rng arrivals;
+  double rate;  // per-site arrivals per second
+  SiteCollector& col;
+  std::atomic<bool>& running;
+  std::atomic<int>& inflight;
+  workload::TxnObserver observer;
+
+  OpenLoop(LiveCluster& c, SiteId s, const workload::WorkloadSpec& spec,
+           SiteCollector& sc, std::atomic<bool>& run, std::atomic<int>& inf,
+           double site_rate, std::uint64_t seed)
+      : cl(c),
+        site(s),
+        gen(spec, c.partitioner(), s, seed),
+        arrivals(mix64(seed ^ 0xabcdef)),
+        rate(site_rate),
+        col(sc),
+        running(run),
+        inflight(inf) {
+    observer = [this](const core::TxnRecord& t, bool committed) {
+      col.outcomes.push_back({t, committed, cl.now()});
+    };
+  }
+
+  void arrive() {
+    if (!running.load(std::memory_order_acquire)) return;
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    auto self = shared_from_this();
+    workload::run_transaction(
+        cl, site, std::make_shared<workload::TxnProfile>(gen.next()),
+        col.metrics, observer, [self] {
+          self->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    const double gap = -std::log(1.0 - arrivals.next_double()) / rate;
+    cl.run_after(site, seconds(gap), [self] { self->arrive(); });
+  }
+};
+
+}  // namespace
+
+const char* criterion_of(const std::string& protocol) {
+  if (protocol == "GMU" || protocol == "GMU*" || protocol == "GMU**")
+    return "US";
+  if (protocol == "Serrano") return "SI";
+  if (protocol == "Walter") return "PSI";
+  if (protocol == "Jessy2pc") return "NMSI";
+  if (protocol == "RC") return "RC";
+  if (protocol == "RAMP") return "RA";
+  // P-Store, S-DUR and every P-Store variant claim serializability.
+  return "SER";
+}
+
+LiveRunResult run_live(const LiveRunConfig& cfg) {
+  LiveConfig lc;
+  lc.base.sites = cfg.sites;
+  lc.base.replication = cfg.replication;
+  lc.base.objects_per_site = cfg.objects_per_site;
+  lc.base.partitions_per_site = cfg.partitions_per_site;
+  lc.base.seed = cfg.seed;
+  lc.base.trace = cfg.trace;
+  lc.delay_scale = cfg.delay_scale;
+  LiveCluster cluster(lc, protocols::by_name(cfg.protocol));
+
+  std::vector<SiteCollector> col(static_cast<std::size_t>(cfg.sites));
+  checker::History history;
+  history.attach(cluster);  // installs its own observer; replaced next line
+  cluster.set_install_observer([&col](const core::Cluster::InstallEvent& e) {
+    col[e.site].installs.push_back(e);
+  });
+
+  std::atomic<bool> running{true};
+  std::atomic<int> inflight{0};
+
+  cluster.start();
+
+  std::vector<std::shared_ptr<ClosedLoop>> flows;
+  std::vector<std::shared_ptr<OpenLoop>> sources;
+  if (cfg.open_loop_tps > 0) {
+    const double site_rate = cfg.open_loop_tps / cfg.sites;
+    for (int s = 0; s < cfg.sites; ++s) {
+      auto src = std::make_shared<OpenLoop>(
+          cluster, static_cast<SiteId>(s), cfg.workload, col[s], running,
+          inflight, site_rate, mix64(cfg.seed * 1000 + s));
+      sources.push_back(src);
+      cluster.post(static_cast<SiteId>(s), [src] { src->arrive(); });
+    }
+  } else {
+    for (int i = 0; i < cfg.clients; ++i) {
+      const auto site = static_cast<SiteId>(i % cfg.sites);
+      auto flow = std::make_shared<ClosedLoop>(
+          cluster, site, cfg.workload, col[site], running, inflight,
+          mix64(cfg.seed * 1000 + i));
+      flows.push_back(flow);
+      inflight.fetch_add(1, std::memory_order_acq_rel);
+      // Launch on the site's own thread: all of a site's client state is
+      // only ever touched there.
+      cluster.post(site, [flow] { flow->next(); });
+    }
+  }
+
+  const auto t_start = steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.secs));
+  running.store(false, std::memory_order_release);
+  const double wall =
+      std::chrono::duration<double>(steady_clock::now() - t_start).count();
+
+  // Drain: let in-flight transactions terminate so the recorded history is
+  // complete; anything still stuck after the grace period is reported.
+  const auto deadline =
+      steady_clock::now() + std::chrono::duration_cast<steady_clock::duration>(
+                                std::chrono::duration<double>(cfg.drain_secs));
+  while (inflight.load(std::memory_order_acquire) > 0 &&
+         steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const int hung = inflight.load(std::memory_order_acquire);
+  cluster.stop();
+
+  LiveRunResult res;
+  res.protocol = cfg.protocol;
+  res.criterion = criterion_of(cfg.protocol);
+  res.wall_secs = wall;
+  res.messages = cluster.live_messages();
+  res.bytes = cluster.live_bytes();
+  res.hung_clients = hung;
+  for (auto& c : col) {
+    res.metrics.merge_from(c.metrics);
+    for (const auto& o : c.outcomes)
+      history.record_txn(o.txn, o.committed, o.response_time);
+    for (const auto& e : c.installs) history.record_install(e);
+  }
+  res.throughput_tps =
+      wall > 0 ? static_cast<double>(res.metrics.committed()) / wall : 0.0;
+  if (cfg.check) {
+    const auto cr = history.check_criterion(res.criterion);
+    res.checker_ok = cr.ok;
+    res.checker_detail = cr.detail;
+  }
+  return res;
+}
+
+}  // namespace gdur::live

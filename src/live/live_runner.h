@@ -1,0 +1,65 @@
+// Live loopback harness: drives the existing workload generators against a
+// LiveCluster with closed- or open-loop clients, records per-site metrics
+// and a checkable history, and verifies each protocol's claimed criterion —
+// the live counterpart of harness::run_experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/metrics.h"
+#include "obs/trace.h"
+#include "workload/workload.h"
+
+namespace gdur::live {
+
+struct LiveRunConfig {
+  std::string protocol = "P-Store";
+  int sites = 3;
+  /// Closed-loop client flows, assigned round-robin to sites. Each flow
+  /// keeps exactly one interactive transaction in flight (§8.1's YCSB
+  /// client threads). Ignored when open_loop_tps > 0.
+  int clients = 16;
+  /// Measured wall-clock run duration.
+  double secs = 2.0;
+  workload::WorkloadSpec workload = workload::WorkloadSpec::A(0.8);
+  std::uint64_t objects_per_site = 4096;
+  int partitions_per_site = 2;
+  int replication = 1;
+  std::uint64_t seed = 42;
+  /// Poisson arrivals at this total offered rate instead of closed loops
+  /// (0 = closed loop).
+  double open_loop_tps = 0.0;
+  /// Emulated link delay = topology latency × this (see LiveConfig).
+  double delay_scale = 0.0;
+  /// Verify the recorded history against the protocol's criterion.
+  bool check = true;
+  /// Grace period for in-flight transactions after the measurement window.
+  double drain_secs = 2.0;
+  obs::TraceRecorder* trace = nullptr;
+};
+
+struct LiveRunResult {
+  std::string protocol;
+  std::string criterion;
+  harness::Metrics metrics;
+  double wall_secs = 0.0;        // measurement window actually elapsed
+  double throughput_tps = 0.0;   // committed txns / wall_secs
+  bool checker_ok = true;
+  std::string checker_detail;
+  std::uint64_t messages = 0;  // frames over the live transport
+  std::uint64_t bytes = 0;
+  /// Client flows still in flight when the drain grace period expired
+  /// (0 on a healthy run).
+  int hung_clients = 0;
+};
+
+/// The consistency criterion each registry protocol claims (checker
+/// vocabulary: SER, US, SI, PSI, NMSI, RC, RA).
+[[nodiscard]] const char* criterion_of(const std::string& protocol);
+
+/// Builds a LiveCluster for `cfg.protocol`, runs the workload over real
+/// loopback sockets for `cfg.secs`, and returns merged metrics + verdict.
+LiveRunResult run_live(const LiveRunConfig& cfg);
+
+}  // namespace gdur::live

@@ -1,0 +1,172 @@
+#include "live/live_transport.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "net/codec.h"
+
+namespace gdur::live {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("live transport: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail("handshake write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void read_all(int fd, std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("handshake read");
+    }
+    if (r == 0) fail("handshake eof");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+LiveTransport::LiveTransport(int sites, TimerWheel& wheel, Deliver deliver)
+    : sites_(sites),
+      wheel_(wheel),
+      deliver_(std::move(deliver)),
+      out_conn_(static_cast<std::size_t>(sites) * sites, -1),
+      delay_(static_cast<std::size_t>(sites) * sites,
+             std::chrono::nanoseconds(0)) {
+  // 1. One listener per site on an ephemeral loopback port.
+  std::vector<int> listeners(sites, -1);
+  std::vector<std::uint16_t> ports(sites, 0);
+  for (int s = 0; s < sites; ++s) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      fail("bind");
+    if (::listen(fd, sites) != 0) fail("listen");
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+      fail("getsockname");
+    listeners[s] = fd;
+    ports[s] = ntohs(addr.sin_port);
+  }
+
+  // 2. All connects first (the listen backlog holds them), each announcing
+  //    its source site with a framed ControlMsg hello.
+  for (int i = 0; i < sites; ++i) {
+    for (int j = 0; j < sites; ++j) {
+      if (i == j) continue;
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail("socket");
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports[j]);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+        fail("connect");
+      net::codec::Writer w;
+      w.u8(static_cast<std::uint8_t>(net::codec::MsgType::kControl));
+      net::codec::encode_control(
+          w, {1 /* hello */, static_cast<std::uint64_t>(i)});
+      const auto len = static_cast<std::uint32_t>(w.size());
+      std::uint8_t hdr[4] = {static_cast<std::uint8_t>(len & 0xff),
+                             static_cast<std::uint8_t>((len >> 8) & 0xff),
+                             static_cast<std::uint8_t>((len >> 16) & 0xff),
+                             static_cast<std::uint8_t>((len >> 24) & 0xff)};
+      write_all(fd, hdr, 4);
+      write_all(fd, w.data().data(), w.size());
+      out_conn_[link_index(static_cast<SiteId>(i), static_cast<SiteId>(j))] =
+          loop_.add_connection(fd);
+      // Outbound connections are write-only (the peer never sends on
+      // them); keep in_link_ index-aligned with conn ids regardless.
+      in_link_.emplace_back(0, 0);
+    }
+  }
+
+  // 3. Accept and identify inbound connections at each site.
+  for (int j = 0; j < sites; ++j) {
+    for (int k = 0; k < sites - 1; ++k) {
+      const int fd = ::accept(listeners[j], nullptr, nullptr);
+      if (fd < 0) fail("accept");
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::uint8_t hdr[4];
+      read_all(fd, hdr, 4);
+      const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                                (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                                (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                                (static_cast<std::uint32_t>(hdr[3]) << 24);
+      if (len == 0 || len > 64) fail("bad hello frame");
+      std::vector<std::uint8_t> body(len);
+      read_all(fd, body.data(), len);
+      net::codec::Reader r(body);
+      const auto tag = r.u8();
+      if (!tag ||
+          *tag != static_cast<std::uint8_t>(net::codec::MsgType::kControl))
+        fail("bad hello tag");
+      const auto hello = net::codec::decode_control(r);
+      if (!hello || hello->kind != 1 ||
+          hello->arg >= static_cast<std::uint64_t>(sites))
+        fail("bad hello body");
+      const auto src = static_cast<SiteId>(hello->arg);
+      const int conn = loop_.add_connection(fd);
+      if (static_cast<std::size_t>(conn) >= in_link_.size())
+        in_link_.resize(conn + 1);
+      in_link_[conn] = {src, static_cast<SiteId>(j)};
+    }
+    ::close(listeners[j]);
+  }
+
+  loop_.set_frame_handler([this](int conn_id, std::vector<std::uint8_t> f) {
+    const auto [src, dst] = in_link_[conn_id];
+    const auto d = delay_[link_index(src, dst)];
+    if (d.count() == 0) {
+      deliver_(src, dst, std::move(f));
+    } else {
+      wheel_.schedule_after(
+          d, [this, src, dst, f = std::move(f)]() mutable {
+            deliver_(src, dst, std::move(f));
+          });
+    }
+  });
+}
+
+void LiveTransport::set_link_delay(SiteId src, SiteId dst,
+                                   std::chrono::nanoseconds d) {
+  delay_[link_index(src, dst)] = d;
+}
+
+void LiveTransport::send(SiteId src, SiteId dst,
+                         const std::vector<std::uint8_t>& body) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(body.size() + 4, std::memory_order_relaxed);
+  loop_.send_frame(out_conn_[link_index(src, dst)], body);
+}
+
+}  // namespace gdur::live

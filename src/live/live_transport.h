@@ -1,0 +1,71 @@
+// Real-socket transport with the simulator's delivery contract.
+//
+// Sites are connected by a full mesh of loopback TCP connections, one per
+// ordered pair (i, j): site i only ever writes on its (i, j) connection and
+// site j only reads from it, so TCP's per-connection byte stream directly
+// yields exactly-once, FIFO-per-link delivery — the contract core::Cluster
+// documents for its transport seam.
+//
+// Link delay emulation: a received frame can be held on a real-clock timer
+// wheel before dispatch. The emulated delay is constant per link, so
+// deadlines on one link are monotone and the wheel's FIFO-within-slot
+// ordering preserves the link FIFO contract.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "live/event_loop.h"
+#include "live/timer_wheel.h"
+
+namespace gdur::live {
+
+class LiveTransport {
+ public:
+  /// Called (on the event-loop or timer thread) once a frame is due at its
+  /// destination; expected to post decode+dispatch work to dst's mailbox.
+  using Deliver =
+      std::function<void(SiteId src, SiteId dst, std::vector<std::uint8_t>)>;
+
+  /// Establishes the loopback mesh synchronously: one listener per site on
+  /// 127.0.0.1:0, then every ordered pair connects and identifies itself
+  /// with a codec::ControlMsg hello. Throws std::runtime_error on failure.
+  /// `wheel` must be started before start() and outlive this object.
+  LiveTransport(int sites, TimerWheel& wheel, Deliver deliver);
+
+  ~LiveTransport() { stop(); }
+
+  /// Per-link one-way delay to emulate (0 = deliver on arrival).
+  void set_link_delay(SiteId src, SiteId dst, std::chrono::nanoseconds d);
+
+  void start() { loop_.start(); }
+  void stop() { loop_.stop(); }
+
+  /// Queues `body` (type tag + encoded message) on the (src, dst) link.
+  /// Thread-safe; src != dst (self-sends bypass the transport).
+  void send(SiteId src, SiteId dst, const std::vector<std::uint8_t>& body);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  [[nodiscard]] int link_index(SiteId src, SiteId dst) const {
+    return static_cast<int>(src) * sites_ + static_cast<int>(dst);
+  }
+
+  int sites_;
+  TimerWheel& wheel_;
+  Deliver deliver_;
+  EventLoop loop_;
+  std::vector<int> out_conn_;                   // link index -> conn id
+  std::vector<std::pair<SiteId, SiteId>> in_link_;  // conn id -> (src,dst)
+  std::vector<std::chrono::nanoseconds> delay_;  // link index -> delay
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace gdur::live

@@ -1,0 +1,43 @@
+#include "live/mailbox.h"
+
+namespace gdur::live {
+
+void Mailbox::post(Task fn) {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    q_.push_back(std::move(fn));
+    ++posted_;
+  }
+  cv_.notify_one();
+}
+
+void Mailbox::run() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stopped_ || !q_.empty(); });
+      if (stopped_) return;
+      task = std::move(q_.front());
+      q_.pop_front();
+    }
+    task();
+  }
+}
+
+void Mailbox::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stopped_ = true;
+    q_.clear();
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Mailbox::posted() const {
+  std::lock_guard lk(mu_);
+  return posted_;
+}
+
+}  // namespace gdur::live

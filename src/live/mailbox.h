@@ -1,0 +1,44 @@
+// Single-consumer mailbox — the live runtime's threading invariant.
+//
+// Each site's core::Replica is pinned to one worker thread that drains this
+// mailbox; every protocol handler, client-flow continuation and timer
+// callback for the site runs as a posted task on that thread. Replica code
+// therefore stays single-threaded internally, exactly as it is under the
+// discrete-event simulator — the mailbox is the live analogue of the sim's
+// per-site event ordering.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace gdur::live {
+
+class Mailbox {
+ public:
+  using Task = std::function<void()>;
+
+  /// Enqueues `fn` (any thread). Tasks posted after stop() are dropped.
+  void post(Task fn);
+
+  /// Consumer loop: runs tasks in FIFO order until stop(). Call from
+  /// exactly one thread.
+  void run();
+
+  /// Wakes the consumer and ends run(). Remaining queued tasks are
+  /// discarded (teardown semantics: in-flight work past the quiesce grace
+  /// period is abandoned, never half-run on a foreign thread).
+  void stop();
+
+  [[nodiscard]] std::uint64_t posted() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> q_;
+  std::uint64_t posted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gdur::live

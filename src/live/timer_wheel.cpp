@@ -1,0 +1,102 @@
+#include "live/timer_wheel.h"
+
+#include <algorithm>
+
+namespace gdur::live {
+
+void TimerWheel::start() {
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  t0_ = Clock::now();
+  cur_tick_ = 0;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TimerWheel::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lk(mu_);
+  running_ = false;
+  for (auto& slot : slots_) slot.clear();
+  armed_ = 0;
+}
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point tp) const {
+  const auto since = tp - t0_;
+  if (since.count() <= 0) return 0;
+  // Round up: a timer never fires early.
+  return static_cast<std::uint64_t>((since + kTick - Clock::duration(1)) / kTick);
+}
+
+void TimerWheel::schedule_after(std::chrono::nanoseconds delay,
+                                std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_ || stopping_) return;
+    std::uint64_t tick = tick_of(Clock::now() + delay);
+    tick = std::max(tick, cur_tick_);
+    slots_[tick % kSlots].push_back(Entry{tick, std::move(fn)});
+    ++armed_;
+    ++scheduled_;
+  }
+  cv_.notify_all();
+}
+
+void TimerWheel::loop() {
+  std::unique_lock lk(mu_);
+  while (!stopping_) {
+    if (armed_ == 0) {
+      cv_.wait(lk, [this] { return stopping_ || armed_ > 0; });
+      if (stopping_) return;
+      // Nothing was pending while we slept; jump to the present.
+      cur_tick_ = std::max(cur_tick_, tick_of(Clock::now()));
+      continue;
+    }
+    // Tick T's entries are due once its boundary t0_ + T*kTick has PASSED,
+    // so the gate must floor (tick_of rounds up and would admit the slot
+    // up to a full tick early).
+    const auto since = Clock::now() - t0_;
+    const std::uint64_t now_tick =
+        since.count() <= 0 ? 0 : static_cast<std::uint64_t>(since / kTick);
+    if (cur_tick_ > now_tick) {
+      cv_.wait_until(lk, t0_ + cur_tick_ * kTick,
+                     [this] { return stopping_; });
+      if (stopping_) return;
+      continue;
+    }
+    // Process the current tick's slot: fire due entries in insertion order,
+    // keep entries hashed here for a later wheel revolution.
+    auto& slot = slots_[cur_tick_ % kSlots];
+    std::vector<std::function<void()>> due;
+    std::size_t kept = 0;
+    for (auto& e : slot) {
+      if (e.tick <= cur_tick_) {
+        due.push_back(std::move(e.fn));
+      } else {
+        slot[kept++] = std::move(e);
+      }
+    }
+    slot.resize(kept);
+    armed_ -= due.size();
+    ++cur_tick_;
+    if (!due.empty()) {
+      lk.unlock();
+      for (auto& fn : due) fn();
+      lk.lock();
+    }
+  }
+}
+
+std::uint64_t TimerWheel::scheduled() const {
+  std::lock_guard lk(mu_);
+  return scheduled_;
+}
+
+}  // namespace gdur::live

@@ -1,0 +1,65 @@
+// Real-clock timer wheel for the live runtime.
+//
+// A dedicated thread advances a hashed wheel of 1 ms slots and fires due
+// callbacks in deadline order (FIFO within a slot — timers scheduled in
+// order for the same deadline fire in that order, which is what preserves
+// per-link FIFO when LiveTransport emulates constant link delays). The
+// thread sleeps indefinitely when the wheel is empty.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdur::live {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimerWheel() = default;
+  ~TimerWheel() { stop(); }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  void start();
+  /// Idempotent. Pending timers are discarded; the tick thread is joined.
+  void stop();
+
+  /// Fires `fn` on the wheel thread once `delay` has elapsed (rounded up to
+  /// the next 1 ms tick). Thread-safe. Callbacks must be cheap — they are
+  /// expected to post real work to a site mailbox.
+  void schedule_after(std::chrono::nanoseconds delay, std::function<void()> fn);
+
+  [[nodiscard]] std::uint64_t scheduled() const;
+
+ private:
+  struct Entry {
+    std::uint64_t tick;  // absolute tick at which to fire
+    std::function<void()> fn;
+  };
+
+  static constexpr std::size_t kSlots = 4096;
+  static constexpr auto kTick = std::chrono::milliseconds(1);
+
+  void loop();
+  [[nodiscard]] std::uint64_t tick_of(Clock::time_point tp) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::vector<Entry>> slots_{kSlots};
+  std::size_t armed_ = 0;       // entries currently in the wheel
+  std::uint64_t scheduled_ = 0; // lifetime count
+  std::uint64_t cur_tick_ = 0;  // next tick the loop will process
+  Clock::time_point t0_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gdur::live

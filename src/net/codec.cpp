@@ -1,5 +1,6 @@
 #include "net/codec.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace gdur::net::codec {
@@ -93,7 +94,9 @@ std::optional<versioning::Stamp> decode_stamp(Reader& r) {
   if (!origin || !seq || !n) return std::nullopt;
   s.origin = *origin;
   s.seq = *seq;
-  s.dep.reserve(static_cast<std::size_t>(*n));
+  // Clamp preallocation by the bytes left: a corrupted count must not
+  // trigger a huge allocation before the per-element reads reject it.
+  s.dep.reserve(static_cast<std::size_t>(std::min(*n, std::uint64_t{r.remaining()})));
   for (std::uint64_t i = 0; i < *n; ++i) {
     const auto d = r.varint();
     if (!d) return std::nullopt;
@@ -112,7 +115,7 @@ std::optional<std::vector<std::uint64_t>> decode_u64_vec(Reader& r) {
   const auto n = r.varint();
   if (!n) return std::nullopt;
   std::vector<std::uint64_t> out;
-  out.reserve(static_cast<std::size_t>(*n));
+  out.reserve(static_cast<std::size_t>(std::min(*n, std::uint64_t{r.remaining()})));
   for (std::uint64_t i = 0; i < *n; ++i) {
     const auto x = r.varint();
     if (!x) return std::nullopt;
@@ -228,6 +231,193 @@ std::uint64_t encoded_txn_size(const core::TxnRecord& t,
   Writer w;
   encode_txn(w, t, payload_bytes_per_write);
   return w.size();
+}
+
+// ---------------------------------------------------------------------------
+// Live-runtime message classes.
+// ---------------------------------------------------------------------------
+
+namespace {
+void encode_txn_id(Writer& w, const TxnId& id) {
+  w.u32(id.coord);
+  w.varint(id.seq);
+}
+
+std::optional<TxnId> decode_txn_id(Reader& r) {
+  const auto coord = r.u32();
+  const auto seq = r.varint();
+  if (!coord || !seq) return std::nullopt;
+  return TxnId{*coord, *seq};
+}
+}  // namespace
+
+void encode_version(Writer& w, const store::Version& v) {
+  encode_txn_id(w, v.writer);
+  w.varint(v.pidx);
+  w.i64(v.commit_time);
+  encode_stamp(w, v.stamp);
+}
+
+std::optional<store::Version> decode_version(Reader& r) {
+  store::Version v;
+  const auto writer = decode_txn_id(r);
+  const auto pidx = r.varint();
+  const auto ct = r.i64();
+  auto stamp = decode_stamp(r);
+  if (!writer || !pidx || !ct || !stamp) return std::nullopt;
+  v.writer = *writer;
+  v.pidx = *pidx;
+  v.commit_time = *ct;
+  v.stamp = *std::move(stamp);
+  return v;
+}
+
+void encode_vote(Writer& w, const VoteMsg& m) {
+  encode_txn_id(w, m.txn);
+  w.u32(m.voter);
+  w.u8(m.vote ? 1 : 0);
+}
+
+std::optional<VoteMsg> decode_vote(Reader& r) {
+  const auto txn = decode_txn_id(r);
+  const auto voter = r.u32();
+  const auto vote = r.u8();
+  if (!txn || !voter || !vote || *vote > 1) return std::nullopt;
+  return VoteMsg{*txn, *voter, *vote != 0};
+}
+
+void encode_decision(Writer& w, const DecisionMsg& m) {
+  encode_txn_id(w, m.txn);
+  w.u8(m.commit ? 1 : 0);
+}
+
+std::optional<DecisionMsg> decode_decision(Reader& r) {
+  const auto txn = decode_txn_id(r);
+  const auto commit = r.u8();
+  if (!txn || !commit || *commit > 1) return std::nullopt;
+  return DecisionMsg{*txn, *commit != 0};
+}
+
+void encode_paxos(Writer& w, const PaxosMsg& m) {
+  encode_txn_id(w, m.txn);
+  w.u32(m.participant);
+  w.u8(m.vote ? 1 : 0);
+  w.u32(m.acceptor);
+}
+
+std::optional<PaxosMsg> decode_paxos(Reader& r) {
+  const auto txn = decode_txn_id(r);
+  const auto participant = r.u32();
+  const auto vote = r.u8();
+  const auto acceptor = r.u32();
+  if (!txn || !participant || !vote || *vote > 1 || !acceptor)
+    return std::nullopt;
+  return PaxosMsg{*txn, *participant, *vote != 0, *acceptor};
+}
+
+void encode_read_request(Writer& w, const ReadRequestMsg& m) {
+  w.varint(m.req);
+  w.u32(m.requester);
+  w.varint(m.obj);
+  encode_snapshot(w, m.snap);
+}
+
+std::optional<ReadRequestMsg> decode_read_request(Reader& r) {
+  ReadRequestMsg m;
+  const auto req = r.varint();
+  const auto requester = r.u32();
+  const auto obj = r.varint();
+  auto snap = decode_snapshot(r);
+  if (!req || !requester || !obj || !snap) return std::nullopt;
+  m.req = *req;
+  m.requester = *requester;
+  m.obj = *obj;
+  m.snap = *std::move(snap);
+  return m;
+}
+
+void encode_read_reply(Writer& w, const ReadReplyMsg& m) {
+  w.varint(m.req);
+  w.u8(m.ok ? 1 : 0);
+  w.u8(m.has_version ? 1 : 0);
+  if (m.has_version) {
+    encode_version(w, m.version);
+    // After-value: length marker + opaque payload bytes (same convention
+    // as termination after-values in encode_txn).
+    w.varint(m.payload_bytes);
+    for (std::uint64_t i = 0; i < m.payload_bytes; ++i) w.u8(0);
+  }
+}
+
+std::optional<ReadReplyMsg> decode_read_reply(Reader& r) {
+  ReadReplyMsg m;
+  const auto req = r.varint();
+  const auto ok = r.u8();
+  const auto hv = r.u8();
+  if (!req || !ok || *ok > 1 || !hv || *hv > 1) return std::nullopt;
+  m.req = *req;
+  m.ok = *ok != 0;
+  m.has_version = *hv != 0;
+  if (m.has_version) {
+    auto v = decode_version(r);
+    const auto len = r.varint();
+    if (!v || !len || r.remaining() < *len) return std::nullopt;
+    m.version = *std::move(v);
+    m.payload_bytes = *len;
+    for (std::uint64_t i = 0; i < *len; ++i)
+      if (!r.u8()) return std::nullopt;
+  }
+  return m;
+}
+
+void encode_term_submit(Writer& w, const TermSubmitMsg& m,
+                        std::uint64_t payload_bytes_per_write) {
+  w.varint(m.dests.size());
+  for (SiteId d : m.dests) w.u32(d);
+  encode_txn(w, m.txn, payload_bytes_per_write);
+}
+
+std::optional<TermSubmitMsg> decode_term_submit(Reader& r) {
+  TermSubmitMsg m;
+  const auto n = r.varint();
+  if (!n || *n > (1u << 20)) return std::nullopt;
+  m.dests.reserve(static_cast<std::size_t>(std::min(*n, std::uint64_t{r.remaining()})));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto d = r.u32();
+    if (!d) return std::nullopt;
+    m.dests.push_back(*d);
+  }
+  auto txn = decode_txn(r);
+  if (!txn) return std::nullopt;
+  m.txn = *std::move(txn);
+  return m;
+}
+
+void encode_propagate(Writer& w, const PropagateMsg& m) {
+  w.u32(m.from);
+  encode_stamp(w, m.stamp);
+}
+
+std::optional<PropagateMsg> decode_propagate(Reader& r) {
+  PropagateMsg m;
+  const auto from = r.u32();
+  auto stamp = decode_stamp(r);
+  if (!from || !stamp) return std::nullopt;
+  m.from = *from;
+  m.stamp = *std::move(stamp);
+  return m;
+}
+
+void encode_control(Writer& w, const ControlMsg& m) {
+  w.varint(m.kind);
+  w.varint(m.arg);
+}
+
+std::optional<ControlMsg> decode_control(Reader& r) {
+  const auto kind = r.varint();
+  const auto arg = r.varint();
+  if (!kind || !arg) return std::nullopt;
+  return ControlMsg{*kind, *arg};
 }
 
 }  // namespace gdur::net::codec

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/transaction.h"
+#include "store/mv_store.h"
 
 namespace gdur::net::codec {
 
@@ -76,5 +77,116 @@ std::optional<core::TxnRecord> decode_txn(Reader& r);
 /// Exact wire size of a termination message under this codec.
 std::uint64_t encoded_txn_size(const core::TxnRecord& t,
                                std::uint64_t payload_bytes_per_write);
+
+// --- live-runtime message classes --------------------------------------------
+//
+// In the simulator payloads travel by pointer; the live runtime (src/live)
+// ships every protocol message as real bytes, framed as one type tag
+// followed by the body encoded below. Every class here round-trips
+// byte-exactly and rejects malformed input with nullopt (tests/test_codec).
+
+/// Frame type tag — first byte of every live frame.
+enum class MsgType : std::uint8_t {
+  kTermDeliver = 1,  // body: encode_txn (termination record)
+  kTermSubmit = 2,   // body: TermSubmitMsg (origin -> sequencer)
+  kVote = 3,         // body: VoteMsg
+  kDecision = 4,     // body: DecisionMsg
+  kPaxos2a = 5,      // body: PaxosMsg (acceptor field unused)
+  kPaxos2b = 6,      // body: PaxosMsg
+  kReadRequest = 7,  // body: ReadRequestMsg
+  kReadReply = 8,    // body: ReadReplyMsg
+  kPropagate = 9,    // body: PropagateMsg
+  kControl = 10,     // body: ControlMsg (connection handshake etc.)
+};
+
+/// A certification vote (GC participant vote or 2PC vote to the coord).
+struct VoteMsg {
+  TxnId txn;
+  SiteId voter = 0;
+  bool vote = false;
+};
+
+/// 2PC / Paxos outcome, or a decided site answering an in-doubt voter.
+struct DecisionMsg {
+  TxnId txn;
+  bool commit = false;
+};
+
+/// Paxos Commit phase 2a (participant -> acceptor; `acceptor` unused) and
+/// 2b (acceptor -> coordinator).
+struct PaxosMsg {
+  TxnId txn;
+  SiteId participant = 0;
+  bool vote = false;
+  SiteId acceptor = 0;
+};
+
+/// Remote read request: the requester's snapshot travels with it
+/// (Algorithm 1 line 13). `req` correlates the reply.
+struct ReadRequestMsg {
+  std::uint64_t req = 0;
+  SiteId requester = 0;
+  ObjectId obj = 0;
+  versioning::TxnSnapshot snap;
+};
+
+/// Remote read reply: the chosen version (absent for the implicit initial
+/// version) plus its after-value, represented by a length marker + opaque
+/// bytes exactly like termination after-values.
+struct ReadReplyMsg {
+  std::uint64_t req = 0;
+  bool ok = false;
+  bool has_version = false;
+  store::Version version;  // meaningful only when has_version
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Termination submission to the ordering sequencer: destination list +
+/// the full termination record.
+struct TermSubmitMsg {
+  std::vector<SiteId> dests;
+  core::TxnRecord txn;
+};
+
+/// Background stamp propagation (Walter / S-DUR post_commit).
+struct PropagateMsg {
+  SiteId from = 0;
+  versioning::Stamp stamp;
+};
+
+/// Control-plane message (live connection handshake: kind 1 = hello, arg =
+/// the connecting site's id).
+struct ControlMsg {
+  std::uint64_t kind = 0;
+  std::uint64_t arg = 0;
+};
+
+void encode_version(Writer& w, const store::Version& v);
+std::optional<store::Version> decode_version(Reader& r);
+
+void encode_vote(Writer& w, const VoteMsg& m);
+std::optional<VoteMsg> decode_vote(Reader& r);
+
+void encode_decision(Writer& w, const DecisionMsg& m);
+std::optional<DecisionMsg> decode_decision(Reader& r);
+
+void encode_paxos(Writer& w, const PaxosMsg& m);
+std::optional<PaxosMsg> decode_paxos(Reader& r);
+
+void encode_read_request(Writer& w, const ReadRequestMsg& m);
+std::optional<ReadRequestMsg> decode_read_request(Reader& r);
+
+void encode_read_reply(Writer& w, const ReadReplyMsg& m);
+std::optional<ReadReplyMsg> decode_read_reply(Reader& r);
+
+void encode_term_submit(Writer& w, const TermSubmitMsg& m,
+                        std::uint64_t payload_bytes_per_write);
+std::optional<TermSubmitMsg> decode_term_submit(Reader& r);
+
+void encode_propagate(Writer& w, const PropagateMsg& m);
+std::optional<PropagateMsg> decode_propagate(Reader& r);
+
+void encode_control(Writer& w, const ControlMsg& m);
+std::optional<ControlMsg> decode_control(Reader& r);
 
 }  // namespace gdur::net::codec

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -136,16 +137,25 @@ class TraceRecorder {
   // Counters.
   // ------------------------------------------------------------------
   [[nodiscard]] std::uint64_t msg_count(MsgClass c) const {
+    std::lock_guard lk(mu_);
     return msg_count_[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] std::uint64_t msg_bytes(MsgClass c) const {
+    std::lock_guard lk(mu_);
     return msg_bytes_[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] std::uint64_t fault_count(FaultKind k) const {
+    std::lock_guard lk(mu_);
     return fault_count_[static_cast<std::size_t>(k)];
   }
-  [[nodiscard]] std::uint64_t finished_txns() const { return finished_; }
-  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+  [[nodiscard]] std::uint64_t finished_txns() const {
+    std::lock_guard lk(mu_);
+    return finished_;
+  }
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    std::lock_guard lk(mu_);
+    return dropped_;
+  }
   /// Resets counters (not the event buffer) — called at the end of warmup
   /// so counters line up with the transport's accounting window.
   void reset_counters();
@@ -153,6 +163,8 @@ class TraceRecorder {
   // ------------------------------------------------------------------
   // Export.
   // ------------------------------------------------------------------
+  /// Direct buffer access — only safe once no hooks can fire concurrently
+  /// (sim runs, or a live cluster after stop()).
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
@@ -190,6 +202,10 @@ class TraceRecorder {
              bool committed, AbortReason reason);
 
   TraceConfig cfg_;
+  /// Serializes every hook and counter read. The simulator calls hooks from
+  /// one thread (uncontended fast path); the live runtime calls them from
+  /// every site thread.
+  mutable std::mutex mu_;
   std::function<void(const TxnPhaseReport&)> sink_;
   std::unordered_map<TxnId, Live> live_;
   std::vector<TraceEvent> events_;

@@ -20,20 +20,20 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
         done_(std::move(done)) {}
 
   void begin() {
-    begin_req_ = cl_.simulator().now();
+    begin_req_ = cl_.now();
     auto self = shared_from_this();
     // Under faults a request or its response can be lost for good (crashed
     // coordinator, broken connection): give up after the cluster's client
     // timeout instead of hanging the client loop forever.
     if (cl_.client_timeout() > 0)
-      cl_.simulator().after(cl_.client_timeout(),
-                            [self] { self->timeout(); });
+      cl_.run_after(site_, cl_.client_timeout(),
+                    [self] { self->timeout(); });
     cl_.begin(site_, [self](core::MutTxnPtr t) {
       if (self->finished_) return;
       self->txn_ = t;
       if (auto* tr = self->cl_.trace())
         tr->txn_started(t->id, self->site_, self->begin_req_,
-                        self->cl_.simulator().now());
+                        self->cl_.now());
       self->reads(t, 0);
     });
   }
@@ -45,12 +45,12 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       return;
     }
     auto self = shared_from_this();
-    const SimTime start = cl_.simulator().now();
+    const SimTime start = cl_.now();
     cl_.read(site_, t, profile_->reads[i], [self, t, i, start](bool ok) {
       if (self->finished_) return;
       if (auto* tr = self->cl_.trace())
         tr->txn_op(t->id, obs::Phase::kRead, self->site_, start,
-                   self->cl_.simulator().now());
+                   self->cl_.now());
       if (!ok) {
         self->finish(*t, false, /*exec_failure=*/true, self->begin_req_);
         return;
@@ -65,18 +65,18 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       return;
     }
     auto self = shared_from_this();
-    const SimTime start = cl_.simulator().now();
+    const SimTime start = cl_.now();
     cl_.write(site_, t, profile_->writes[i], [self, t, i, start] {
       if (self->finished_) return;
       if (auto* tr = self->cl_.trace())
         tr->txn_op(t->id, obs::Phase::kWriteBuffer, self->site_, start,
-                   self->cl_.simulator().now());
+                   self->cl_.now());
       self->writes(t, i + 1);
     });
   }
 
   void commit(const core::MutTxnPtr& t) {
-    commit_req_ = cl_.simulator().now();
+    commit_req_ = cl_.now();
     auto self = shared_from_this();
     cl_.commit(site_, t, [self, t](bool ok) {
       if (self->finished_) return;
@@ -91,7 +91,7 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
     ++metrics_.aborts_by_reason[static_cast<std::size_t>(
         obs::AbortReason::kTimeout)];
     if (auto* tr = cl_.trace(); tr != nullptr && txn_)
-      tr->txn_timed_out(txn_->id, site_, cl_.simulator().now());
+      tr->txn_timed_out(txn_->id, site_, cl_.now());
     // Unknown outcome reported as non-committed: the history checker uses
     // commits affirmatively only, so this is conservative even when the
     // transaction in fact committed server-side.
@@ -103,7 +103,7 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
               SimTime term_req) {
     if (finished_) return;
     finished_ = true;
-    const SimTime now = cl_.simulator().now();
+    const SimTime now = cl_.now();
     const bool read_only = profile_->read_only;
     // Classify the abort: execution-phase failures are snapshot misses;
     // termination aborts carry a reason in the coordinator's decided cache

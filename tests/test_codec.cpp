@@ -182,5 +182,401 @@ TEST(Codec, DecodeGarbageFailsCleanly) {
   SUCCEED();
 }
 
+// ---------------------------------------------------------------------------
+// Live message classes: byte-exact round trips, malformed-input rejection,
+// and agreement with the analytic wire sizes — for EVERY class the live
+// runtime puts on the wire.
+// ---------------------------------------------------------------------------
+
+versioning::Stamp sample_stamp(Rng& rng) {
+  versioning::Stamp s;
+  s.origin = static_cast<SiteId>(rng.next_below(16));
+  s.seq = rng.next_below(1ULL << 40);
+  const auto n = rng.next_below(6);
+  for (std::uint64_t i = 0; i < n; ++i) s.dep.push_back(rng.next_below(1000));
+  return s;
+}
+
+versioning::TxnSnapshot sample_snap(Rng& rng) {
+  versioning::TxnSnapshot s;
+  const auto n = 1 + rng.next_below(5);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.vts.push_back(rng.next_below(500));
+    s.floor.push_back(rng.next_below(500));
+    s.ceil.push_back(rng.next_bool(0.3) ? versioning::kNoCeiling
+                                        : rng.next_below(500));
+  }
+  s.start_seq = rng.next_below(1ULL << 30);
+  return s;
+}
+
+store::Version sample_version(Rng& rng) {
+  store::Version v;
+  v.writer = {static_cast<SiteId>(rng.next_below(8)), rng.next_below(1 << 20)};
+  v.pidx = rng.next_below(1 << 16);
+  v.commit_time = static_cast<SimTime>(rng.next_below(1ULL << 40));
+  v.stamp = sample_stamp(rng);
+  return v;
+}
+
+void expect_stamp_eq(const versioning::Stamp& a, const versioning::Stamp& b) {
+  EXPECT_EQ(a.origin, b.origin);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.dep, b.dep);
+}
+
+/// Every strict prefix of a self-delimiting encoding must be rejected with
+/// nullopt: the full decode consumes every byte, so a shorter buffer always
+/// starves some field.
+template <typename Decode>
+void expect_prefixes_rejected(const std::vector<std::uint8_t>& full,
+                              Decode decode) {
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(full.begin(),
+                                     full.begin() + static_cast<long>(cut));
+    Reader r(prefix);
+    EXPECT_FALSE(decode(r).has_value()) << "prefix of " << cut << " bytes";
+  }
+}
+
+/// Random single-bit corruption must never crash or over-read; a flip may
+/// still decode (flipping a value bit changes the value, not the shape) —
+/// the property under test is memory safety + clean rejection, verified
+/// under ASan/UBSan in CI.
+template <typename Decode>
+void bitflip_fuzz(const std::vector<std::uint8_t>& full, Decode decode,
+                  Rng& rng) {
+  for (int trial = 0; trial < 64; ++trial) {
+    auto bad = full;
+    const auto bit = rng.next_below(bad.size() * 8);
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    Reader r(bad);
+    (void)decode(r);
+  }
+}
+
+class LiveMsgRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiveMsgRoundTrip, VoteMsg) {
+  Rng rng(GetParam());
+  const VoteMsg m{{static_cast<SiteId>(rng.next_below(16)),
+                   rng.next_below(1 << 20)},
+                  static_cast<SiteId>(rng.next_below(16)),
+                  rng.next_bool(0.5)};
+  Writer w;
+  encode_vote(w, m);
+  Reader r(w.data());
+  const auto got = decode_vote(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->txn, m.txn);
+  EXPECT_EQ(got->voter, m.voter);
+  EXPECT_EQ(got->vote, m.vote);
+  expect_prefixes_rejected(w.data(), [](Reader& rr) { return decode_vote(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_vote(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, DecisionMsg) {
+  Rng rng(GetParam());
+  const DecisionMsg m{{static_cast<SiteId>(rng.next_below(16)),
+                       rng.next_below(1 << 20)},
+                      rng.next_bool(0.5)};
+  Writer w;
+  encode_decision(w, m);
+  Reader r(w.data());
+  const auto got = decode_decision(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->txn, m.txn);
+  EXPECT_EQ(got->commit, m.commit);
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_decision(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_decision(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, PaxosMsg) {
+  Rng rng(GetParam());
+  const PaxosMsg m{{static_cast<SiteId>(rng.next_below(16)),
+                    rng.next_below(1 << 20)},
+                   static_cast<SiteId>(rng.next_below(16)),
+                   rng.next_bool(0.5),
+                   static_cast<SiteId>(rng.next_below(16))};
+  Writer w;
+  encode_paxos(w, m);
+  Reader r(w.data());
+  const auto got = decode_paxos(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->txn, m.txn);
+  EXPECT_EQ(got->participant, m.participant);
+  EXPECT_EQ(got->vote, m.vote);
+  EXPECT_EQ(got->acceptor, m.acceptor);
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_paxos(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_paxos(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, ReadRequestMsg) {
+  Rng rng(GetParam());
+  ReadRequestMsg m;
+  m.req = rng.next_below(1ULL << 40);
+  m.requester = static_cast<SiteId>(rng.next_below(16));
+  m.obj = rng.next_below(1 << 24);
+  m.snap = sample_snap(rng);
+  Writer w;
+  encode_read_request(w, m);
+  Reader r(w.data());
+  const auto got = decode_read_request(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->req, m.req);
+  EXPECT_EQ(got->requester, m.requester);
+  EXPECT_EQ(got->obj, m.obj);
+  EXPECT_EQ(got->snap.vts, m.snap.vts);
+  EXPECT_EQ(got->snap.floor, m.snap.floor);
+  EXPECT_EQ(got->snap.ceil, m.snap.ceil);
+  EXPECT_EQ(got->snap.start_seq, m.snap.start_seq);
+  expect_prefixes_rejected(
+      w.data(), [](Reader& rr) { return decode_read_request(rr); });
+  bitflip_fuzz(
+      w.data(), [](Reader& rr) { return decode_read_request(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, ReadReplyMsg) {
+  Rng rng(GetParam());
+  ReadReplyMsg m;
+  m.req = rng.next_below(1ULL << 40);
+  m.ok = rng.next_bool(0.8);
+  m.has_version = m.ok && rng.next_bool(0.7);
+  if (m.has_version) {
+    m.version = sample_version(rng);
+    m.payload_bytes = 1 + rng.next_below(2048);
+  }
+  Writer w;
+  encode_read_reply(w, m);
+  Reader r(w.data());
+  const auto got = decode_read_reply(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->req, m.req);
+  EXPECT_EQ(got->ok, m.ok);
+  EXPECT_EQ(got->has_version, m.has_version);
+  if (m.has_version) {
+    EXPECT_EQ(got->version.writer, m.version.writer);
+    EXPECT_EQ(got->version.pidx, m.version.pidx);
+    EXPECT_EQ(got->version.commit_time, m.version.commit_time);
+    expect_stamp_eq(got->version.stamp, m.version.stamp);
+    EXPECT_EQ(got->payload_bytes, m.payload_bytes);
+  }
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_read_reply(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_read_reply(rr); },
+               rng);
+}
+
+TEST_P(LiveMsgRoundTrip, TermSubmitMsg) {
+  Rng rng(GetParam());
+  TermSubmitMsg m;
+  const auto nd = 1 + rng.next_below(5);
+  for (std::uint64_t i = 0; i < nd; ++i)
+    m.dests.push_back(static_cast<SiteId>(rng.next_below(16)));
+  m.txn = sample_txn(GetParam());
+  Writer w;
+  encode_term_submit(w, m, /*payload=*/128);
+  Reader r(w.data());
+  const auto got = decode_term_submit(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->dests, m.dests);
+  EXPECT_EQ(got->txn.id, m.txn.id);
+  EXPECT_EQ(got->txn.rs, m.txn.rs);
+  EXPECT_EQ(got->txn.ws, m.txn.ws);
+  expect_prefixes_rejected(
+      w.data(), [](Reader& rr) { return decode_term_submit(rr); });
+  bitflip_fuzz(
+      w.data(), [](Reader& rr) { return decode_term_submit(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, PropagateMsg) {
+  Rng rng(GetParam());
+  PropagateMsg m;
+  m.from = static_cast<SiteId>(rng.next_below(16));
+  m.stamp = sample_stamp(rng);
+  Writer w;
+  encode_propagate(w, m);
+  Reader r(w.data());
+  const auto got = decode_propagate(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->from, m.from);
+  expect_stamp_eq(got->stamp, m.stamp);
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_propagate(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_propagate(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, ControlMsg) {
+  Rng rng(GetParam());
+  const ControlMsg m{rng.next_below(16), rng.next_below(1ULL << 32)};
+  Writer w;
+  encode_control(w, m);
+  Reader r(w.data());
+  const auto got = decode_control(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->kind, m.kind);
+  EXPECT_EQ(got->arg, m.arg);
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_control(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_control(rr); }, rng);
+}
+
+TEST_P(LiveMsgRoundTrip, VersionStandalone) {
+  Rng rng(GetParam());
+  const auto v = sample_version(rng);
+  Writer w;
+  encode_version(w, v);
+  Reader r(w.data());
+  const auto got = decode_version(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->writer, v.writer);
+  EXPECT_EQ(got->pidx, v.pidx);
+  EXPECT_EQ(got->commit_time, v.commit_time);
+  expect_stamp_eq(got->stamp, v.stamp);
+  expect_prefixes_rejected(w.data(),
+                           [](Reader& rr) { return decode_version(rr); });
+  bitflip_fuzz(w.data(), [](Reader& rr) { return decode_version(rr); }, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiveMsgRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 110));
+
+TEST(Codec, BoolFieldsRejectNonBooleanBytes) {
+  // Strict decoding: a vote/commit byte other than 0/1 is malformed, not
+  // silently truthy.
+  Writer w;
+  encode_vote(w, {{1, 2}, 3, true});
+  auto buf = w.data();
+  buf[buf.size() - 1] = 2;  // vote byte is last
+  Reader r(buf);
+  EXPECT_FALSE(decode_vote(r).has_value());
+
+  Writer w2;
+  encode_decision(w2, {{1, 2}, false});
+  auto buf2 = w2.data();
+  buf2[buf2.size() - 1] = 0xff;
+  Reader r2(buf2);
+  EXPECT_FALSE(decode_decision(r2).has_value());
+}
+
+TEST(Codec, ReadReplyRejectsOverlongPayloadMarker) {
+  ReadReplyMsg m;
+  m.req = 1;
+  m.ok = true;
+  m.has_version = true;
+  m.version = store::Version{};
+  m.payload_bytes = 64;
+  Writer w;
+  encode_read_reply(w, m);
+  // Truncate the payload bytes but keep the length marker: must reject.
+  auto buf = w.data();
+  buf.resize(buf.size() - 32);
+  Reader r(buf);
+  EXPECT_FALSE(decode_read_reply(r).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Wire-size honesty: net::wire's analytic sizes vs the real codec encodings
+// for every message class — including the classes the termination-only
+// check above does not cover.
+// ---------------------------------------------------------------------------
+
+TEST(WireSizes, VoteDecisionControlBracketRealEncodings) {
+  // What actually hits the socket per message: 4-byte length prefix +
+  // 1-byte type tag + codec body (src/live/event_loop).
+  constexpr std::uint64_t kFraming = 5;
+  Rng rng(7);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Writer wv;
+    encode_vote(wv, {{static_cast<SiteId>(seed % 4), seed * 97}, 2, true});
+    // Analytic sizes model the paper's Java serialization framing (kHeader
+    // = 48 bytes of envelope); the varint codec is tighter. The analytic
+    // size must never undercount, and must stay within one order of
+    // magnitude (8x) so message-complexity accounting stays meaningful.
+    EXPECT_LE(wv.size() + kFraming, wire::vote());
+    EXPECT_LE(wire::vote(), (wv.size() + kFraming) * 8);
+
+    Writer wd;
+    encode_decision(wd, {{static_cast<SiteId>(seed % 4), seed * 131}, false});
+    EXPECT_LE(wd.size() + kFraming, wire::decision());
+    EXPECT_LE(wire::decision(), (wd.size() + kFraming) * 8);
+
+    Writer wc;
+    encode_control(wc, {seed, rng.next_below(1 << 30)});
+    EXPECT_LE(wc.size() + kFraming, wire::control());
+    EXPECT_LE(wire::control(), (wc.size() + kFraming) * 8);
+
+    Writer wp;
+    encode_paxos(wp, {{static_cast<SiteId>(seed % 4), seed * 11}, 1, true, 2});
+    // Paxos messages are accounted as votes by the transport.
+    EXPECT_LE(wp.size() + kFraming, wire::vote());
+    EXPECT_LE(wire::vote(), (wp.size() + kFraming) * 8);
+  }
+}
+
+TEST(WireSizes, ReadRequestBracketsRealEncoding) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    ReadRequestMsg m;
+    m.req = rng.next_below(1ULL << 32);
+    m.requester = static_cast<SiteId>(rng.next_below(8));
+    m.obj = rng.next_below(1 << 24);
+    m.snap = sample_snap(rng);
+    Writer w;
+    encode_read_request(w, m);
+    // The sim charges read_request() + oracle metadata; the snapshot *is*
+    // that metadata (8 bytes per vector entry in the analytic model).
+    const auto meta =
+        8 * (m.snap.vts.size() + m.snap.floor.size() + m.snap.ceil.size());
+    const auto analytic = wire::read_request() + meta;
+    EXPECT_LE(w.size(), analytic);
+    EXPECT_LE(analytic, w.size() * 8);
+  }
+}
+
+TEST(WireSizes, ReadReplyWithPayloadWithinTwoXofAnalytic) {
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    ReadReplyMsg m;
+    m.req = rng.next_below(1ULL << 32);
+    m.ok = true;
+    m.has_version = true;
+    m.version = sample_version(rng);
+    m.payload_bytes = wire::kPayload;
+    Writer w;
+    encode_read_reply(w, m);
+    const auto meta = 8 * m.version.stamp.dep.size();
+    const auto analytic = wire::read_reply(meta);
+    // Payload dominates both sides, so the bound tightens to 2x.
+    EXPECT_LT(w.size(), analytic * 2);
+    EXPECT_GT(w.size() * 2, analytic);
+  }
+}
+
+TEST(WireSizes, TerminationWithinTwoXForAllSeeds) {
+  // Closes the sampling gap of AnalyticSizesAreSaneApproximations (one
+  // seed): the 2x bracket holds across the whole sample family.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto t = sample_txn(seed);
+    const auto real = encoded_txn_size(t, wire::kPayload);
+    const auto analytic =
+        wire::termination(t.rs.size(), t.ws.size(), 8 * t.stamp.dep.size());
+    EXPECT_LT(real, analytic * 2) << "seed " << seed;
+    EXPECT_GT(real * 2, analytic) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace gdur::net::codec

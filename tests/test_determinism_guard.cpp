@@ -1,0 +1,143 @@
+// Determinism guard: the simulator's behavior is pinned byte-for-byte.
+//
+// The live runtime carved a transport/scheduler seam out of core::Cluster /
+// core::Replica; that refactor (and any future one) must not perturb sim
+// event ordering. This test runs a fixed, trace-free workload for every
+// paper protocol and fingerprints the observable execution with integers
+// only (counts, event totals, FNV-1a hashes of txn outcomes and version
+// installs), then compares the digest byte-for-byte against a golden file
+// captured from the pre-seam tree.
+//
+// Regenerate (only when a change is *supposed* to alter sim behavior):
+//   GDUR_UPDATE_GOLDEN=1 ./build/tests/test_determinism_guard
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+#include "harness/metrics.h"
+#include "protocols/protocols.h"
+#include "workload/client.h"
+
+namespace gdur {
+namespace {
+
+constexpr const char* kGoldenPath =
+    GDUR_SOURCE_DIR "/tests/golden/sim_determinism.txt";
+
+class Fnv1a {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::string digest_protocol(const std::string& name) {
+  const auto spec = protocols::by_name(name);
+  core::ClusterConfig cfg;
+  cfg.sites = 3;
+  cfg.replication = 1;
+  cfg.objects_per_site = 96;
+  cfg.partitions_per_site = 2;
+  cfg.seed = 7;
+
+  core::Cluster cluster(cfg, spec);
+  harness::Metrics metrics;
+
+  Fnv1a install_hash;
+  std::uint64_t installs = 0;
+  cluster.set_install_observer([&](const core::Cluster::InstallEvent& e) {
+    ++installs;
+    install_hash.add(e.obj);
+    install_hash.add((static_cast<std::uint64_t>(e.writer.coord) << 44) ^
+                     e.writer.seq);
+    install_hash.add(e.pidx);
+    install_hash.add(e.site);
+    install_hash.add(static_cast<std::uint64_t>(e.time));
+  });
+
+  Fnv1a txn_hash;
+  std::uint64_t outcomes = 0;
+  std::vector<std::unique_ptr<workload::ClientActor>> actors;
+  const auto wl = workload::WorkloadSpec::A(0.8);
+  for (int i = 0; i < 12; ++i) {
+    actors.push_back(std::make_unique<workload::ClientActor>(
+        cluster, static_cast<SiteId>(i % cfg.sites), wl, metrics,
+        mix64(9'000 + static_cast<std::uint64_t>(i))));
+    actors.back()->set_observer(
+        [&](const core::TxnRecord& t, bool committed) {
+          ++outcomes;
+          txn_hash.add((static_cast<std::uint64_t>(t.id.coord) << 44) ^
+                       t.id.seq);
+          txn_hash.add(committed ? 1 : 0);
+          txn_hash.add(static_cast<std::uint64_t>(cluster.simulator().now()));
+        });
+    actors.back()->start(i * microseconds(373));
+  }
+  cluster.simulator().run_until(seconds(1));
+
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%s committed=%llu aborted=%llu exec_fail=%llu events=%llu "
+                "outcomes=%llu txn_hash=%016llx installs=%llu "
+                "install_hash=%016llx",
+                name.c_str(),
+                static_cast<unsigned long long>(metrics.committed()),
+                static_cast<unsigned long long>(metrics.aborted_ro +
+                                                metrics.aborted_upd),
+                static_cast<unsigned long long>(metrics.exec_failures),
+                static_cast<unsigned long long>(
+                    cluster.simulator().events_processed()),
+                static_cast<unsigned long long>(outcomes),
+                static_cast<unsigned long long>(txn_hash.value()),
+                static_cast<unsigned long long>(installs),
+                static_cast<unsigned long long>(install_hash.value()));
+  return line;
+}
+
+std::string build_digest() {
+  std::ostringstream out;
+  for (const char* name :
+       {"P-Store", "S-DUR", "GMU", "Serrano", "Walter", "Jessy2pc", "RC"})
+    out << digest_protocol(name) << "\n";
+  return out.str();
+}
+
+TEST(DeterminismGuard, SimRunsMatchPrePrBaseline) {
+  const std::string digest = build_digest();
+
+  if (std::getenv("GDUR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream f(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(f.good()) << "cannot write " << kGoldenPath;
+    f << digest;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream f(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "missing golden " << kGoldenPath
+                        << " (run with GDUR_UPDATE_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), digest)
+      << "simulator behavior diverged from the pre-PR baseline";
+}
+
+TEST(DeterminismGuard, DigestIsRunToRunStable) {
+  EXPECT_EQ(build_digest(), build_digest());
+}
+
+}  // namespace
+}  // namespace gdur
