@@ -4,7 +4,7 @@
 // protocol, a workload, a cluster shape and a load, get the paper-style
 // metrics row. Every option maps 1:1 to a knob of the harness.
 //
-//   $ ./examples/gdur_bench --protocol Walter --workload A --ro 0.9 \
+//   $ ./examples/gdur_bench --protocol Walter --workload A --ro 0.9
 //         --sites 4 --rf 1 --clients 256 --window 3 --seed 7
 //   $ ./examples/gdur_bench --list
 #include <cstdio>

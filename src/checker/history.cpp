@@ -7,7 +7,7 @@
 namespace gdur::checker {
 
 void History::attach(core::Cluster& cluster) {
-  cluster_ = &cluster;
+  part_ = cluster.partitioner();
   cluster.set_install_observer(
       [this](const core::Cluster::InstallEvent& e) { record_install(e); });
 }
@@ -40,8 +40,8 @@ void History::build_orders() const {
   // Installs are recorded in simulated-time order (single-threaded event
   // loop); the order at the object's primary site is the version order.
   for (const auto& e : installs_) {
-    if (cluster_ != nullptr) {
-      const auto& part = cluster_->partitioner();
+    if (part_.has_value()) {
+      const auto& part = *part_;
       if (part.primary_of(part.partition_of(e.obj)) != e.site) continue;
     }
     orders_[e.obj].writers.push_back(e.writer);
@@ -100,8 +100,17 @@ CheckResult History::acyclic_dsg(bool updates_only) const {
     adj[static_cast<std::size_t>(ia->second)].push_back(ib->second);
   };
 
-  // ww edges: consecutive writers of each object.
-  for (const auto& [obj, order] : orders_) {
+  // ww edges: consecutive writers of each object. orders_ is hash-ordered;
+  // visit objects in sorted order so the adjacency lists — and therefore
+  // which cycle a search reports first — do not depend on container hash
+  // order (checker output must be reproducible across stdlib versions).
+  std::vector<ObjectId> objs;
+  objs.reserve(orders_.size());
+  for (const auto& [obj, order] : orders_)  // gdur-lint: allow(determinism/unordered-iter) key harvest only; sorted below
+    objs.push_back(obj);
+  std::sort(objs.begin(), objs.end());
+  for (ObjectId obj : objs) {
+    const auto& order = orders_.find(obj)->second;
     for (std::size_t i = 1; i < order.writers.size(); ++i)
       add_edge(order.writers[i - 1], order.writers[i]);
   }
@@ -198,8 +207,8 @@ CheckResult History::check_ww_exclusion() const {
   std::unordered_map<ObjectId, std::unordered_map<TxnId, std::size_t>>
       install_pos;  // per object: writer -> per-partition sequence position
   std::unordered_map<PartitionId, std::size_t> part_seq;
-  if (cluster_ != nullptr) {
-    const auto& part = cluster_->partitioner();
+  if (part_.has_value()) {
+    const auto& part = *part_;
     for (const auto& e : installs_) {
       const PartitionId p = part.partition_of(e.obj);
       if (part.primary_of(p) != e.site) continue;
@@ -209,8 +218,8 @@ CheckResult History::check_ww_exclusion() const {
   const auto partition_dependent = [&](const core::TxnRecord& reader,
                                        const core::TxnRecord& writer,
                                        ObjectId conflict_obj) {
-    if (cluster_ == nullptr) return false;
-    const auto& part = cluster_->partitioner();
+    if (!part_.has_value()) return false;
+    const auto& part = *part_;
     const auto wo = install_pos.find(conflict_obj);
     if (wo == install_pos.end()) return false;
     const auto wp = wo->second.find(writer.id);
@@ -226,13 +235,21 @@ CheckResult History::check_ww_exclusion() const {
     return false;
   };
 
-  // Group committed updates by written object.
+  // Group committed updates by written object. Checked in sorted object
+  // order so the conflict reported (first found) is deterministic instead
+  // of hash-order dependent.
   std::unordered_map<ObjectId, std::vector<const TxnOutcome*>> by_obj;
   for (const auto& out : txns_) {
     if (!out.committed || out.txn.read_only()) continue;
     for (ObjectId o : out.txn.ws) by_obj[o].push_back(&out);
   }
-  for (const auto& [obj, writers] : by_obj) {
+  std::vector<ObjectId> conflict_objs;
+  conflict_objs.reserve(by_obj.size());
+  for (const auto& [obj, writers] : by_obj)  // gdur-lint: allow(determinism/unordered-iter) key harvest only; sorted below
+    conflict_objs.push_back(obj);
+  std::sort(conflict_objs.begin(), conflict_objs.end());
+  for (ObjectId obj : conflict_objs) {
+    const auto& writers = by_obj.find(obj)->second;
     for (std::size_t i = 0; i < writers.size(); ++i) {
       for (std::size_t j = i + 1; j < writers.size(); ++j) {
         const auto& a = *writers[i];

@@ -26,11 +26,13 @@
 // history) but every violation they report is a real one.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/transaction.h"
+#include "store/partitioner.h"
 
 namespace gdur::checker {
 
@@ -79,7 +81,10 @@ class History {
 
   std::vector<TxnOutcome> txns_;
   std::vector<core::Cluster::InstallEvent> installs_;
-  const core::Cluster* cluster_ = nullptr;
+  /// Copied out of the cluster at attach() time: the checks run after the
+  /// harness run finishes, typically outliving the Cluster itself, so
+  /// holding a pointer back into it would dangle.
+  std::optional<store::Partitioner> part_;
 
   // Lazily built caches.
   mutable bool built_ = false;

@@ -16,17 +16,17 @@ namespace gdur::comm {
 struct McastMsg {
   std::uint64_t id = 0;             // globally unique (caller-assigned)
   SiteId origin = kNoSite;          // sending site
-  std::vector<SiteId> dests;        // destination sites, sorted, unique
+  std::vector<SiteId> dests{};        // destination sites, sorted, unique
   /// Sites whose timestamp proposals order the message (SkeenMulticast).
   /// Destinations are replica *groups*: one member per group — its primary
   /// — proposes on the group's behalf, so the failure of another member
   /// does not block ordering. Empty means every destination proposes.
-  std::vector<SiteId> proposers;
+  std::vector<SiteId> proposers{};
   std::uint64_t bytes = 0;          // payload wire size
   /// Observability tag for the payload-carrying sends (ordering rounds the
   /// primitive adds on top are tagged kOrdering by the primitive itself).
   obs::MsgClass cls = obs::MsgClass::kTermination;
-  std::shared_ptr<const void> payload;
+  std::shared_ptr<const void> payload{};
 
   template <typename T>
   [[nodiscard]] const T& as() const {

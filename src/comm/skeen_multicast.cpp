@@ -127,7 +127,7 @@ void SkeenMulticast::try_deliver(SiteId at) {
     // one by this site's proposal (a lower bound on its eventual final key).
     const Pending* best = nullptr;
     TsKey best_key{};
-    for (const auto& [id, p] : st.pending) {
+    for (const auto& [id, p] : st.pending) {  // gdur-lint: allow(determinism/unordered-iter) min over unique (ts, site) keys — any order yields the same minimum
       const TsKey key = p.finalized ? p.final_key : p.bound;
       if (best == nullptr || key < best_key) {
         best = &p;

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace gdur {
 
 std::uint64_t mix64(std::uint64_t x) {
@@ -69,20 +71,31 @@ bool Rng::next_bool(double p_true) { return next_double() < p_true; }
 
 namespace {
 // zeta(n) is O(n); memoize it so that constructing thousands of generators
-// over the same key space (one per client thread) stays cheap.
+// over the same key space (one per client thread) stays cheap. The cache is
+// process-wide shared state and generators may be constructed from several
+// threads (live-mode harnesses), so it is mutex-guarded; the sum itself is
+// computed outside the lock (worst case: two threads compute the same value
+// and both insert it, which is harmless).
+struct ZetaKey {
+  std::uint64_t n;
+  double theta;
+  bool operator==(const ZetaKey&) const = default;
+};
+
+Mutex g_zeta_mu;
+std::vector<std::pair<ZetaKey, double>> g_zeta_cache GUARDED_BY(g_zeta_mu);
+
 double zeta(std::uint64_t n, double theta) {
-  struct Key {
-    std::uint64_t n;
-    double theta;
-    bool operator==(const Key&) const = default;
-  };
-  static std::vector<std::pair<Key, double>> cache;
-  const Key key{n, theta};
-  for (const auto& [k, v] : cache)
-    if (k == key) return v;
+  const ZetaKey key{n, theta};
+  {
+    MutexLock lock(&g_zeta_mu);
+    for (const auto& [k, v] : g_zeta_cache)
+      if (k == key) return v;
+  }
   double sum = 0;
   for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
-  cache.emplace_back(key, sum);
+  MutexLock lock(&g_zeta_mu);
+  g_zeta_cache.emplace_back(key, sum);
   return sum;
 }
 }  // namespace

@@ -853,8 +853,17 @@ void Replica::on_recover() {
   // my_vote for freshly re-voted transactions — a contradictory abort vote
   // the coordinator may count before the real one arrives.
   if (cl_.fault_tolerance_on()) {
-    for (auto& [id, st] : term_) {
-      if (st.decided) continue;
+    // term_ is hash-ordered; walk it in TxnId order so the re-announcement
+    // messages (and the retry/timeout events they schedule) are emitted in
+    // a deterministic sequence — recovery must not leak container hash
+    // order into the simulated message schedule.
+    std::vector<TxnId> in_doubt;
+    in_doubt.reserve(term_.size());
+    for (const auto& [id, st] : term_)  // gdur-lint: allow(determinism/unordered-iter) key harvest only; sorted before any side effect
+      if (!st.decided) in_doubt.push_back(id);
+    std::sort(in_doubt.begin(), in_doubt.end());
+    for (const TxnId& id : in_doubt) {
+      TermState& st = term_.find(id)->second;
       if (st.announced) {
         send_vote_msgs(st.txn, st.my_vote);
         schedule_vote_retry(st.txn, 0);

@@ -99,7 +99,7 @@ class Replica {
   /// In-doubt transactions currently tracked (hung-txn detection in tests).
   [[nodiscard]] std::size_t undecided_count() const {
     std::size_t n = 0;
-    for (const auto& [id, st] : term_)
+    for (const auto& [id, st] : term_)  // gdur-lint: allow(determinism/unordered-iter) pure count, order-independent
       if (!st.decided) ++n;
     return n;
   }

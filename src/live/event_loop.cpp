@@ -51,7 +51,12 @@ void EventLoop::start() {
   }
   set_nonblocking(wake_pipe_[0]);
   set_nonblocking(wake_pipe_[1]);
-  stopping_ = false;
+  {
+    // The loop thread does not exist yet, but locking keeps the invariant
+    // uniform (and the thread-safety analysis happy) on this cold path.
+    MutexLock lock(&stop_mu_);
+    stopping_ = false;
+  }
   running_ = true;
   thread_ = std::thread([this] { loop(); });
 }
@@ -59,7 +64,7 @@ void EventLoop::start() {
 void EventLoop::stop() {
   if (!running_) return;
   {
-    std::lock_guard lk(stop_mu_);
+    MutexLock lock(&stop_mu_);
     stopping_ = true;
   }
   wake();
@@ -81,7 +86,7 @@ void EventLoop::send_frame(int conn_id,
   Conn& c = *conns_[conn_id];
   const auto len = static_cast<std::uint32_t>(body.size());
   {
-    std::lock_guard lk(c.out_mu);
+    MutexLock lock(&c.out_mu);
     c.out.push_back(static_cast<std::uint8_t>(len & 0xff));
     c.out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
     c.out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
@@ -95,7 +100,7 @@ void EventLoop::loop() {
   std::vector<pollfd> fds;
   for (;;) {
     {
-      std::lock_guard lk(stop_mu_);
+      MutexLock lock(&stop_mu_);
       if (stopping_) return;
     }
     fds.clear();
@@ -105,7 +110,7 @@ void EventLoop::loop() {
       short ev = 0;
       if (!c.dead) {
         ev = POLLIN;
-        std::lock_guard lk(c.out_mu);
+        MutexLock lock(&c.out_mu);
         if (c.out.size() > c.out_off) ev |= POLLOUT;
       }
       fds.push_back(pollfd{c.dead ? -1 : c.fd, ev, 0});
@@ -162,7 +167,7 @@ void EventLoop::handle_readable(Conn& c, int conn_id) {
     std::vector<std::uint8_t> frame(c.in.begin() + c.in_off + 4,
                                     c.in.begin() + c.in_off + 4 + len);
     c.in_off += 4 + len;
-    ++frames_in_;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
     if (on_frame_) on_frame_(conn_id, std::move(frame));
   }
   if (c.in_off > 0 && c.in_off == c.in.size()) {
@@ -175,7 +180,7 @@ void EventLoop::handle_readable(Conn& c, int conn_id) {
 }
 
 void EventLoop::flush_writable(Conn& c) {
-  std::lock_guard lk(c.out_mu);
+  MutexLock lock(&c.out_mu);
   while (c.out.size() > c.out_off) {
     // MSG_NOSIGNAL: a peer closing during teardown must not SIGPIPE us.
     const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,

@@ -12,11 +12,14 @@
 // FIFO-per-link delivery contract the protocol layer was built against.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace gdur::live {
 
@@ -52,31 +55,34 @@ class EventLoop {
   /// Thread-safe; never blocks on the socket.
   void send_frame(int conn_id, const std::vector<std::uint8_t>& body);
 
-  [[nodiscard]] std::uint64_t frames_received() const { return frames_in_; }
+  [[nodiscard]] std::uint64_t frames_received() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
     int fd = -1;
-    bool dead = false;
+    bool dead = false;              // loop thread only
     std::vector<std::uint8_t> in;   // loop thread only
     std::size_t in_off = 0;         // parsed prefix of `in`
-    std::mutex out_mu;
-    std::vector<std::uint8_t> out;  // length-prefixed, pending write
-    std::size_t out_off = 0;
+    Mutex out_mu;
+    std::vector<std::uint8_t> out GUARDED_BY(out_mu);  // pending write
+    std::size_t out_off GUARDED_BY(out_mu) = 0;
   };
 
   void loop();
   void handle_readable(Conn& c, int conn_id);
-  void flush_writable(Conn& c);
+  void flush_writable(Conn& c) EXCLUDES(c.out_mu);
   void wake();
 
   std::vector<std::unique_ptr<Conn>> conns_;
   FrameHandler on_frame_;
   int wake_pipe_[2] = {-1, -1};
-  std::uint64_t frames_in_ = 0;  // loop thread only
-  bool running_ = false;
-  std::mutex stop_mu_;
-  bool stopping_ = false;  // guarded by stop_mu_
+  /// Written on the loop thread, read from any (frames_received()).
+  std::atomic<std::uint64_t> frames_in_{0};
+  bool running_ = false;  // control thread (start/stop callers) only
+  Mutex stop_mu_;
+  bool stopping_ GUARDED_BY(stop_mu_) = false;
   std::thread thread_;
 };
 

@@ -1,9 +1,9 @@
 #include "live/live_cluster.h"
 
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "net/wire.h"
 #include "obs/trace.h"
 
@@ -27,37 +27,38 @@ class LockedOracle final : public versioning::VersionOracle {
       : versioning::VersionOracle(part), inner_(std::move(inner)) {}
 
   [[nodiscard]] versioning::VersioningKind kind() const override {
+    MutexLock lock(&mu_);
     return inner_->kind();
   }
 
   [[nodiscard]] std::uint64_t metadata_bytes() const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->metadata_bytes();
   }
 
   void begin_snapshot(SiteId coord,
                       versioning::TxnSnapshot& snap) const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     inner_->begin_snapshot(coord, snap);
   }
 
   [[nodiscard]] int choose(SiteId at, const store::ObjectChain* chain,
                            PartitionId p,
                            const versioning::TxnSnapshot& snap) const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->choose(at, chain, p, snap);
   }
 
   void note_read(const store::Version* v, PartitionId p,
                  versioning::TxnSnapshot& snap) const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     inner_->note_read(v, p, snap);
   }
 
   [[nodiscard]] versioning::Stamp submit_stamp(
       SiteId coord, std::uint64_t coord_seq,
       const versioning::TxnSnapshot& snap) const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->submit_stamp(coord, coord_seq, snap);
   }
 
@@ -65,29 +66,29 @@ class LockedOracle final : public versioning::VersionOracle {
       SiteId at, versioning::Stamp& stamp,
       const std::vector<PartitionId>& parts_written,
       const versioning::TxnSnapshot& snap) override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->on_apply(at, stamp, parts_written, snap);
   }
 
   std::uint64_t on_commit_observed(SiteId at) override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->on_commit_observed(at);
   }
 
   void on_propagate(SiteId at, const versioning::Stamp& stamp) override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     inner_->on_propagate(at, stamp);
   }
 
   [[nodiscard]] bool visible(const store::Version& v, PartitionId p,
                              const versioning::TxnSnapshot& snap) const override {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return inner_->visible(v, p, snap);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unique_ptr<versioning::VersionOracle> inner_;
+  mutable Mutex mu_;
+  std::unique_ptr<versioning::VersionOracle> inner_ GUARDED_BY(mu_);
 };
 
 /// Live mode is fault-free and in-memory: strip the sim-only knobs so the

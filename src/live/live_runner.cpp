@@ -178,6 +178,7 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   }
 
   const auto t_start = steady_clock::now();
+  // gdur-lint: allow(live/blocking-call) measurement window sleep on the harness thread, not the event loop
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.secs));
   running.store(false, std::memory_order_release);
   const double wall =
@@ -190,6 +191,7 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
                                 std::chrono::duration<double>(cfg.drain_secs));
   while (inflight.load(std::memory_order_acquire) > 0 &&
          steady_clock::now() < deadline) {
+    // gdur-lint: allow(live/blocking-call) drain poll on the harness thread, not the event loop
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   const int hung = inflight.load(std::memory_order_acquire);

@@ -35,6 +35,7 @@ void write_all(int fd, const std::uint8_t* p, std::size_t n) {
 
 void read_all(int fd, std::uint8_t* p, std::size_t n) {
   while (n > 0) {
+    // gdur-lint: allow(live/blocking-call) handshake runs on the caller's setup thread, before the event loop starts
     const ssize_t r = ::read(fd, p, n);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -88,6 +89,7 @@ LiveTransport::LiveTransport(int sites, TimerWheel& wheel, Deliver deliver)
       addr.sin_family = AF_INET;
       addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
       addr.sin_port = htons(ports[j]);
+      // gdur-lint: allow(live/blocking-call) mesh setup on the caller's thread, before the event loop starts
       if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
         fail("connect");
       net::codec::Writer w;
@@ -112,6 +114,7 @@ LiveTransport::LiveTransport(int sites, TimerWheel& wheel, Deliver deliver)
   // 3. Accept and identify inbound connections at each site.
   for (int j = 0; j < sites; ++j) {
     for (int k = 0; k < sites - 1; ++k) {
+      // gdur-lint: allow(live/blocking-call) mesh setup on the caller's thread, before the event loop starts
       const int fd = ::accept(listeners[j], nullptr, nullptr);
       if (fd < 0) fail("accept");
       const int one = 1;

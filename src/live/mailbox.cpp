@@ -4,7 +4,7 @@ namespace gdur::live {
 
 void Mailbox::post(Task fn) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     if (stopped_) return;
     q_.push_back(std::move(fn));
     ++posted_;
@@ -16,8 +16,8 @@ void Mailbox::run() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stopped_ || !q_.empty(); });
+      MutexLock lock(&mu_);
+      cv_.wait(lock, [this]() REQUIRES(mu_) { return stopped_ || !q_.empty(); });
       if (stopped_) return;
       task = std::move(q_.front());
       q_.pop_front();
@@ -28,7 +28,7 @@ void Mailbox::run() {
 
 void Mailbox::stop() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     stopped_ = true;
     q_.clear();
   }
@@ -36,7 +36,7 @@ void Mailbox::stop() {
 }
 
 std::uint64_t Mailbox::posted() const {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   return posted_;
 }
 

@@ -8,10 +8,11 @@
 // per-site event ordering.
 #pragma once
 
-#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace gdur::live {
 
@@ -34,11 +35,11 @@ class Mailbox {
   [[nodiscard]] std::uint64_t posted() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> q_;
-  std::uint64_t posted_ = 0;
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Task> q_ GUARDED_BY(mu_);
+  std::uint64_t posted_ GUARDED_BY(mu_) = 0;
+  bool stopped_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gdur::live

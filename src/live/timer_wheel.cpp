@@ -5,7 +5,7 @@
 namespace gdur::live {
 
 void TimerWheel::start() {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   if (running_) return;
   t0_ = Clock::now();
   cur_tick_ = 0;
@@ -16,13 +16,13 @@ void TimerWheel::start() {
 
 void TimerWheel::stop() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   running_ = false;
   for (auto& slot : slots_) slot.clear();
   armed_ = 0;
@@ -38,7 +38,7 @@ std::uint64_t TimerWheel::tick_of(Clock::time_point tp) const {
 void TimerWheel::schedule_after(std::chrono::nanoseconds delay,
                                 std::function<void()> fn) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     if (!running_ || stopping_) return;
     std::uint64_t tick = tick_of(Clock::now() + delay);
     tick = std::max(tick, cur_tick_);
@@ -50,10 +50,10 @@ void TimerWheel::schedule_after(std::chrono::nanoseconds delay,
 }
 
 void TimerWheel::loop() {
-  std::unique_lock lk(mu_);
+  MutexLock lock(&mu_);
   while (!stopping_) {
     if (armed_ == 0) {
-      cv_.wait(lk, [this] { return stopping_ || armed_ > 0; });
+      cv_.wait(lock, [this]() REQUIRES(mu_) { return stopping_ || armed_ > 0; });
       if (stopping_) return;
       // Nothing was pending while we slept; jump to the present.
       cur_tick_ = std::max(cur_tick_, tick_of(Clock::now()));
@@ -66,8 +66,8 @@ void TimerWheel::loop() {
     const std::uint64_t now_tick =
         since.count() <= 0 ? 0 : static_cast<std::uint64_t>(since / kTick);
     if (cur_tick_ > now_tick) {
-      cv_.wait_until(lk, t0_ + cur_tick_ * kTick,
-                     [this] { return stopping_; });
+      cv_.wait_until(lock, t0_ + cur_tick_ * kTick,
+                     [this]() REQUIRES(mu_) { return stopping_; });
       if (stopping_) return;
       continue;
     }
@@ -87,15 +87,15 @@ void TimerWheel::loop() {
     armed_ -= due.size();
     ++cur_tick_;
     if (!due.empty()) {
-      lk.unlock();
+      lock.unlock();
       for (auto& fn : due) fn();
-      lk.lock();
+      lock.lock();
     }
   }
 }
 
 std::uint64_t TimerWheel::scheduled() const {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   return scheduled_;
 }
 

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace gdur::live {
 
@@ -47,18 +47,19 @@ class TimerWheel {
   static constexpr std::size_t kSlots = 4096;
   static constexpr auto kTick = std::chrono::milliseconds(1);
 
-  void loop();
-  [[nodiscard]] std::uint64_t tick_of(Clock::time_point tp) const;
+  void loop() EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t tick_of(Clock::time_point tp) const
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::vector<Entry>> slots_{kSlots};
-  std::size_t armed_ = 0;       // entries currently in the wheel
-  std::uint64_t scheduled_ = 0; // lifetime count
-  std::uint64_t cur_tick_ = 0;  // next tick the loop will process
-  Clock::time_point t0_;
-  bool running_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::vector<Entry>> slots_ GUARDED_BY(mu_){kSlots};
+  std::size_t armed_ GUARDED_BY(mu_) = 0;       // entries currently armed
+  std::uint64_t scheduled_ GUARDED_BY(mu_) = 0; // lifetime count
+  std::uint64_t cur_tick_ GUARDED_BY(mu_) = 0;  // next tick to process
+  Clock::time_point t0_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -42,7 +42,7 @@ void TraceRecorder::push(const TraceEvent& e) {
 }
 
 void TraceRecorder::reset_counters() {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   msg_count_.fill(0);
   msg_bytes_.fill(0);
   fault_count_.fill(0);
@@ -55,7 +55,7 @@ void TraceRecorder::reset_counters() {
 
 void TraceRecorder::txn_started(const TxnId& id, SiteId /*coord*/,
                                 SimTime begin_req, SimTime now) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   Live& lv = live_[id];
   lv.begin = begin_req;
   lv.got_record = now;
@@ -63,7 +63,7 @@ void TraceRecorder::txn_started(const TxnId& id, SiteId /*coord*/,
 
 void TraceRecorder::txn_op(const TxnId& id, Phase p, SiteId coord,
                            SimTime start, SimTime now) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return;
   if (p == Phase::kRead)
@@ -82,7 +82,7 @@ void TraceRecorder::txn_op(const TxnId& id, Phase p, SiteId coord,
 
 void TraceRecorder::txn_submitted(const TxnId& id, SiteId /*site*/, SimTime now,
                                   bool read_only) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return;
   it->second.submit = now;
@@ -91,7 +91,7 @@ void TraceRecorder::txn_submitted(const TxnId& id, SiteId /*site*/, SimTime now,
 }
 
 void TraceRecorder::term_delivered(const TxnId& id, SiteId site, SimTime now) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   if (site == id.coord) {
     auto it = live_.find(id);
     if (it != live_.end()) it->second.delivered = now;
@@ -107,7 +107,7 @@ void TraceRecorder::term_delivered(const TxnId& id, SiteId site, SimTime now) {
 
 void TraceRecorder::certified(const TxnId& id, SiteId site, SimTime now,
                               SimDuration service, bool vote) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   if (site == id.coord) {
     auto it = live_.find(id);
     if (it != live_.end()) {
@@ -127,7 +127,7 @@ void TraceRecorder::certified(const TxnId& id, SiteId site, SimTime now,
 
 void TraceRecorder::decided(const TxnId& id, SiteId site, SimTime now,
                             bool commit, AbortReason /*reason*/) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   if (site == id.coord) {
     auto it = live_.find(id);
     if (it != live_.end()) it->second.decide = now;
@@ -143,7 +143,7 @@ void TraceRecorder::decided(const TxnId& id, SiteId site, SimTime now,
 
 void TraceRecorder::applied(const TxnId& id, SiteId site, SimTime now,
                             SimDuration dur) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   if (site == id.coord) {
     auto it = live_.find(id);
     if (it != live_.end()) it->second.apply_time += dur;
@@ -161,7 +161,7 @@ void TraceRecorder::applied(const TxnId& id, SiteId site, SimTime now,
 void TraceRecorder::txn_finished(const TxnId& id, SiteId coord, SimTime now,
                                  bool committed, bool read_only,
                                  AbortReason reason) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return;
   it->second.read_only = it->second.has_term ? it->second.read_only : read_only;
@@ -170,7 +170,7 @@ void TraceRecorder::txn_finished(const TxnId& id, SiteId coord, SimTime now,
 }
 
 void TraceRecorder::txn_timed_out(const TxnId& id, SiteId coord, SimTime now) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return;
   flush(id, it->second, coord, now, false, AbortReason::kTimeout);
@@ -227,7 +227,7 @@ void TraceRecorder::flush(const TxnId& id, Live& lv, SiteId coord, SimTime now,
 void TraceRecorder::message(MsgClass cls, SiteId src, SiteId dst,
                             std::uint64_t bytes, SimTime depart,
                             SimTime arrive) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   ++msg_count_[static_cast<std::size_t>(cls)];
   msg_bytes_[static_cast<std::size_t>(cls)] += bytes;
   push(TraceEvent{.kind = TraceEvent::Kind::kSpan,
@@ -242,7 +242,7 @@ void TraceRecorder::message(MsgClass cls, SiteId src, SiteId dst,
 
 void TraceRecorder::fault(FaultKind kind, SiteId site, SiteId peer,
                           SimTime now) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   ++fault_count_[static_cast<std::size_t>(kind)];
   push(TraceEvent{.kind = TraceEvent::Kind::kInstant,
                   .name = fault_kind_name(kind),
@@ -254,7 +254,7 @@ void TraceRecorder::fault(FaultKind kind, SiteId site, SiteId peer,
 
 void TraceRecorder::sample(const char* name, SiteId site, SimTime now,
                            double value) {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   // Counter samples bypass the spans switch: the time series is useful on
   // big runs where span recording is off. The cap still applies.
   if (events_.size() >= cfg_.max_events) {
@@ -275,7 +275,7 @@ void TraceRecorder::sample(const char* name, SiteId site, SimTime now,
 // ---------------------------------------------------------------------------
 
 std::string TraceRecorder::chrome_trace_json() const {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   out.reserve(events_.size() * 96 + 256);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -343,7 +343,7 @@ std::string TraceRecorder::chrome_trace_json() const {
 }
 
 std::string TraceRecorder::text_timeline() const {
-  std::lock_guard lk(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   out.reserve(reports_.size() * 160);
   for (const TxnPhaseReport& r : reports_) {

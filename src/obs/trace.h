@@ -22,12 +22,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/events.h"
 
@@ -75,7 +75,7 @@ struct TraceEvent {
   std::uint32_t track = 0; // exported as tid
   SimTime ts = 0;
   SimDuration dur = 0;     // spans only
-  TxnId txn;               // optional: tagged transaction
+  TxnId txn{};             // optional: tagged transaction
   double value = 0;        // counters only
 };
 
@@ -88,6 +88,7 @@ class TraceRecorder {
   /// Sink invoked with every finished transaction's phase report (set by
   /// the harness to feed harness::Metrics).
   void set_phase_sink(std::function<void(const TxnPhaseReport&)> sink) {
+    MutexLock lock(&mu_);
     sink_ = std::move(sink);
   }
 
@@ -137,23 +138,23 @@ class TraceRecorder {
   // Counters.
   // ------------------------------------------------------------------
   [[nodiscard]] std::uint64_t msg_count(MsgClass c) const {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return msg_count_[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] std::uint64_t msg_bytes(MsgClass c) const {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return msg_bytes_[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] std::uint64_t fault_count(FaultKind k) const {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return fault_count_[static_cast<std::size_t>(k)];
   }
   [[nodiscard]] std::uint64_t finished_txns() const {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return finished_;
   }
   [[nodiscard]] std::uint64_t dropped_events() const {
-    std::lock_guard lk(mu_);
+    MutexLock lock(&mu_);
     return dropped_;
   }
   /// Resets counters (not the event buffer) — called at the end of warmup
@@ -164,9 +165,12 @@ class TraceRecorder {
   // Export.
   // ------------------------------------------------------------------
   /// Direct buffer access — only safe once no hooks can fire concurrently
-  /// (sim runs, or a live cluster after stop()).
-  [[nodiscard]] const std::vector<TraceEvent>& events() const {
-    return events_;
+  /// (sim runs, or a live cluster after stop()), which is why it is exempt
+  /// from the lock discipline instead of returning a reference it cannot
+  /// protect.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return events_;  // gdur-lint: allow(thread/guarded-by) quiescent-only accessor, see contract above
   }
   /// Chrome trace-event JSON (one {"traceEvents": [...]} object), loadable
   /// in Perfetto / chrome://tracing. Deterministic byte-for-byte.
@@ -192,29 +196,29 @@ class TraceRecorder {
     bool has_term = false;  // submit reached the termination protocol
   };
 
-  void push(const TraceEvent& e);
+  void push(const TraceEvent& e) REQUIRES(mu_);
   /// Lane assignment: spreads concurrent transactions across a few tracks
   /// so their spans do not get mis-nested in the viewer.
   [[nodiscard]] static std::uint32_t lane_of(const TxnId& id) {
     return 1 + static_cast<std::uint32_t>(id.seq % 24);
   }
   void flush(const TxnId& id, Live& lv, SiteId coord, SimTime now,
-             bool committed, AbortReason reason);
+             bool committed, AbortReason reason) REQUIRES(mu_);
 
-  TraceConfig cfg_;
+  const TraceConfig cfg_;  // immutable after construction, lock-free reads
   /// Serializes every hook and counter read. The simulator calls hooks from
   /// one thread (uncontended fast path); the live runtime calls them from
   /// every site thread.
-  mutable std::mutex mu_;
-  std::function<void(const TxnPhaseReport&)> sink_;
-  std::unordered_map<TxnId, Live> live_;
-  std::vector<TraceEvent> events_;
-  std::vector<TxnPhaseReport> reports_;  // kept only when cfg_.spans
-  std::array<std::uint64_t, kMsgClassCount> msg_count_{};
-  std::array<std::uint64_t, kMsgClassCount> msg_bytes_{};
-  std::array<std::uint64_t, kFaultKindCount> fault_count_{};
-  std::uint64_t finished_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::function<void(const TxnPhaseReport&)> sink_ GUARDED_BY(mu_);
+  std::unordered_map<TxnId, Live> live_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::vector<TxnPhaseReport> reports_ GUARDED_BY(mu_);  // only when cfg_.spans
+  std::array<std::uint64_t, kMsgClassCount> msg_count_ GUARDED_BY(mu_){};
+  std::array<std::uint64_t, kMsgClassCount> msg_bytes_ GUARDED_BY(mu_){};
+  std::array<std::uint64_t, kFaultKindCount> fault_count_ GUARDED_BY(mu_){};
+  std::uint64_t finished_ GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gdur::obs

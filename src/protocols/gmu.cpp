@@ -18,6 +18,9 @@ core::ProtocolSpec gmu() {
   s.theta = versioning::VersioningKind::kGMV;
   s.choose = core::ChooseKind::kCons;
   s.ac = core::AcKind::kTwoPhaseCommit;
+  // xcast is unused under 2PC commitment; set explicitly so every
+  // realization point of the plug-in table is pinned (protocol/spec-complete).
+  s.xcast = core::XcastKind::kAtomicMulticast;
   s.wait_free_queries = true;
   s.certifying = core::CertScope::kReadWriteSet;
   s.vote_snd = core::VoteScope::kCertifying;

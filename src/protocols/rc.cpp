@@ -13,6 +13,9 @@ core::ProtocolSpec rc() {
   s.choose = core::ChooseKind::kLast;
   s.send_metadata = false;
   s.ac = core::AcKind::kTwoPhaseCommit;
+  // xcast is unused under 2PC commitment; set explicitly so every
+  // realization point of the plug-in table is pinned (protocol/spec-complete).
+  s.xcast = core::XcastKind::kAtomicMulticast;
   s.wait_free_queries = true;
   s.certifying = core::CertScope::kWriteSet;
   s.vote_snd = core::VoteScope::kCertifying;

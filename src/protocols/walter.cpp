@@ -19,6 +19,9 @@ core::ProtocolSpec walter() {
   s.theta = versioning::VersioningKind::kVTS;
   s.choose = core::ChooseKind::kCons;
   s.ac = core::AcKind::kTwoPhaseCommit;
+  // xcast is unused under 2PC commitment; set explicitly so every
+  // realization point of the plug-in table is pinned (protocol/spec-complete).
+  s.xcast = core::XcastKind::kAtomicMulticast;
   s.wait_free_queries = true;
   s.certifying = core::CertScope::kWriteSet;
   s.vote_snd = core::VoteScope::kCertifying;

@@ -2,7 +2,14 @@
 // the checks must flag known anomalies and accept clean histories.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "checker/history.h"
+#include "harness/metrics.h"
+#include "protocols/protocols.h"
+#include "workload/client.h"
 
 namespace gdur::checker {
 namespace {
@@ -215,6 +222,66 @@ TEST(Checker, UpdateSerializableAllowsNonSerializableQueries) {
   h.record_txn(q, true, 30);
 
   EXPECT_TRUE(h.check_update_serializable().ok);
+}
+
+// Regression: with several independent ww conflicts the checker must report
+// the one on the smallest object id, not whichever an unordered_map's hash
+// order surfaces first — checker output feeds golden files and CI diffs, so
+// it has to be reproducible across stdlib implementations.
+TEST(Checker, WwExclusionReportsSmallestConflictObject) {
+  History h;
+  // Two disjoint conflicts: objects 9 and 3, each written by a pair of
+  // definitely-concurrent transactions that read nothing (so no reads-from
+  // or snapshot exception applies).
+  const ObjectId objs[] = {9, 3};
+  std::uint64_t seq = 1;
+  for (ObjectId o : objs) {
+    for (int k = 0; k < 2; ++k) {
+      auto t = txn({static_cast<SiteId>(k), seq++}, /*begin=*/0,
+                   /*submit=*/1000);
+      t.ws.insert(o);
+      h.record_txn(t, true, 1500);
+    }
+  }
+  const auto r = h.check_ww_exclusion();
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("object 3"), std::string::npos)
+      << "expected the conflict on the smallest object, got: " << r.detail;
+}
+
+// Regression: History used to keep a raw pointer to the Cluster it was
+// attached to and dereference it inside the checks. The checks typically run
+// after the run is torn down — a use-after-free that happened to go
+// unnoticed until heap reuse changed. The partitioner is copied at attach()
+// time now; this test pins the lifetime contract.
+TEST(Checker, ChecksRunAfterTheClusterIsDestroyed) {
+  History h;
+  harness::Metrics metrics;
+  {
+    core::ClusterConfig cfg;
+    cfg.sites = 2;
+    cfg.replication = 1;
+    cfg.objects_per_site = 32;
+    cfg.seed = 11;
+    core::Cluster cluster(cfg, protocols::by_name("Walter"));
+    h.attach(cluster);
+    std::vector<std::unique_ptr<workload::ClientActor>> actors;
+    for (int i = 0; i < 4; ++i) {
+      actors.push_back(std::make_unique<workload::ClientActor>(
+          cluster, static_cast<SiteId>(i % 2), workload::WorkloadSpec::A(0.5),
+          metrics, mix64(500 + static_cast<std::uint64_t>(i))));
+      actors.back()->set_observer(
+          [&](const core::TxnRecord& t, bool committed) {
+            h.record_txn(t, committed, cluster.simulator().now());
+          });
+      actors.back()->start(0);
+    }
+    cluster.simulator().run_until(milliseconds(500));
+  }  // cluster (and its partitioner) destroyed here
+  ASSERT_GT(h.committed_count(), 0u);
+  const auto rc = h.check_read_committed();
+  EXPECT_TRUE(rc.ok) << rc.detail;
+  EXPECT_TRUE(h.check_criterion("PSI").ok);
 }
 
 TEST(Checker, CriterionDispatch) {

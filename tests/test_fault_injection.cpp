@@ -398,6 +398,38 @@ TEST(Chaos, TenThousandTxnsTerminateUnderSeededChaos) {
   EXPECT_TRUE(r.ok) << r.detail;
 }
 
+// Regression: the crash-recovery re-announce pass used to iterate the
+// replica's unordered termination table directly, so the order in which a
+// recovering site re-sent votes / re-armed timeouts depended on hash-map
+// iteration order — address-sensitive state that replays differently across
+// runs and stdlibs. The pass now sorts the undecided TxnIds first. Replaying
+// the identical crash scenario must reproduce the identical outcome
+// sequence, byte for byte.
+TEST(FaultDeterminism, CrashRecoveryReplayIsReproducible) {
+  const auto run_once = [](const char* protocol) {
+    auto cfg = faulty_config(/*rf=*/2);
+    cfg.durable = true;
+    cfg.faults.crash(1, milliseconds(400), milliseconds(800));
+    FaultyRig rig(protocols::by_name(protocol), cfg, 16, seconds(3));
+    std::string digest;
+    for (const auto& out : rig.history.txns()) {
+      digest += out.txn.id.str();
+      digest += out.committed ? "+" : "-";
+      digest += std::to_string(out.response_time);
+      digest += ";";
+    }
+    return digest;
+  };
+  for (const char* protocol : {"Walter", "P-Store+2PC", "GMU"}) {
+    const auto a = run_once(protocol);
+    const auto b = run_once(protocol);
+    ASSERT_FALSE(a.empty()) << protocol;
+    EXPECT_EQ(a, b) << protocol
+                    << ": crash-recovery replay diverged between two runs "
+                       "of the identical scenario";
+  }
+}
+
 TEST(Chaos, GroupCommunicationSurvivesChaosToo) {
   auto cfg = faulty_config(/*rf=*/2);
   cfg.durable = true;

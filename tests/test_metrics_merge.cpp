@@ -1,0 +1,195 @@
+// Metrics::merge_from / LatencyStat::merge_from.
+//
+// Live mode records metrics per site thread — each SiteCollector owns a
+// private Metrics, and the harness folds them together once the threads have
+// joined. The merge must be histogram-exact: every percentile of the merged
+// stat equals the percentile of the concatenated sample streams, not an
+// approximation of it. These tests pin that contract, including under real
+// concurrent collection into per-site shards.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/metrics.h"
+#include "obs/events.h"
+
+namespace gdur::harness {
+namespace {
+
+/// Deterministic latency stream with a wide dynamic range (most samples in
+/// the microsecond-to-millisecond band, a tail reaching seconds) so that
+/// many histogram buckets are exercised.
+std::vector<SimDuration> sample_stream(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<SimDuration> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto magnitude = rng.next_below(7);  // 10^0 .. 10^6 microseconds
+    SimDuration base = microseconds(1.0);
+    for (std::uint64_t k = 0; k < magnitude; ++k) base *= 10;
+    out.push_back(base + static_cast<SimDuration>(
+                             rng.next_below(static_cast<std::uint64_t>(base))));
+  }
+  return out;
+}
+
+const double kQuantiles[] = {0.001, 0.01, 0.1, 0.25, 0.5,
+                             0.75,  0.9,  0.99, 0.999, 1.0};
+
+TEST(LatencyStatMerge, MatchesConcatenatedStream) {
+  constexpr int kShards = 5;
+  constexpr std::size_t kPerShard = 20'000;
+
+  LatencyStat reference;
+  std::array<LatencyStat, kShards> shards;
+  for (int s = 0; s < kShards; ++s) {
+    for (SimDuration d : sample_stream(1000 + static_cast<std::uint64_t>(s),
+                                       kPerShard)) {
+      shards[static_cast<std::size_t>(s)].add(d);
+      reference.add(d);
+    }
+  }
+
+  LatencyStat merged;
+  for (const auto& s : shards) merged.merge_from(s);
+
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.mean_ms(), reference.mean_ms());
+  EXPECT_DOUBLE_EQ(merged.max_ms(), reference.max_ms());
+  for (double q : kQuantiles)
+    EXPECT_DOUBLE_EQ(merged.percentile_ms(q), reference.percentile_ms(q))
+        << "quantile " << q;
+}
+
+TEST(LatencyStatMerge, MergeOrderIsIrrelevant) {
+  const auto a = sample_stream(1, 5'000);
+  const auto b = sample_stream(2, 3'000);
+  LatencyStat sa, sb, ab, ba;
+  for (SimDuration d : a) sa.add(d);
+  for (SimDuration d : b) sb.add(d);
+  ab.merge_from(sa);
+  ab.merge_from(sb);
+  ba.merge_from(sb);
+  ba.merge_from(sa);
+  EXPECT_EQ(ab.count(), ba.count());
+  for (double q : kQuantiles)
+    EXPECT_DOUBLE_EQ(ab.percentile_ms(q), ba.percentile_ms(q));
+}
+
+TEST(LatencyStatMerge, EmptyIsIdentity) {
+  LatencyStat filled;
+  for (SimDuration d : sample_stream(3, 1'000)) filled.add(d);
+  const double p50 = filled.percentile_ms(0.5);
+
+  LatencyStat empty;
+  filled.merge_from(empty);  // no-op
+  EXPECT_EQ(filled.count(), 1'000u);
+  EXPECT_DOUBLE_EQ(filled.percentile_ms(0.5), p50);
+
+  LatencyStat into_empty;
+  into_empty.merge_from(filled);  // copy
+  EXPECT_EQ(into_empty.count(), filled.count());
+  EXPECT_DOUBLE_EQ(into_empty.mean_ms(), filled.mean_ms());
+  EXPECT_DOUBLE_EQ(into_empty.percentile_ms(0.99), filled.percentile_ms(0.99));
+}
+
+TEST(LatencyStatMerge, PercentileContractAtTheEdges) {
+  LatencyStat empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_ms(0.5), 0.0);
+
+  LatencyStat s;
+  for (SimDuration d : sample_stream(4, 2'000)) s.add(d);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.0), 0.0) << "q <= 0 clamps to 0";
+  EXPECT_DOUBLE_EQ(s.percentile_ms(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(2.0), s.max_ms()) << "q > 1 clamps to max";
+}
+
+TEST(MetricsMerge, AddsCountersReasonsAndPhaseStats) {
+  Metrics a, b;
+  a.committed_ro = 10;
+  a.committed_upd = 20;
+  a.aborted_upd = 3;
+  a.exec_failures = 1;
+  a.aborts_by_reason[0] = 4;
+  b.committed_ro = 5;
+  b.aborted_ro = 2;
+  b.txns_timed_out = 7;
+  b.aborts_by_reason[0] = 6;
+
+  for (SimDuration d : sample_stream(5, 500)) a.txn_latency.add(d);
+  for (SimDuration d : sample_stream(6, 700)) b.txn_latency.add(d);
+  for (SimDuration d : sample_stream(7, 300)) a.phase[0].add(d);
+  for (SimDuration d : sample_stream(8, 400)) b.phase[0].add(d);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.committed_ro, 15u);
+  EXPECT_EQ(a.committed_upd, 20u);
+  EXPECT_EQ(a.aborted_ro, 2u);
+  EXPECT_EQ(a.aborted_upd, 3u);
+  EXPECT_EQ(a.exec_failures, 1u);
+  EXPECT_EQ(a.txns_timed_out, 7u);
+  EXPECT_EQ(a.aborts_by_reason[0], 10u);
+  EXPECT_EQ(a.txn_latency.count(), 1'200u);
+  EXPECT_EQ(a.phase[0].count(), 700u);
+}
+
+// The live-mode shape: each "site" collects into its own Metrics on its own
+// thread (no sharing, no locks — exactly like live_runner's SiteCollectors),
+// and the harness merges after joining. The merged result must be bit-equal
+// in every derived statistic to a serial fold of the same streams.
+TEST(MetricsMerge, ConcurrentPerSiteCollectionMergesExact) {
+  constexpr int kSites = 8;
+  constexpr std::size_t kPerSite = 50'000;
+
+  // Pre-generate the per-site streams so the serial reference sees exactly
+  // the same samples the threads record.
+  std::vector<std::vector<SimDuration>> streams;
+  for (int s = 0; s < kSites; ++s)
+    streams.push_back(
+        sample_stream(42'000 + static_cast<std::uint64_t>(s), kPerSite));
+
+  std::array<Metrics, kSites> per_site;
+  std::vector<std::thread> threads;
+  threads.reserve(kSites);
+  for (int s = 0; s < kSites; ++s) {
+    threads.emplace_back([s, &per_site, &streams] {
+      auto& m = per_site[static_cast<std::size_t>(s)];
+      for (SimDuration d : streams[static_cast<std::size_t>(s)]) {
+        ++m.committed_upd;
+        m.txn_latency.add(d);
+        m.upd_term_latency.add(d / 2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Metrics merged;
+  for (const auto& m : per_site) merged.merge_from(m);
+
+  Metrics reference;
+  for (const auto& stream : streams) {
+    for (SimDuration d : stream) {
+      ++reference.committed_upd;
+      reference.txn_latency.add(d);
+      reference.upd_term_latency.add(d / 2);
+    }
+  }
+
+  EXPECT_EQ(merged.committed_upd, reference.committed_upd);
+  EXPECT_EQ(merged.txn_latency.count(), reference.txn_latency.count());
+  EXPECT_DOUBLE_EQ(merged.txn_latency.mean_ms(),
+                   reference.txn_latency.mean_ms());
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(merged.txn_latency.percentile_ms(q),
+                     reference.txn_latency.percentile_ms(q));
+    EXPECT_DOUBLE_EQ(merged.upd_term_latency.percentile_ms(q),
+                     reference.upd_term_latency.percentile_ms(q));
+  }
+}
+
+}  // namespace
+}  // namespace gdur::harness

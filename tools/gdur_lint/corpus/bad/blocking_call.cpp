@@ -1,0 +1,25 @@
+// lint-as: src/live/blocking_call.cpp
+//
+// Lint fixture (never compiled): blocking the event-loop thread outside
+// event_loop.cpp. One site is legitimately allowed with a reason.
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+namespace gdur::corpus {
+
+void handler(int fd) {
+  char buf[64];
+  // A handler runs on the loop thread; a blocking read stalls every site.
+  ::read(fd, buf, sizeof buf);  // expect: live/blocking-call
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // expect: live/blocking-call
+}
+
+void setup(int fd) {
+  char buf[4];
+  // gdur-lint: allow(live/blocking-call) setup runs on the caller's thread, before the loop starts
+  ::read(fd, buf, sizeof buf);
+}
+
+}  // namespace gdur::corpus

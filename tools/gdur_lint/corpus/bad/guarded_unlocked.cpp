@@ -1,0 +1,37 @@
+// lint-as: src/live/guarded_unlocked.cpp
+//
+// Lint fixture (never compiled): GUARDED_BY fields touched without the
+// mutex. The portable lockset rule must catch this even when the compiler
+// (GCC) ignores the thread-safety attributes.
+
+#include <cstdint>
+#include <deque>
+
+namespace gdur::corpus {
+
+class Leaky {
+ public:
+  void push(int v) {
+    MutexLock lock(&mu_);
+    q_.push_back(v);
+  }
+
+  // Forgot the lock entirely.
+  int peek() const {
+    return q_.front();  // expect: thread/guarded-by
+  }
+
+  // Locked the wrong mutex.
+  std::uint64_t count() const {
+    MutexLock lock(&other_mu_);
+    return pushed_;  // expect: thread/guarded-by
+  }
+
+ private:
+  mutable Mutex mu_;
+  mutable Mutex other_mu_;
+  std::deque<int> q_ GUARDED_BY(mu_);
+  std::uint64_t pushed_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gdur::corpus

@@ -1,0 +1,19 @@
+// lint-as: src/protocols/spec_incomplete.cpp
+//
+// Lint fixture (never compiled): a fresh ProtocolSpec that leaves realization
+// points at their silent defaults — exactly the drift the paper's plug-in
+// table is meant to prevent.
+
+namespace gdur::protocols {
+
+core::ProtocolSpec halfway() {
+  core::ProtocolSpec s;  // expect: protocol/spec-complete
+  s.name = "Halfway";
+  s.theta = versioning::VersioningKind::kTS;
+  s.ac = core::AcKind::kTwoPhaseCommit;
+  s.certify = core::certifiers::always;
+  // choose, xcast, certifying, vote_snd, vote_recv, commute: defaulted.
+  return s;
+}
+
+}  // namespace gdur::protocols

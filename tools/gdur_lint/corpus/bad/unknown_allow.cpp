@@ -1,0 +1,11 @@
+// lint-as: src/core/unknown_allow.cpp
+//
+// Lint fixture (never compiled): an allow() naming a rule that does not
+// exist — usually a typo that would silently suppress nothing forever.
+
+namespace gdur::corpus {
+
+// gdur-lint: allow(determinism/unordered-iteration) typo'd rule id  // expect: lint/bad-allow
+int answer() { return 42; }
+
+}  // namespace gdur::corpus

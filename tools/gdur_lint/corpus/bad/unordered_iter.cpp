@@ -1,0 +1,30 @@
+// lint-as: src/core/unordered_iter.cpp
+//
+// Lint fixture (never compiled): hash-order iteration feeding observable
+// state, plus the two malformed allow-comment shapes.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gdur::corpus {
+
+struct Term {
+  std::unordered_map<int, int> pending_;
+  std::unordered_set<int> decided_;
+
+  // Direct iteration: the emission order depends on the hash seed.
+  void emit(std::vector<int>& out) const {
+    for (const auto& [id, v] : pending_) out.push_back(id);  // expect: determinism/unordered-iter
+  }
+
+  // An allow() without a reason is itself an error and does not suppress.
+  int count_all() const {
+    int n = 0;
+    // gdur-lint: allow(determinism/unordered-iter)  // expect: lint/bad-allow
+    for (int id : decided_) ++n;  // expect: determinism/unordered-iter
+    return n;
+  }
+};
+
+}  // namespace gdur::corpus

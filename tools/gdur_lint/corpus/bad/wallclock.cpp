@@ -1,0 +1,31 @@
+// lint-as: src/sim/wallclock.cpp
+//
+// Lint fixture (never compiled): ambient time/entropy inside the simulator.
+// Every run would see different values — the trace would no longer be a pure
+// function of (seed, config).
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace gdur::corpus {
+
+double now_seconds() {
+  auto t = std::chrono::steady_clock::now();  // expect: determinism/wallclock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::uint64_t bad_seed() {
+  std::random_device rd;  // expect: determinism/wallclock
+  return rd() + static_cast<std::uint64_t>(rand());  // expect: determinism/wallclock
+}
+
+std::int64_t wall_ms() {
+  using std::chrono::system_clock;  // expect: determinism/wallclock
+  return 0;
+}
+
+// Strings and comments never fire: "steady_clock" / rand() in prose is fine.
+const char* kDoc = "uses steady_clock internally";
+
+}  // namespace gdur::corpus

@@ -1,0 +1,41 @@
+// lint-as: src/core/deterministic_iteration.cpp
+//
+// Lint fixture (never compiled): the approved patterns for iterating an
+// unordered container inside the determinism-scoped directories.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace gdur::corpus {
+
+struct Registry {
+  std::unordered_map<int, double> weights_;
+  std::map<int, double> ordered_;
+
+  // Pattern 1: harvest the keys (allowed with a reason), sort, then walk the
+  // sorted copy — the only hash-order dependence is the harvest itself.
+  double sum_sorted() const {
+    std::vector<int> keys;
+    keys.reserve(weights_.size());
+    // gdur-lint: allow(determinism/unordered-iter) key harvest only; sorted before any side effect
+    for (const auto& [k, v] : weights_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    double sum = 0;
+    for (int k : keys) sum += weights_.find(k)->second;
+    return sum;
+  }
+
+  // Pattern 2: an ordered container iterates freely.
+  double sum_ordered() const {
+    double sum = 0;
+    for (const auto& [k, v] : ordered_) sum += v;
+    return sum;
+  }
+
+  // Point lookups into the unordered container are always fine.
+  double at(int k) const { return weights_.find(k)->second; }
+};
+
+}  // namespace gdur::corpus

@@ -1,0 +1,40 @@
+// lint-as: src/live/guarded_state.cpp
+//
+// Lint fixture (never compiled): a shared-state class whose every guarded
+// access either holds a MutexLock or is annotated REQUIRES.
+
+#include <cstdint>
+#include <deque>
+
+namespace gdur::corpus {
+
+class Queue {
+ public:
+  void push(int v) {
+    MutexLock lock(&mu_);
+    q_.push_back(v);
+    ++pushed_;
+  }
+
+  int pop() {
+    MutexLock lock(&mu_);
+    const int v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+  std::uint64_t pushed() const {
+    MutexLock lock(&mu_);
+    return pushed_;
+  }
+
+ private:
+  // Private helper called with the mutex already held by the caller.
+  bool drained() const REQUIRES(mu_) { return q_.empty(); }
+
+  mutable Mutex mu_;
+  std::deque<int> q_ GUARDED_BY(mu_);
+  std::uint64_t pushed_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gdur::corpus

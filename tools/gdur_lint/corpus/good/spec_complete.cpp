@@ -1,0 +1,32 @@
+// lint-as: src/protocols/spec_complete.cpp
+//
+// Lint fixture (never compiled): the two approved ways to build a
+// ProtocolSpec — pin every realization point, or inherit a named default.
+
+namespace gdur::protocols {
+
+// A fresh spec assigns all ten realization points of the plug-in table.
+core::ProtocolSpec complete() {
+  core::ProtocolSpec s;
+  s.name = "Complete";
+  s.theta = versioning::VersioningKind::kTS;
+  s.choose = core::ChooseKind::kCons;
+  s.ac = core::AcKind::kTwoPhaseCommit;
+  s.xcast = core::XcastKind::kAtomicMulticast;
+  s.certifying = core::CertScope::kWriteSet;
+  s.vote_snd = core::VoteScope::kCertifying;
+  s.vote_recv = core::VoteScope::kWriteSet;
+  s.commute = core::commute_always;
+  s.certify = core::certifiers::always;
+  return s;
+}
+
+// A derived spec inherits a named default and overrides selectively.
+core::ProtocolSpec complete_paxos() {
+  auto s = complete();
+  s.name = "Complete+Paxos";
+  s.ac = core::AcKind::kPaxosCommit;
+  return s;
+}
+
+}  // namespace gdur::protocols
