@@ -35,17 +35,51 @@ void History::build_orders() const {
   built_ = true;
   orders_.clear();
   committed_index_.clear();
+  authority_.clear();
   for (std::size_t i = 0; i < txns_.size(); ++i)
     if (txns_[i].committed) committed_index_[txns_[i].txn.id] = i;
   // Installs are recorded in simulated-time order (single-threaded event
-  // loop); the order at the object's primary site is the version order.
-  for (const auto& e : installs_) {
-    if (part_.has_value()) {
-      const auto& part = *part_;
-      if (part.primary_of(part.partition_of(e.obj)) != e.site) continue;
+  // loop); one site's install stream per partition is the version order.
+  // That site is the replica with the longest stream — with a fixed
+  // membership every replica installs every write of its partition, so the
+  // tie-break (primary first) reduces to the classic primary-site rule; a
+  // primary that retired or joined mid-run has a truncated stream and loses
+  // authority to a replica that saw the whole run.
+  if (part_.has_value()) {
+    const auto& part = *part_;
+    std::unordered_map<PartitionId, std::unordered_map<SiteId, std::size_t>>
+        stream_len;
+    for (const auto& e : installs_)
+      ++stream_len[part.partition_of(e.obj)][e.site];
+    for (const auto& [p, by_site] : stream_len) {  // gdur-lint: allow(determinism/unordered-iter) per-partition argmax, partitions independent
+      const SiteId primary = part.primary_of(p);
+      std::size_t best_len = 0;
+      SiteId best = primary;
+      for (SiteId s : part.sites_of(p)) {  // deterministic candidate order
+        const auto it = by_site.find(s);
+        const std::size_t len = it == by_site.end() ? 0 : it->second;
+        const bool wins =
+            len > best_len ||
+            (len == best_len && (s == primary || (best != primary && s < best)));
+        if (wins) {
+          best = s;
+          best_len = len;
+        }
+      }
+      authority_[p] = best;
     }
+  }
+  for (const auto& e : installs_) {
+    if (part_.has_value() &&
+        authority_of(part_->partition_of(e.obj)) != e.site)
+      continue;
     orders_[e.obj].writers.push_back(e.writer);
   }
+}
+
+SiteId History::authority_of(PartitionId p) const {
+  const auto it = authority_.find(p);
+  return it == authority_.end() ? part_->primary_of(p) : it->second;
 }
 
 namespace {
@@ -142,8 +176,18 @@ CheckResult History::acyclic_dsg(bool updates_only) const {
       if (next < edges.size()) {
         const int v = edges[next++];
         if (color[static_cast<std::size_t>(v)] == kGray) {
-          return {false, "serialization cycle involving " +
-                             records[static_cast<std::size_t>(v)]->id.str()};
+          // The gray path on the stack from v's frame back to the top is
+          // the cycle — name every member, not just the entry point.
+          std::string cycle;
+          bool in_cycle = false;
+          for (const auto& [node, pos] : stack) {
+            if (node == v) in_cycle = true;
+            if (!in_cycle) continue;
+            cycle += records[static_cast<std::size_t>(node)]->id.str();
+            cycle += " -> ";
+          }
+          cycle += records[static_cast<std::size_t>(v)]->id.str();
+          return {false, "serialization cycle: " + cycle};
         }
         if (color[static_cast<std::size_t>(v)] == kWhite) {
           color[static_cast<std::size_t>(v)] = kGray;
@@ -211,7 +255,7 @@ CheckResult History::check_ww_exclusion() const {
     const auto& part = *part_;
     for (const auto& e : installs_) {
       const PartitionId p = part.partition_of(e.obj);
-      if (part.primary_of(p) != e.site) continue;
+      if (authority_of(p) != e.site) continue;
       install_pos[e.obj][e.writer] = part_seq[p]++;
     }
   }

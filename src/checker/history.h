@@ -70,14 +70,22 @@ class History {
   [[nodiscard]] CheckResult check_criterion(const std::string& criterion) const;
 
  private:
-  /// Version order of one object: writers in install order at the object's
-  /// primary site.
+  /// Version order of one object: writers in install order at the
+  /// partition's authority site (see build_orders).
   struct ObjectOrder {
     std::vector<TxnId> writers;  // position = version index (0-based)
   };
 
   [[nodiscard]] CheckResult acyclic_dsg(bool updates_only) const;
   void build_orders() const;
+  /// Authority site whose install stream defines the version order of
+  /// partition `p`. Fixed membership: always the primary. Under online
+  /// reconfiguration the primary may have retired mid-run (its stream
+  /// truncates) or joined mid-run (its stream misses the prefix), so the
+  /// replica with the longest install stream is authoritative instead —
+  /// ties broken primary-first, then lowest site id. Valid after
+  /// build_orders().
+  [[nodiscard]] SiteId authority_of(PartitionId p) const;
 
   std::vector<TxnOutcome> txns_;
   std::vector<core::Cluster::InstallEvent> installs_;
@@ -90,6 +98,7 @@ class History {
   mutable bool built_ = false;
   mutable std::unordered_map<ObjectId, ObjectOrder> orders_;
   mutable std::unordered_map<TxnId, std::size_t> committed_index_;
+  mutable std::unordered_map<PartitionId, SiteId> authority_;
 };
 
 }  // namespace gdur::checker

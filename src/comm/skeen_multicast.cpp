@@ -5,6 +5,18 @@
 
 namespace gdur::comm {
 
+namespace {
+// How long a destination waits on an unfinalized pending message before
+// re-requesting the missing proposals (and between re-requests). Well under
+// the coordinator's termination timeout, so a crash-window loss heals before
+// the protocol layer starts resolving transactions the slow way.
+const SimDuration kRecoveryDelay = milliseconds(250);
+// Per-site cap on remembered final timestamps. Recovery requests arrive
+// within a few kRecoveryDelay rounds of delivery, so this horizon (minutes
+// of traffic) is far wider than any straggler the fault matrix produces.
+constexpr std::size_t kRecentFinalCap = 4096;
+}  // namespace
+
 SkeenMulticast::SkeenMulticast(net::Transport& transport, DeliverFn deliver,
                                bool fault_tolerant)
     : net_(transport),
@@ -23,6 +35,12 @@ void SkeenMulticast::multicast(const McastMsg& msg) {
 
 void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
   SiteState& st = states_[at];
+  // A recovery request can race with a retransmitted step 1 (each may
+  // process the message first); the second arrival must not re-propose off
+  // a fresh clock — destinations may never observe two different proposals
+  // from one site — nor resurrect an already-delivered message.
+  if (st.pending.count(msg.id) != 0 || st.recent_final.count(msg.id) != 0)
+    return;
   const std::vector<SiteId>& proposers =
       msg.proposers.empty() ? msg.dests : msg.proposers;
   const bool is_proposer =
@@ -36,9 +54,11 @@ void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
 
   // Apply proposals that raced ahead of the message.
   if (auto it = st.early.find(msg.id); it != st.early.end()) {
-    for (const TsKey& k : it->second) on_proposal(at, msg.id, k);
-    st.early.erase(msg.id);
+    const auto raced = std::move(it->second);
+    st.early.erase(it);
+    for (const TsKey& k : raced) on_proposal(at, msg.id, k);
   }
+  arm_recovery(at, msg.id);
 
   if (!is_proposer) {
     try_deliver(at);  // the early proposals may already have finalized it
@@ -46,6 +66,10 @@ void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
   }
 
   const TsKey prop = TsKey{st.clock, at};
+  if (auto pit = st.pending.find(msg.id); pit != st.pending.end()) {
+    pit->second.my_prop = prop;
+    pit->second.proposed = true;
+  }
   const auto dests = msg.dests;  // copy: p may be invalidated later
   const std::uint64_t id = msg.id;
   if (ft_) {
@@ -82,14 +106,19 @@ void SkeenMulticast::on_proposal(SiteId at, std::uint64_t id, TsKey prop) {
   SiteState& st = states_[at];
   auto it = st.pending.find(id);
   if (it == st.pending.end()) {
+    if (st.recent_final.count(id) != 0) return;  // delivered; straggler
     st.early[id].push_back(prop);
     return;
   }
   Pending& p = it->second;
-  ++p.proposals;
+  if (std::find(p.proposed_from.begin(), p.proposed_from.end(), prop.site) !=
+      p.proposed_from.end())
+    return;  // a recovery re-send of a proposal already counted
+  p.proposed_from.push_back(prop.site);
   p.final_key = std::max(p.final_key, prop);
   p.bound = std::max(p.bound, prop);  // lower bound on the final key
-  if (p.proposals == p.proposals_needed) finalize(at, p);
+  if (static_cast<int>(p.proposed_from.size()) == p.proposals_needed)
+    finalize(at, p);
 }
 
 void SkeenMulticast::finalize(SiteId at, Pending& p) {
@@ -136,8 +165,107 @@ void SkeenMulticast::try_deliver(SiteId at) {
     }
     if (best == nullptr || !best->finalized || best->delivered_blocked) return;
     const McastMsg msg = best->msg;
+    remember_final(st, msg.id, best->final_key);
     st.pending.erase(msg.id);
     deliver_(at, msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery.
+// ---------------------------------------------------------------------------
+
+void SkeenMulticast::arm_recovery(SiteId at, std::uint64_t id) {
+  if (net_.fault_injector() == nullptr) return;  // fault-free: cannot wedge
+  net_.simulator().after(kRecoveryDelay, [this, at, id] {
+    auto it = states_[at].pending.find(id);
+    if (it == states_[at].pending.end()) return;  // delivered meanwhile
+    if (net_.cpu(at).down_at(net_.simulator().now())) {
+      arm_recovery(at, id);  // crashed: look again after recovery
+      return;
+    }
+    Pending& p = it->second;
+    if (p.finalized && !p.delivered_blocked)
+      return;  // merely queued behind earlier messages, which have their
+               // own timers — nothing to re-drive for this one
+    if (p.finalized) {
+      // FT only: the witness round logging the delivery decision was lost
+      // in a crash window. finalize() re-runs it; it is idempotent.
+      finalize(at, p);
+    } else {
+      // Re-request every proposal still missing, attaching our copy of the
+      // message for proposers whose step 1 died with a crash.
+      const std::vector<SiteId>& proposers =
+          p.msg.proposers.empty() ? p.msg.dests : p.msg.proposers;
+      for (SiteId d : proposers) {
+        if (std::find(p.proposed_from.begin(), p.proposed_from.end(), d) !=
+            p.proposed_from.end())
+          continue;
+        const McastMsg copy = p.msg;
+        net_.send(at, d, net::wire::control() + copy.bytes,
+                  [this, d, id, copy, at] { on_retry_request(d, id, copy, at); },
+                  obs::MsgClass::kOrdering);
+      }
+    }
+    arm_recovery(at, id);
+  });
+}
+
+void SkeenMulticast::on_retry_request(SiteId at, std::uint64_t id,
+                                      const McastMsg& msg, SiteId requester) {
+  SiteState& st = states_[at];
+  if (auto f = st.recent_final.find(id); f != st.recent_final.end()) {
+    // Already delivered here: hand the requester the final timestamp, which
+    // lets it finalize directly (the decision is the same at every site).
+    const TsKey key = f->second;
+    net_.send(at, requester, net::wire::control() + 16,
+              [this, requester, id, key] { on_final_key(requester, id, key); },
+              obs::MsgClass::kOrdering);
+    return;
+  }
+  auto it = st.pending.find(id);
+  if (it == st.pending.end()) {
+    // Step 1 never reached us (lost in our crash window). Nobody can have
+    // finalized without our proposal, so proposing fresh off the current
+    // clock is safe — and on_step1 broadcasts it to every destination.
+    on_step1(at, msg);
+    return;
+  }
+  const Pending& p = it->second;
+  if (!p.proposed) return;  // not a proposer; nothing useful to answer
+  const TsKey prop = p.my_prop;  // verbatim re-send, never a new value
+  if (at == requester) {
+    on_proposal(at, id, prop);
+    return;
+  }
+  net_.send(at, requester, net::wire::control() + 16,
+            [this, requester, id, prop] { on_proposal(requester, id, prop); },
+            obs::MsgClass::kOrdering);
+}
+
+void SkeenMulticast::on_final_key(SiteId at, std::uint64_t id, TsKey key) {
+  SiteState& st = states_[at];
+  auto it = st.pending.find(id);
+  if (it == st.pending.end()) return;  // delivered here meanwhile
+  Pending& p = it->second;
+  if (p.finalized && !p.delivered_blocked) return;
+  st.clock = std::max(st.clock, key.ts);
+  p.final_key = key;
+  p.bound = key;
+  p.finalized = true;
+  p.delivered_blocked = false;
+  try_deliver(at);
+}
+
+void SkeenMulticast::remember_final(SiteState& st, std::uint64_t id,
+                                    TsKey key) {
+  if (net_.fault_injector() == nullptr) return;  // recovery disabled
+  if (st.recent_final.emplace(id, key).second) {
+    st.recent_fifo.push_back(id);
+    if (st.recent_fifo.size() > kRecentFinalCap) {
+      st.recent_final.erase(st.recent_fifo.front());
+      st.recent_fifo.pop_front();
+    }
   }
 }
 

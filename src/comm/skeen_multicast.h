@@ -16,9 +16,25 @@
 // the intra-group consensus of a disaster-tolerant genuine multicast: 6
 // delays and Ω(r^2) messages, the figures the paper quotes from Schiper's
 // thesis in §5.3.
+//
+// Crash recovery: the transport can lose an already-acknowledged message
+// when its delivery lands in a receiver's crash window ("protocol retries
+// must recover it" — see Transport::send). A lost proposal would wedge the
+// ordering layer permanently: delivery at a site blocks behind its
+// smallest-keyed pending message, so one unfinalizable entry stalls every
+// message after it. Under a fault plan each destination therefore arms a
+// retry timer per pending message; if the message has not finalized when it
+// fires, the site re-requests the missing proposals from their proposers. A
+// proposer answers with its original proposal (re-sent verbatim so
+// destinations can never observe two different proposals from one site), or
+// with the final timestamp if it has already delivered the message, or — if
+// it lost the step-1 message itself to a crash — by processing the copy
+// carried in the request and proposing fresh, which is safe precisely
+// because nobody can have finalized without it.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -51,9 +67,15 @@ class SkeenMulticast {
     TsKey bound{};              // lower bound on the final key: this site's
                                 // own proposal, or the best proposal heard
     TsKey final_key{};          // max proposal once finalized
+    TsKey my_prop{};            // this site's own proposal, if a proposer —
+                                // kept so retries re-send the same value
+    bool proposed = false;      // my_prop is valid
     bool finalized = false;
     bool delivered_blocked = false;  // FT: waiting for delivery log
-    int proposals = 0;               // proposals received so far
+    // Distinct proposers heard from; recovery re-sends arrive as ordinary
+    // messages (only transport-level duplicates are filtered below us), so
+    // finalization must count sites, not messages.
+    std::vector<SiteId> proposed_from;
     int proposals_needed = 0;
   };
 
@@ -63,6 +85,11 @@ class SkeenMulticast {
     // Proposals that arrived before the message itself (links from distinct
     // sources are not mutually ordered).
     std::unordered_map<std::uint64_t, std::vector<TsKey>> early;
+    // Final timestamps of recently delivered messages, so a straggling
+    // destination (or a recovered crasher) can still learn the outcome
+    // after this site has dropped its pending state.
+    std::unordered_map<std::uint64_t, TsKey> recent_final;
+    std::deque<std::uint64_t> recent_fifo;
   };
 
   void on_step1(SiteId at, const McastMsg& msg);
@@ -71,6 +98,17 @@ class SkeenMulticast {
   void on_proposal(SiteId at, std::uint64_t id, TsKey prop);
   void finalize(SiteId at, Pending& p);
   void try_deliver(SiteId at);
+
+  // --- crash recovery (active only under a fault plan) ---
+  /// Re-checks `id` at `at` after a delay; re-requests missing proposals.
+  void arm_recovery(SiteId at, std::uint64_t id);
+  /// A destination asks `at` for its proposal on `id`; `msg` is the
+  /// requester's copy of the multicast in case `at` never received step 1.
+  void on_retry_request(SiteId at, std::uint64_t id, const McastMsg& msg,
+                        SiteId requester);
+  /// A proposer that already delivered `id` tells `at` its final timestamp.
+  void on_final_key(SiteId at, std::uint64_t id, TsKey key);
+  void remember_final(SiteState& st, std::uint64_t id, TsKey key);
 
   /// The witness used for FT logging: the next site, cyclically.
   [[nodiscard]] SiteId witness(SiteId s) const {

@@ -19,6 +19,10 @@ using ObjectId = std::uint64_t;
 /// Identifies a data partition.
 using PartitionId = std::uint32_t;
 
+/// Configuration epoch: each agreed membership change (site join/retire)
+/// advances the epoch by one. Epoch 0 is the initial configuration.
+using EpochId = std::uint32_t;
+
 constexpr SiteId kNoSite = ~SiteId{0};
 
 /// Globally unique transaction identifier: the coordinating site plus a

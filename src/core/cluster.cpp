@@ -30,6 +30,7 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
   oracle_ = versioning::make_oracle(spec_.theta, part_);
 
   replicas_.reserve(static_cast<std::size_t>(cfg.sites));
+  // gdur-lint: allow(membership/hardcoded-sites) bootstrap builds one replica per universe site; membership fences participation
   for (SiteId s = 0; s < static_cast<SiteId>(cfg.sites); ++s)
     replicas_.push_back(std::make_unique<Replica>(*this, s));
 
@@ -48,6 +49,7 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
 
   if (cfg.durable) {
     wals_.reserve(static_cast<std::size_t>(cfg.sites));
+    // gdur-lint: allow(membership/hardcoded-sites) bootstrap: every universe site gets a log it will need if it ever joins
     for (int s = 0; s < cfg.sites; ++s)
       wals_.push_back(std::make_unique<store::WriteAheadLog>(sim_, cfg.wal));
   }
@@ -78,6 +80,67 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
       });
     }
   }
+
+  if (!cfg.reconfig.empty()) {
+    reconfig_enabled_ = true;
+    members_ = MembershipLog(cfg.sites, cfg.reconfig.initial_members);
+    for (const auto& a : cfg.reconfig.actions)
+      sim_.at(a.at, [this, a] { drive_reconfig(a, 0); });
+  }
+}
+
+void Cluster::drive_reconfig(const ReconfigAction& a, int attempt) {
+  const MembershipView& latest = members_.latest();
+  // Moot: the change is already reflected in the latest agreed view.
+  if ((a.kind == ReconfigKind::kJoin) == latest.contains(a.site)) return;
+  if (attempt >= kMaxDriveAttempts) return;  // the fault plan never allowed it
+  // Coordinator: the first live member of the latest view that is not the
+  // subject itself.
+  SiteId coord = kNoSite;
+  for (SiteId s : latest.members) {
+    if (s != a.site && !site_down(s)) {
+      coord = s;
+      break;
+    }
+  }
+  const bool accepted =
+      coord != kNoSite && replicas_[coord]->reconfig_begin(a.kind, a.site);
+  // Always re-check later: this retries a refused start, and also restarts
+  // a proposal that died with its coordinator (recovery abandons it durably
+  // when it can no longer be the next epoch).
+  const SimDuration delay =
+      std::max<SimDuration>(vote_retry_ * (accepted ? 32 : 4),
+                            milliseconds(50));
+  sim_.after(delay, [this, a, attempt] { drive_reconfig(a, attempt + 1); });
+}
+
+void Cluster::send_reconfig(SiteId from, SiteId to, ReconfigMsg m) {
+  const std::uint64_t bytes = net::wire::control() + 16 + m.bytes;
+  net_->send(
+      from, to, bytes,
+      [this, to, m = std::move(m)]() mutable {
+        replicas_[to]->on_reconfig(std::move(m));
+      },
+      obs::MsgClass::kControl);
+}
+
+SiteId Cluster::cert_leader(PartitionId p, EpochId e) const {
+  const MembershipView& v = view(e);
+  SiteId best = kNoSite;
+  EpochId best_since = 0;
+  for (SiteId s : part_.sites_of(p)) {
+    if (!v.contains(s)) continue;
+    // Tenure: earliest epoch since which `s` has been continuously a
+    // member, looking back from `e`. Computed from the shared log of
+    // agreed views, so every site resolves the same leader.
+    EpochId since = v.epoch;  // v.epoch, not e: view() clamps future epochs
+    while (since > 0 && members_.view(since - 1).contains(s)) --since;
+    if (best == kNoSite || since < best_since) {
+      best = s;
+      best_since = since;
+    }
+  }
+  return best;
 }
 
 // ---------------------------------------------------------------------------
@@ -206,7 +269,22 @@ void Cluster::xcast_term(const TxnPtr& t, std::vector<SiteId> dests) {
     const auto cs = certifying_objects(spec_, *t, part_);
     std::vector<SiteId> proposers;
     for (ObjectId o : cs.objs) {
-      const SiteId prim = part_.primary_of(part_.partition_of(o));
+      const PartitionId p = part_.partition_of(o);
+      SiteId prim = part_.primary_of(p);
+      if (reconfig_enabled_) {
+        // A retired primary cannot propose for its group: fall back to the
+        // first replica of the partition inside the transaction's view.
+        const MembershipView& v = view(t->epoch);
+        if (!v.contains(prim)) {
+          prim = kNoSite;
+          for (SiteId s : part_.sites_of(p))
+            if (v.contains(s)) {
+              prim = s;
+              break;
+            }
+          if (prim == kNoSite) continue;  // partition uncovered in this view
+        }
+      }
       if (std::find(proposers.begin(), proposers.end(), prim) ==
           proposers.end())
         proposers.push_back(prim);
@@ -283,6 +361,27 @@ void Cluster::propagate_stamp(SiteId from, const TxnRecord& t,
 
 SiteId Cluster::nearest_replica(SiteId from, ObjectId x) const {
   const auto replicas = part_.replicas_of_object(x);
+  if (reconfig_enabled_) {
+    // Only replicas in the reader's active view keep receiving installs;
+    // reading elsewhere would expose stale state. `from` itself always
+    // qualifies (exec_read fences non-members before getting here).
+    const MembershipView& v = members_.view(replicas_[from]->epoch());
+    SiteId best = kNoSite;
+    SimDuration best_lat{};
+    for (SiteId r : replicas) {
+      if (r == from) return r;
+      if (!v.contains(r)) continue;
+      const SimDuration l = net_->topology().latency(from, r);
+      if (best == kNoSite || l < best_lat) {
+        best = r;
+        best_lat = l;
+      }
+    }
+    if (best != kNoSite) return best;
+    // Coverage gap: no replica of x is in the view. Fall through to the
+    // placement's nearest — the read fails at the fenced site instead of
+    // silently reading stale data.
+  }
   SiteId best = replicas.front();
   SimDuration best_lat = net_->topology().latency(from, best);
   for (SiteId r : replicas) {

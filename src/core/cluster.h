@@ -14,6 +14,7 @@
 #include "comm/atomic_broadcast.h"
 #include "comm/reliable_multicast.h"
 #include "comm/skeen_multicast.h"
+#include "core/membership.h"
 #include "core/protocol_spec.h"
 #include "core/replica.h"
 #include "core/transaction.h"
@@ -62,6 +63,11 @@ struct ClusterConfig {
   /// check on this pointer, so a trace-free run is byte-identical to one
   /// built before the observability layer existed.
   obs::TraceRecorder* trace = nullptr;
+  /// Online-reconfiguration schedule (core/membership). Empty = the fixed
+  /// membership of the paper's experiments; runs are then byte-identical to
+  /// a build without the membership layer. With a plan, sites join/retire
+  /// mid-run through the epoch protocol of DESIGN.md §12.
+  ReconfigPlan reconfig{};
 };
 
 class Cluster {
@@ -122,6 +128,38 @@ class Cluster {
   [[nodiscard]] const ProtocolSpec& spec() const { return spec_; }
   [[nodiscard]] Replica& replica(SiteId s) { return *replicas_[s]; }
   [[nodiscard]] int sites() const { return part_.sites(); }
+
+  // ------------------------------------------------------------------
+  // Membership (core/membership, DESIGN.md §12).
+  // ------------------------------------------------------------------
+  /// Log of agreed views. Shared by all replicas: views are appended at the
+  /// reconfiguration protocol's decision point, so indexing it by a
+  /// transaction's epoch is sound everywhere.
+  [[nodiscard]] MembershipLog& membership() { return members_; }
+  /// Agreed view of epoch `e` (clamped to the latest agreed view).
+  [[nodiscard]] const MembershipView& view(EpochId e) const {
+    return members_.view(e);
+  }
+  /// True when a reconfiguration plan drives this run. All epoch guards are
+  /// behind this flag, keeping fixed-membership runs byte-identical.
+  [[nodiscard]] bool reconfig_enabled() const { return reconfig_enabled_; }
+  /// Reconfiguration-protocol message (prepare/ack/activate/state transfer).
+  /// Virtual for the same reason as the other sends: the live backend ships
+  /// it as real bytes.
+  virtual void send_reconfig(SiteId from, SiteId to, ReconfigMsg m);
+
+  /// Certification leader of partition `p` for transactions of epoch `e`:
+  /// the longest-tenured member of `view(e)` among the partition's replicas
+  /// (ties broken primary-first). Group-communication certification counts
+  /// only leader votes once reconfiguration is on: a replica that joined
+  /// mid-run never witnessed the ordered certifications delivered before
+  /// its join, so its verdicts on transactions overlapping that history can
+  /// diverge from established replicas' — and S-DUR-style "any replica
+  /// covers / any false aborts" outcome evaluation then decides
+  /// *differently at different sites*. One deterministic authoritative
+  /// voter per partition restores a site-independent outcome function.
+  /// kNoSite when no replica of `p` is in the view.
+  [[nodiscard]] SiteId cert_leader(PartitionId p, EpochId e) const;
 
   /// Versioning metadata bytes attached to messages under this spec.
   [[nodiscard]] std::uint64_t meta_bytes() const;
@@ -204,6 +242,11 @@ class Cluster {
 
  protected:
   [[nodiscard]] std::uint64_t term_bytes(const TxnRecord& t) const;
+  /// Drives one scheduled membership change: picks a live coordinator and
+  /// retries until the change shows up in the latest agreed view (or the
+  /// attempt budget runs out — a fault plan can make a change impossible).
+  void drive_reconfig(const ReconfigAction& a, int attempt);
+  static constexpr int kMaxDriveAttempts = 64;
 
   ProtocolSpec spec_;
   sim::Simulator sim_;
@@ -218,6 +261,8 @@ class Cluster {
   std::unique_ptr<comm::ReliableMulticast> rm_bg_;
   std::uint64_t mcast_ids_ = 0;
   std::vector<std::unique_ptr<store::WriteAheadLog>> wals_;
+  MembershipLog members_;
+  bool reconfig_enabled_ = false;
   std::unique_ptr<sim::FaultInjector> fault_;
   obs::TraceRecorder* trace_ = nullptr;
   SimDuration term_timeout_ = 0;

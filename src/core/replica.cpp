@@ -51,6 +51,12 @@ void Replica::exec_begin(std::function<void(MutTxnPtr)> cb) {
 
 void Replica::exec_read(const MutTxnPtr& t, ObjectId x,
                         std::function<void(bool)> cb) {
+  // Service fencing: a site outside its active view no longer receives
+  // installs, so serving reads from it would expose stale snapshots.
+  if (cl_.reconfig_enabled() && !member_of(epoch_)) {
+    cb(false);
+    return;
+  }
   // Line 10: a transaction observes its own buffered writes.
   if (t->ws.contains(x)) {
     cb(true);
@@ -185,6 +191,18 @@ void Replica::exec_write(const MutTxnPtr& t, ObjectId x,
 void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
   // Algorithm 2, submit(T).
   t->submit_time = cl_.now();
+  if (cl_.reconfig_enabled()) {
+    // Every quorum computation for this transaction is pinned to the view
+    // of the epoch stamped here.
+    t->epoch = epoch_;
+    // Service fencing: a site outside its own active view (a joiner whose
+    // epoch has not activated, a retiree past activation) must not submit,
+    // and a draining retiree refuses new update transactions.
+    if (!member_of(epoch_) || (draining_ && !t->read_only())) {
+      cb(false);
+      return;
+    }
+  }
   if (!t->read_only())
     t->stamp = cl_.oracle().submit_stamp(id_, ++coord_seq_, t->snap);
 
@@ -209,10 +227,24 @@ void Replica::exec_commit(const MutTxnPtr& t, std::function<void(bool)> cb) {
 
   std::vector<SiteId> dests;
   if (cs.all) {
-    for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
-      dests.push_back(s);
+    if (cl_.reconfig_enabled()) {
+      dests = cl_.view(t->epoch).members;
+    } else {
+      // gdur-lint: allow(membership/hardcoded-sites) fixed-membership branch; the reconfig path above iterates the view
+      for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
+        dests.push_back(s);
+    }
   } else {
     dests = cl_.partitioner().replicas_of(cs.objs);
+    if (cl_.reconfig_enabled())
+      dests = cl_.view(t->epoch).filter(std::move(dests));
+  }
+  if (dests.empty()) {
+    // Every replica of a certifying object left the view — impossible while
+    // the coverage invariant (replication >= 2, one change at a time)
+    // holds, but fail the submission instead of wedging.
+    finish_coordinator(ct, false);
+    return;
   }
   cl_.xcast_term(ct, std::move(dests));
   // Under faults a termination attempt can stall (lost votes, crashed
@@ -232,6 +264,15 @@ Replica::TermState& Replica::state_of(const TxnPtr& t) {
 }
 
 void Replica::on_term_delivered(const TxnPtr& t) {
+  if (cl_.reconfig_enabled()) {
+    maybe_adopt_epoch(t->epoch);
+    // A site outside the transaction's view must not certify or vote: its
+    // participation was never counted in the quorum computed at submit, so
+    // a vote from it could double-count, and a joiner would certify against
+    // state it did not hold at the epoch. (A retiree IS still in the view
+    // of older epochs and keeps certifying those until they drain.)
+    if (!member_of(t->epoch)) return;
+  }
   if (known_outcome(t->id) != nullptr) return;  // late redelivery
   auto& st = state_of(t);
   if (st.in_q || st.voted || st.decided) return;
@@ -251,7 +292,7 @@ void Replica::on_term_delivered(const TxnPtr& t) {
     if (auto* wal = cl_.wal(id_))
       wal->append(net::wire::control(),
                   store::WalRecord{store::WalRecord::Kind::kDeliver, t->id,
-                                   false, t},
+                                   false, t->epoch, t},
                   [] {});
   }
 
@@ -349,7 +390,8 @@ void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
         if (auto* wal = cl_.wal(id_)) {
           std::optional<store::WalRecord> rec;
           if (cl_.fault_injector() != nullptr)
-            rec = store::WalRecord{store::WalRecord::Kind::kVote, t->id, v, t};
+            rec = store::WalRecord{store::WalRecord::Kind::kVote, t->id, v,
+                                   t->epoch, t};
           wal->append(net::wire::vote() + 32, std::move(rec),
                       [this, t, v] { announce_vote(t, v); });
           return;
@@ -366,15 +408,25 @@ void Replica::send_vote_msgs(const TxnPtr& t, bool v) {
   }
   if (spec.ac == AcKind::kPaxosCommit) {
     // Paxos Commit: the participant's vote is the value of its own Paxos
-    // instance; propose it to every acceptor (phase 2a).
-    for (SiteId a = 0; a < static_cast<SiteId>(cl_.sites()); ++a)
-      cl_.send_paxos_2a(id_, a, t, id_, v);
+    // instance; propose it to every acceptor (phase 2a). The acceptor set —
+    // and with it the majority — is the membership view of the
+    // transaction's epoch.
+    if (cl_.reconfig_enabled()) {
+      for (SiteId a : cl_.view(t->epoch).members)
+        cl_.send_paxos_2a(id_, a, t, id_, v);
+    } else {
+      // gdur-lint: allow(membership/hardcoded-sites) fixed-membership branch; the reconfig path above iterates the view
+      for (SiteId a = 0; a < static_cast<SiteId>(cl_.sites()); ++a)
+        cl_.send_paxos_2a(id_, a, t, id_, v);
+    }
     return;
   }
   // Algorithm 3 lines 5-6: vote to replicas(vote_recv_obj) + coord.
   const auto cs = certifying_objects(spec, *t, cl_.partitioner());
   const ObjSet recv = vote_objects(spec.vote_recv, cs, *t);
   std::vector<SiteId> dests = cl_.partitioner().replicas_of(recv);
+  if (cl_.reconfig_enabled())
+    dests = cl_.view(t->epoch).filter(std::move(dests));
   if (std::find(dests.begin(), dests.end(), t->id.coord) == dests.end())
     dests.push_back(t->id.coord);
   for (SiteId d : dests) cl_.send_vote(id_, d, t, v);
@@ -457,16 +509,32 @@ void Replica::send_2pc_decisions(const TxnPtr& t, bool commit) {
   const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
   std::vector<SiteId> dests;
   if (cs.all) {
-    for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
-      dests.push_back(s);
+    if (cl_.reconfig_enabled()) {
+      dests = cl_.view(t->epoch).members;
+    } else {
+      // gdur-lint: allow(membership/hardcoded-sites) fixed-membership branch; the reconfig path above iterates the view
+      for (SiteId s = 0; s < static_cast<SiteId>(cl_.sites()); ++s)
+        dests.push_back(s);
+    }
   } else {
     dests = cl_.partitioner().replicas_of(cs.objs);
+    if (cl_.reconfig_enabled())
+      dests = cl_.view(t->epoch).filter(std::move(dests));
   }
   for (SiteId d : dests)
     if (d != id_) cl_.send_decision(id_, d, t, commit);
 }
 
 void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
+  if (cl_.reconfig_enabled()) {
+    maybe_adopt_epoch(t->epoch);
+    // Votes are only valid from sites of the transaction's view: a retired
+    // site's delayed vote for a *later*-epoch transaction must not count
+    // toward a quorum it is no longer part of. (Its votes for transactions
+    // of epochs it belonged to remain valid — that is what lets old-epoch
+    // certification drain through a retirement.)
+    if (!cl_.view(t->epoch).contains(voter)) return;
+  }
   if (const Outcome* out = known_outcome(t->id)) {
     // A re-announced vote reached a site that already decided: answer with
     // the decision so the in-doubt voter can terminate.
@@ -492,9 +560,19 @@ void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
     }
     if (st.votes_expected == 0) {
       const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
-      st.votes_expected = static_cast<int>(
-          cs.all ? static_cast<std::size_t>(cl_.sites())
-                 : cl_.partitioner().replicas_of(cs.objs).size());
+      if (cl_.reconfig_enabled()) {
+        // Quorum of the transaction's epoch: exactly the participants the
+        // termination message was multicast to.
+        st.votes_expected = static_cast<int>(
+            cs.all ? static_cast<std::size_t>(cl_.view(t->epoch).size())
+                   : cl_.view(t->epoch)
+                         .filter(cl_.partitioner().replicas_of(cs.objs))
+                         .size());
+      } else {
+        st.votes_expected = static_cast<int>(
+            cs.all ? static_cast<std::size_t>(cl_.sites())
+                   : cl_.partitioner().replicas_of(cs.objs).size());
+      }
     }
     if (std::find(st.voters.begin(), st.voters.end(), voter) !=
         st.voters.end())
@@ -515,7 +593,7 @@ void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
       // than re-deciding (possibly differently).
       wal->append(net::wire::decision() + 16,
                   store::WalRecord{store::WalRecord::Kind::kDecision, t->id,
-                                   commit, t},
+                                   commit, t->epoch, t},
                   std::move(finish));
       return;
     }
@@ -523,7 +601,14 @@ void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
     return;
   }
 
-  // Algorithm 3: accumulate votes, evaluate outcome(T).
+  // Algorithm 3: accumulate votes, evaluate outcome(T). Under online
+  // reconfiguration only certification-leader votes count (see
+  // Cluster::cert_leader): a recently joined replica certifies without
+  // having witnessed the ordered certifications that preceded its join, so
+  // its verdict can diverge from the established replicas' — and letting
+  // any replica's vote cover an object (or any false vote abort) would let
+  // different sites decide the same transaction differently.
+  if (cl_.reconfig_enabled() && !gc_vote_counts(*t, voter)) return;
   if (!vote) {
     st.any_false = true;
   } else if (std::find(st.true_voters.begin(), st.true_voters.end(), voter) ==
@@ -531,6 +616,15 @@ void Replica::on_vote(const TxnPtr& t, SiteId voter, bool vote) {
     st.true_voters.push_back(voter);
   }
   check_gc_outcome(t);
+}
+
+bool Replica::gc_vote_counts(const TxnRecord& t, SiteId voter) const {
+  const auto cs = certifying_objects(cl_.spec(), t, cl_.partitioner());
+  const ObjSet snd = vote_objects(cl_.spec().vote_snd, cs, t);
+  for (ObjectId o : snd)
+    if (cl_.cert_leader(cl_.partitioner().partition_of(o), t.epoch) == voter)
+      return true;
+  return false;
 }
 
 void Replica::check_gc_outcome(const TxnPtr& t) {
@@ -547,10 +641,21 @@ void Replica::check_gc_outcome(const TxnPtr& t) {
   // positive vote from one of its replicas (a voting quorum).
   for (ObjectId o : snd) {
     bool covered = false;
-    for (SiteId voter : st.true_voters) {
-      if (cl_.partitioner().is_local(voter, o)) {
-        covered = true;
-        break;
+    if (cl_.reconfig_enabled()) {
+      // Only the partition's certification leader may cover its objects;
+      // with one authoritative voter per partition the outcome is the same
+      // function of the (unique) leader votes at every site.
+      const SiteId leader =
+          cl_.cert_leader(cl_.partitioner().partition_of(o), t->epoch);
+      covered = leader != kNoSite &&
+                std::find(st.true_voters.begin(), st.true_voters.end(),
+                          leader) != st.true_voters.end();
+    } else {
+      for (SiteId voter : st.true_voters) {
+        if (cl_.partitioner().is_local(voter, o)) {
+          covered = true;
+          break;
+        }
       }
     }
     if (!covered) return;  // outcome still ⊥
@@ -559,6 +664,12 @@ void Replica::check_gc_outcome(const TxnPtr& t) {
 }
 
 void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
+  if (cl_.reconfig_enabled()) {
+    maybe_adopt_epoch(t->epoch);
+    // Only acceptors of the transaction's view may accept: an acceptance
+    // from outside it would never be counted anyway (see on_paxos_2b).
+    if (!member_of(t->epoch)) return;
+  }
   // Acceptor: accept the first value proposed for (t, participant). The
   // participant is the only proposer at ballot 0, so conflicts cannot
   // arise; re-proposals are idempotent.
@@ -581,6 +692,14 @@ void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
 
 void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
                           SiteId acceptor) {
+  if (cl_.reconfig_enabled()) {
+    maybe_adopt_epoch(t->epoch);
+    // Acceptances count only from acceptors of the transaction's view, and
+    // instances only from participants of it.
+    if (!cl_.view(t->epoch).contains(acceptor) ||
+        !cl_.view(t->epoch).contains(participant))
+      return;
+  }
   if (const Outcome* out = known_outcome(t->id)) {
     // A re-acked instance of an already-decided transaction: tell the
     // still-in-doubt participant the outcome.
@@ -603,7 +722,8 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
   if (std::find(acks.begin(), acks.end(), acceptor) != acks.end())
     return;  // duplicate re-ack
   acks.push_back(acceptor);
-  const int majority = cl_.sites() / 2 + 1;
+  const int majority = cl_.reconfig_enabled() ? cl_.view(t->epoch).majority()
+                                              : cl_.sites() / 2 + 1;
   if (static_cast<int>(acks.size()) < majority) return;
   // This participant's instance is chosen.
   st.paxos_closed.emplace(participant, vote);
@@ -611,8 +731,10 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
   ++st.paxos_instances_closed;
 
   const auto cs = certifying_objects(cl_.spec(), *t, cl_.partitioner());
-  const auto dests = cs.all ? std::vector<SiteId>{}  // not used by paxos
-                            : cl_.partitioner().replicas_of(cs.objs);
+  auto dests = cs.all ? std::vector<SiteId>{}  // not used by paxos
+                      : cl_.partitioner().replicas_of(cs.objs);
+  if (cl_.reconfig_enabled())
+    dests = cl_.view(t->epoch).filter(std::move(dests));
   if (st.paxos_instances_closed < static_cast<int>(dests.size())) return;
   const bool commit = st.all_true;
   auto finish = [this, t, commit] {
@@ -624,14 +746,17 @@ void Replica::on_paxos_2b(const TxnPtr& t, SiteId participant, bool vote,
       wal != nullptr && cl_.fault_injector() != nullptr) {
     wal->append(net::wire::decision() + 16,
                 store::WalRecord{store::WalRecord::Kind::kDecision, t->id,
-                                 commit, t},
+                                 commit, t->epoch, t},
                 std::move(finish));
     return;
   }
   finish();
 }
 
-void Replica::on_decision(const TxnPtr& t, bool commit) { decide(t, commit); }
+void Replica::on_decision(const TxnPtr& t, bool commit) {
+  if (cl_.reconfig_enabled()) maybe_adopt_epoch(t->epoch);
+  decide(t, commit);
+}
 
 void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
   if (known_outcome(t->id) != nullptr) return;  // straggler duplicate
@@ -654,7 +779,7 @@ void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
     tr->decided(t->id, id_, cl_.now(), commit, reason);
 
   // Garbage-collect the termination state well after any straggler message.
-  cl_.run_after(id_, seconds(5), [this, id = t->id] { term_.erase(id); });
+  schedule_term_gc(t->id);
 
   if (!commit) {
     // Algorithm 2 lines 25-29.
@@ -674,6 +799,23 @@ void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
     if (st.in_q) remove_from_q(t->id);
     apply_commit(t);
   }
+}
+
+void Replica::schedule_term_gc(const TxnId& id) {
+  cl_.run_after(id_, seconds(5), [this, id] {
+    auto it = term_.find(id);
+    if (it == term_.end()) return;
+    if (it->second.in_q) {
+      // Still parked in the ordered queue behind an undecided head (its
+      // votes may be stuck behind a partition or a crashed site for longer
+      // than the straggler window). Erasing now would leave q_ holding an
+      // id with no termination state, which process_queue_head() fatally
+      // assumes cannot happen — try again later instead.
+      schedule_term_gc(id);
+      return;
+    }
+    term_.erase(it);
+  });
 }
 
 void Replica::process_queue_head() {
@@ -770,6 +912,63 @@ void Replica::apply_commit(const TxnPtr& t) {
     }
   }
 
+  if (cl_.reconfig_enabled() && !txn.read_only()) {
+    // Remember the commit so a later epoch activation can re-run the
+    // late-install forwarding below for members that joined between this
+    // decision and this replica learning of the new view.
+    recent_commits_.push_back(t);
+    if (recent_commits_.size() > kRecentCommitCap) recent_commits_.pop_front();
+    const std::uint64_t fwd_bytes =
+        net::wire::termination(txn.rs.size(), txn.ws.size(), cl_.meta_bytes());
+    // Snapshot catch-up stream: while a joiner is prepared (snapshot taken,
+    // epoch not yet active), this donor forwards every commit that touches
+    // the transferred partitions, so nothing falls between the snapshot and
+    // activation.
+    for (const auto& reg : stream_to_) {
+      bool relevant = false;
+      for (ObjectId o : local_ws)
+        if (std::find(reg.parts.begin(), reg.parts.end(),
+                      part.partition_of(o)) != reg.parts.end()) {
+          relevant = true;
+          break;
+        }
+      if (!relevant) continue;
+      ReconfigMsg fwd;
+      fwd.kind = ReconfigMsg::Kind::kInstall;
+      fwd.epoch = txn.epoch;
+      fwd.from = id_;
+      fwd.payload = t;
+      fwd.bytes = fwd_bytes;
+      cl_.send_reconfig(id_, reg.to, std::move(fwd));
+    }
+    // Late-install forwarding: a transaction certified under an older view
+    // commits after newer members joined. They were not in its multicast
+    // destinations, so its coordinator ships the commit to every new member
+    // hosting written objects (deduplicated at the receiver).
+    if (id_ == txn.id.coord && epoch_ > txn.epoch) {
+      const auto& old_view = cl_.view(txn.epoch);
+      for (SiteId s : cl_.view(epoch_).members) {
+        if (s == id_ || old_view.contains(s)) continue;
+        // Replica-wide version indexes (Serrano) make every commit
+        // certification-relevant everywhere — new members need the full
+        // feed, not just writes they host.
+        bool hosts = cl_.spec().track_all_objects;
+        for (ObjectId o : txn.ws) {
+          if (hosts) break;
+          if (part.is_local(s, o)) hosts = true;
+        }
+        if (!hosts) continue;
+        ReconfigMsg fwd;
+        fwd.kind = ReconfigMsg::Kind::kInstall;
+        fwd.epoch = txn.epoch;
+        fwd.from = id_;
+        fwd.payload = t;
+        fwd.bytes = fwd_bytes;
+        cl_.send_reconfig(id_, s, std::move(fwd));
+      }
+    }
+  }
+
   finish_coordinator(t, true);
   if (id_ == txn.id.coord && cl_.spec().post_commit)
     cl_.spec().post_commit(cl_, txn);
@@ -796,6 +995,20 @@ void Replica::on_crash() {
   commit_cbs_.clear();
   paxos_acc_.clear();
   paxos_acc_fifo_.clear();
+  // Membership state is volatile too: the activated epoch, a prepared view,
+  // coordinator progress, and any state-transfer bookkeeping are rebuilt
+  // from the WAL's reconfiguration records (and epoch gossip) on recovery.
+  epoch_ = 0;
+  draining_ = false;
+  rcfg_.reset();
+  pending_view_.reset();
+  pending_coord_ = kNoSite;
+  pending_subject_ = kNoSite;
+  transfer_waiting_.clear();
+  recent_commits_.clear();
+  transfer_epoch_ = 0;
+  transfer_done_ = false;
+  stream_to_.clear();
   // The committed store (db_, recency_, latest_seq_) and the
   // decided-transaction cache are kept: both are exactly what log replay
   // rebuilds in a real deployment, and re-deriving identical state here
@@ -810,10 +1023,50 @@ void Replica::on_recover() {
              static_cast<int>(id_), wal->stable().size());
 
   // Replay the stable log in append (= original delivery) order.
+  // Reconfiguration records rebuild membership state: the last logged
+  // prepare with no commit/abort after it is an in-flight proposal this
+  // coordinator must resume (or abandon through the normal give-up path).
+  std::optional<ReconfigCoord> resume;
   std::size_t replayed = 0;
   for (const auto& r : wal->stable()) {
     ++replayed;
     if (r.payload == nullptr) continue;
+    if (r.kind == store::WalRecord::Kind::kReconfigPrepare ||
+        r.kind == store::WalRecord::Kind::kReconfigCommit ||
+        r.kind == store::WalRecord::Kind::kReconfigAbort) {
+      const auto v = std::static_pointer_cast<const MembershipView>(r.payload);
+      switch (r.kind) {
+        case store::WalRecord::Kind::kReconfigPrepare: {
+          // Only the coordinator logs prepares, so this replica was driving
+          // the change (flag encodes join/retire; the subject is the
+          // symmetric difference against the base view).
+          ReconfigCoord rc;
+          rc.next = *v;
+          rc.kind = r.flag ? ReconfigKind::kJoin : ReconfigKind::kRetire;
+          const auto& base = cl_.view(v->epoch > 0 ? v->epoch - 1 : 0);
+          rc.subject = kNoSite;
+          for (SiteId s : r.flag ? v->members : base.members)
+            if (r.flag ? !base.contains(s) : !v->contains(s)) {
+              rc.subject = s;
+              break;
+            }
+          rc.acked.push_back(id_);
+          resume = std::move(rc);
+          break;
+        }
+        case store::WalRecord::Kind::kReconfigCommit:
+          cl_.membership().append(*v);
+          epoch_ = std::max(epoch_, v->epoch);
+          if (resume && resume->next.epoch <= v->epoch) resume.reset();
+          break;
+        case store::WalRecord::Kind::kReconfigAbort:
+          if (resume && resume->next.epoch == v->epoch) resume.reset();
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
     const auto t = std::static_pointer_cast<const TxnRecord>(r.payload);
     switch (r.kind) {
       case store::WalRecord::Kind::kDeliver: {
@@ -842,6 +1095,36 @@ void Replica::on_recover() {
         // announcement and the outcome is re-applied here.
         decide(t, r.flag);
         break;
+      default:
+        break;  // reconfiguration kinds handled above
+    }
+  }
+
+  if (cl_.reconfig_enabled()) {
+    // Recovery also re-reads the shared log of agreed views (in a real
+    // deployment: the membership service). Without this, a site that crashed
+    // before an activation reached it — e.g. a retiree missing the very view
+    // that excludes it — would pin itself to the stale epoch forever, since
+    // excluded sites receive no epoch gossip.
+    epoch_ = std::max(epoch_, cl_.membership().latest_epoch());
+  }
+
+  if (resume) {
+    // Coordinator crashed mid-reconfiguration with the prepare on stable
+    // storage but no outcome. If the epoch has since been agreed the shared
+    // log already has it — adopt. If it is still the next epoch, resume the
+    // prepare rounds (participants re-ack idempotently; the give-up path
+    // abandons it durably if the cluster cannot be assembled). Anything
+    // else can never be agreed — abandon it immediately.
+    const EpochId e = resume->next.epoch;
+    if (cl_.membership().latest_epoch() >= e) {
+      epoch_ = std::max(epoch_, cl_.membership().latest_epoch());
+    } else if (e == cl_.membership().latest_epoch() + 1) {
+      rcfg_ = std::move(*resume);
+      reconfig_round(e, 0);
+    } else {
+      log_reconfig(store::WalRecord::Kind::kReconfigAbort, resume->next, id_,
+                   [] {});
     }
   }
 
@@ -893,6 +1176,504 @@ void Replica::on_recover() {
     recovery_busy_ += replay_cost;
     cl_.run_local(id_, replay_cost, [] {});
   }
+}
+
+// ---------------------------------------------------------------------------
+// Membership / online reconfiguration (core/membership, DESIGN.md §12).
+//
+// Epochs advance one at a time. The coordinator durably logs a prepare,
+// broadcasts it to the base view plus the subject, and commits once a
+// majority of the base view acked (a join additionally waits for the
+// subject's ack, which doubles as "state transfer complete"; a retire does
+// NOT wait for the subject, so a crashed site can be retired). The commit
+// record is the decision point: it enters the shared MembershipLog, after
+// which activation spreads by explicit kActivate rounds and by epoch gossip
+// on every termination-protocol message.
+// ---------------------------------------------------------------------------
+
+bool Replica::member_of(EpochId e) const { return cl_.view(e).contains(id_); }
+
+std::vector<PartitionId> Replica::partitions_hosted(SiteId s) const {
+  std::vector<PartitionId> out;
+  const auto& part = cl_.partitioner();
+  for (PartitionId p = 0; p < part.partitions(); ++p) {
+    const auto sites = part.sites_of(p);
+    if (std::find(sites.begin(), sites.end(), s) != sites.end())
+      out.push_back(p);
+  }
+  return out;
+}
+
+void Replica::maybe_adopt_epoch(EpochId e) {
+  if (e <= epoch_ || !cl_.membership().has(e)) return;
+  activate_epoch(e);
+  // Durably remember the activation: without it a crash would roll this
+  // site back to an older configuration until the next gossip.
+  log_reconfig(store::WalRecord::Kind::kReconfigCommit, cl_.view(e), id_,
+               [] {});
+}
+
+void Replica::activate_epoch(EpochId e) {
+  if (e <= epoch_) return;
+  epoch_ = e;
+  // The prepared state for this (or any older) epoch is resolved.
+  if (pending_view_ && pending_view_->epoch <= e) {
+    pending_view_.reset();
+    pending_coord_ = kNoSite;
+    pending_subject_ = kNoSite;
+    draining_ = false;  // a retiree is now fenced by member_of() instead
+  }
+  // Snapshot streaming for activated epochs ends: the joiner receives
+  // termination traffic directly now (late-install forwarding covers
+  // transactions still in flight under older epochs).
+  stream_to_.erase(std::remove_if(stream_to_.begin(), stream_to_.end(),
+                                  [e](const StreamReg& r) {
+                                    return r.epoch <= e;
+                                  }),
+                   stream_to_.end());
+  // A transaction certified under an older view may have been decided here
+  // before this replica learned of the new one — the inline late-install
+  // forwarding in decide() compared against the old epoch_ and stayed
+  // silent, and the donor's catch-up stream may equally have ended
+  // already. Sweep the recently decided commits and ship those installs to
+  // the members this activation adds (deduplicated at the receiver).
+  const auto& part = cl_.partitioner();
+  for (const auto& t : recent_commits_) {
+    if (t->epoch >= e) continue;
+    if (id_ != t->id.coord && !has_local_writes(*t)) continue;
+    const auto& old_view = cl_.view(t->epoch);
+    for (SiteId s : cl_.view(e).members) {
+      if (s == id_ || old_view.contains(s)) continue;
+      // See the inline forwarding in decide(): replica-wide version
+      // indexes need every commit at every member.
+      bool hosts = cl_.spec().track_all_objects;
+      for (ObjectId o : t->ws) {
+        if (hosts) break;
+        if (part.is_local(s, o)) hosts = true;
+      }
+      if (!hosts) continue;
+      ReconfigMsg fwd;
+      fwd.kind = ReconfigMsg::Kind::kInstall;
+      fwd.epoch = t->epoch;
+      fwd.from = id_;
+      fwd.payload = t;
+      fwd.bytes = net::wire::termination(t->rs.size(), t->ws.size(),
+                                         cl_.meta_bytes());
+      cl_.send_reconfig(id_, s, std::move(fwd));
+    }
+  }
+  GDUR_DEBUG("site %d activates epoch %u", static_cast<int>(id_), e);
+}
+
+void Replica::log_reconfig(store::WalRecord::Kind kind,
+                           const MembershipView& v, SiteId coord,
+                           std::function<void()> done) {
+  auto* wal = cl_.wal(id_);
+  if (wal == nullptr) {
+    done();
+    return;
+  }
+  store::WalRecord rec;
+  rec.kind = kind;
+  // Reconfigurations are replicated commands keyed (coordinator, epoch).
+  rec.txn = TxnId{coord, v.epoch};
+  // flag encodes the change direction (join grows the view); recovery
+  // derives the subject from the symmetric difference against the base.
+  rec.flag = v.size() > cl_.view(v.epoch > 0 ? v.epoch - 1 : 0).size();
+  rec.epoch = v.epoch;
+  rec.payload = std::make_shared<const MembershipView>(v);
+  wal->append(net::wire::control() + 8u * v.members.size(), std::move(rec),
+              std::move(done));
+}
+
+bool Replica::reconfig_begin(ReconfigKind kind, SiteId subject) {
+  if (!cl_.reconfig_enabled()) return true;  // nothing to reconfigure
+  if (rcfg_ || !member_of(epoch_)) return false;
+  const MembershipView& base = cl_.membership().latest();
+  // Moot changes (joining a member, retiring a non-member) are done already.
+  if ((kind == ReconfigKind::kJoin) == base.contains(subject)) return true;
+  if (base.epoch != epoch_) {
+    // This replica lags the latest agreed view; catch up and let the
+    // cluster retry (possibly at another coordinator).
+    maybe_adopt_epoch(base.epoch);
+    return false;
+  }
+  ReconfigCoord rc;
+  rc.kind = kind;
+  rc.subject = subject;
+  rc.next = kind == ReconfigKind::kJoin ? base.with_joined(subject)
+                                        : base.with_retired(subject);
+  rc.acked.push_back(id_);
+  rcfg_ = std::move(rc);
+  // The proposal is durable before any prepare leaves this site, so a
+  // crashed coordinator finds it on recovery and resumes (or abandons it
+  // durably) instead of leaving participants prepared forever.
+  log_reconfig(store::WalRecord::Kind::kReconfigPrepare, rcfg_->next, id_,
+               [this, e = rcfg_->next.epoch] {
+                 if (rcfg_ && rcfg_->next.epoch == e) reconfig_round(e, 0);
+               });
+  return true;
+}
+
+void Replica::reconfig_round(EpochId e, int round) {
+  if (!rcfg_ || rcfg_->next.epoch != e || rcfg_->decided) return;
+  if (round >= kMaxReconfigRounds) {
+    reconfig_abort(e);
+    return;
+  }
+  // Participants: every member of the base view, plus the subject.
+  auto parts = cl_.view(e > 0 ? e - 1 : 0).members;
+  if (std::find(parts.begin(), parts.end(), rcfg_->subject) == parts.end())
+    parts.push_back(rcfg_->subject);
+  const auto view = std::make_shared<const MembershipView>(rcfg_->next);
+  for (SiteId s : parts) {
+    if (s == id_) continue;
+    if (std::find(rcfg_->acked.begin(), rcfg_->acked.end(), s) !=
+        rcfg_->acked.end())
+      continue;
+    ReconfigMsg m;
+    m.kind = ReconfigMsg::Kind::kPrepare;
+    m.epoch = e;
+    m.from = id_;
+    m.view = view;
+    m.change = rcfg_->kind;
+    m.subject = rcfg_->subject;
+    m.bytes = 8u * view->members.size();
+    cl_.send_reconfig(id_, s, std::move(m));
+  }
+  const SimDuration delay =
+      cl_.vote_retry() * static_cast<SimDuration>(1 << std::min(round, 3));
+  cl_.run_after(id_, delay, [this, e, round] {
+    if (cl_.site_down(id_)) return;  // crashed: on_recover resumes
+    reconfig_round(e, round + 1);
+  });
+}
+
+void Replica::reconfig_commit(EpochId e) {
+  if (!rcfg_ || rcfg_->next.epoch != e || rcfg_->decided) return;
+  rcfg_->decided = true;
+  const MembershipView next = rcfg_->next;
+  log_reconfig(store::WalRecord::Kind::kReconfigCommit, next, id_,
+               [this, e, next] {
+                 // Decision point: the view is agreed the instant its commit
+                 // record is stable, and enters the shared log right here.
+                 cl_.membership().append(next);
+                 rcfg_.reset();
+                 activate_epoch(e);
+                 activate_round(e, 0);
+               });
+}
+
+void Replica::reconfig_abort(EpochId e) {
+  if (!rcfg_ || rcfg_->next.epoch != e || rcfg_->decided) return;
+  rcfg_->decided = true;
+  const MembershipView next = rcfg_->next;
+  const SiteId subject = rcfg_->subject;
+  GDUR_DEBUG("site %d abandons reconfiguration to epoch %u",
+             static_cast<int>(id_), e);
+  log_reconfig(store::WalRecord::Kind::kReconfigAbort, next, id_,
+               [this, e, subject] {
+                 rcfg_.reset();
+                 auto parts = cl_.view(e > 0 ? e - 1 : 0).members;
+                 if (std::find(parts.begin(), parts.end(), subject) ==
+                     parts.end())
+                   parts.push_back(subject);
+                 for (SiteId s : parts) {
+                   if (s == id_) continue;
+                   ReconfigMsg m;
+                   m.kind = ReconfigMsg::Kind::kAbort;
+                   m.epoch = e;
+                   m.from = id_;
+                   m.bytes = 8;
+                   cl_.send_reconfig(id_, s, std::move(m));
+                 }
+               });
+}
+
+void Replica::activate_round(EpochId e, int round) {
+  if (round >= kActivateRounds) return;
+  const MembershipView& v = cl_.view(e);
+  const auto view = std::make_shared<const MembershipView>(v);
+  // Announce to every participant of the change: the new view's members and
+  // the base view's (so a retiree learns the view that excludes it).
+  auto parts = cl_.view(e > 0 ? e - 1 : 0).members;
+  for (SiteId s : v.members)
+    if (std::find(parts.begin(), parts.end(), s) == parts.end())
+      parts.push_back(s);
+  for (SiteId s : parts) {
+    if (s == id_) continue;
+    ReconfigMsg m;
+    m.kind = ReconfigMsg::Kind::kActivate;
+    m.epoch = e;
+    m.from = id_;
+    m.view = view;
+    m.bytes = 8u * view->members.size();
+    cl_.send_reconfig(id_, s, std::move(m));
+  }
+  const SimDuration delay =
+      cl_.vote_retry() * static_cast<SimDuration>(1 << std::min(round, 3));
+  cl_.run_after(id_, delay, [this, e, round] {
+    if (cl_.site_down(id_)) return;
+    activate_round(e, round + 1);
+  });
+}
+
+void Replica::on_reconfig(ReconfigMsg m) {
+  if (!cl_.reconfig_enabled()) return;
+  switch (m.kind) {
+    case ReconfigMsg::Kind::kPrepare:
+      handle_prepare(m);
+      break;
+    case ReconfigMsg::Kind::kAck: {
+      if (!rcfg_ || rcfg_->next.epoch != m.epoch || rcfg_->decided) return;
+      if (std::find(rcfg_->acked.begin(), rcfg_->acked.end(), m.from) ==
+          rcfg_->acked.end())
+        rcfg_->acked.push_back(m.from);
+      if (m.from == rcfg_->subject) rcfg_->joiner_acked = true;
+      // Agreement: a majority of the base view acked, and — for a join —
+      // the subject finished its state transfer. A retire deliberately does
+      // not wait for the subject: crashed sites must be retirable.
+      const MembershipView& base = cl_.view(m.epoch > 0 ? m.epoch - 1 : 0);
+      int base_acks = 0;
+      for (SiteId s : rcfg_->acked)
+        if (base.contains(s)) ++base_acks;
+      const bool joiner_ok =
+          rcfg_->kind != ReconfigKind::kJoin || rcfg_->joiner_acked;
+      if (base_acks >= base.majority() && joiner_ok) reconfig_commit(m.epoch);
+      break;
+    }
+    case ReconfigMsg::Kind::kActivate:
+      maybe_adopt_epoch(m.epoch);
+      break;
+    case ReconfigMsg::Kind::kAbort: {
+      if (pending_view_ && pending_view_->epoch == m.epoch) {
+        if (pending_subject_ == id_ &&
+            pending_kind_ == ReconfigKind::kRetire)
+          draining_ = false;
+        pending_view_.reset();
+        pending_coord_ = kNoSite;
+        pending_subject_ = kNoSite;
+        transfer_waiting_.clear();
+        transfer_done_ = false;
+        transfer_epoch_ = 0;
+      }
+      stream_to_.erase(std::remove_if(stream_to_.begin(), stream_to_.end(),
+                                      [&m](const StreamReg& r) {
+                                        return r.epoch == m.epoch;
+                                      }),
+                       stream_to_.end());
+      break;
+    }
+    case ReconfigMsg::Kind::kSnapRequest:
+      handle_snap_request(m);
+      break;
+    case ReconfigMsg::Kind::kSnapReply:
+      handle_snap_reply(m);
+      break;
+    case ReconfigMsg::Kind::kInstall:
+      apply_remote_commit(std::static_pointer_cast<const TxnRecord>(
+          std::const_pointer_cast<const void>(m.payload)));
+      break;
+  }
+}
+
+void Replica::handle_prepare(const ReconfigMsg& m) {
+  const auto ack = [this, &m] {
+    ReconfigMsg a;
+    a.kind = ReconfigMsg::Kind::kAck;
+    a.epoch = m.epoch;
+    a.from = id_;
+    a.bytes = 8;
+    cl_.send_reconfig(id_, m.from, std::move(a));
+  };
+  if (epoch_ >= m.epoch) {
+    // Stale or already-activated prepare: re-ack so a recovering
+    // coordinator's rounds terminate.
+    ack();
+    return;
+  }
+  if (pending_view_ && m.view && pending_view_->epoch == m.epoch &&
+      pending_view_->members != m.view->members) {
+    // Promise: this site already acked a different proposal for the same
+    // epoch. Acking both could let two conflicting views each gather an
+    // (intersecting) majority — stay silent and let one proposer give up.
+    return;
+  }
+  pending_view_ = m.view;
+  pending_kind_ = m.change;
+  pending_subject_ = m.subject;
+  pending_coord_ = m.from;
+  if (m.subject == id_ && m.change == ReconfigKind::kRetire) {
+    // Retirement drains this site: new update submissions are refused while
+    // in-flight certification completes. The site leaves quorums only when
+    // the new view activates.
+    draining_ = true;
+    ack();
+    return;
+  }
+  if (m.subject == id_ && m.change == ReconfigKind::kJoin) {
+    if (transfer_done_ && transfer_epoch_ == m.epoch) {
+      ack();  // a lost ack: the transfer already completed
+      return;
+    }
+    // (Re)start the state transfer. Every prepare round restarts it from
+    // scratch — that is the retry path for lost snapshot messages and for
+    // donors (or this joiner) crashing mid-transfer.
+    transfer_epoch_ = m.epoch;
+    transfer_done_ = false;
+    transfer_waiting_.clear();
+    const MembershipView& base = cl_.view(m.epoch > 0 ? m.epoch - 1 : 0);
+    const auto& part = cl_.partitioner();
+    // Group my hosted partitions by donor: the first live base-view member
+    // replicating the partition. A partition whose only replica is this
+    // site has no donor and nothing to transfer; one whose donors are all
+    // currently down must wait for the next prepare round.
+    std::vector<std::pair<SiteId, std::vector<PartitionId>>> donors;
+    for (PartitionId p : partitions_hosted(id_)) {
+      SiteId donor = kNoSite;
+      bool other_replica = false;
+      for (SiteId s : part.sites_of(p)) {
+        if (s == id_ || !base.contains(s)) continue;
+        other_replica = true;
+        if (cl_.site_down(s)) continue;
+        donor = s;
+        break;
+      }
+      if (donor == kNoSite) {
+        if (other_replica) return;  // all donors down: wait for a retry
+        continue;                   // sole replica: nothing to transfer
+      }
+      auto it = std::find_if(donors.begin(), donors.end(),
+                             [donor](const auto& d) { return d.first == donor; });
+      if (it == donors.end())
+        donors.push_back({donor, {p}});
+      else
+        it->second.push_back(p);
+    }
+    if (donors.empty()) {
+      transfer_done_ = true;
+      ack();
+      return;
+    }
+    for (auto& [donor, ps] : donors) {
+      transfer_waiting_.push_back(donor);
+      ReconfigMsg req;
+      req.kind = ReconfigMsg::Kind::kSnapRequest;
+      req.epoch = m.epoch;
+      req.from = id_;
+      req.parts = std::move(ps);
+      req.bytes = 8u * req.parts.size();
+      cl_.send_reconfig(id_, donor, std::move(req));
+    }
+    return;  // the ack is deferred until every snapshot reply arrived
+  }
+  ack();
+}
+
+void Replica::handle_snap_request(const ReconfigMsg& m) {
+  // Build the snapshot in one handler (atomic under the single-threaded
+  // site contract): the requested partitions' chains, the replica-wide
+  // version-index entries, and the WAL tail — then mark the log and
+  // compact it, making the shipped state the new snapshot point.
+  const auto& part = cl_.partitioner();
+  auto snap = std::make_shared<StoreSnapshot>();
+  for (ObjectId o : db_.object_ids_sorted()) {
+    const PartitionId p = part.partition_of(o);
+    if (std::find(m.parts.begin(), m.parts.end(), p) == m.parts.end())
+      continue;
+    snap->chains.emplace_back(o, *db_.chain(o));
+    if (auto it = latest_seq_.find(o); it != latest_seq_.end())
+      snap->latest_seq.emplace_back(o, it->second);
+  }
+  if (auto* wal = cl_.wal(id_)) {
+    snap->wal_tail = wal->serialize_tail();
+    wal->mark_snapshot();
+    wal->compact();
+  }
+  // Stream every subsequent apply of these partitions to the joiner until
+  // its epoch activates (a re-request just resets the registration).
+  stream_to_.erase(std::remove_if(stream_to_.begin(), stream_to_.end(),
+                                  [&m](const StreamReg& r) {
+                                    return r.to == m.from;
+                                  }),
+                   stream_to_.end());
+  stream_to_.push_back(StreamReg{m.from, m.epoch, m.parts});
+
+  std::uint64_t bytes = net::wire::control() + snap->wal_tail.size();
+  bytes += snap->chains.size() * (net::wire::kKey + net::wire::kPayload + 32);
+  // Snapshot assembly costs real CPU at the donor (one apply-sized charge
+  // per shipped object), off the reply's critical path.
+  const SimDuration cost =
+      cl_.cost().apply_per_obj * static_cast<SimDuration>(snap->chains.size());
+  cl_.run_local(id_, cost, [] {});
+
+  ReconfigMsg reply;
+  reply.kind = ReconfigMsg::Kind::kSnapReply;
+  reply.epoch = m.epoch;
+  reply.from = id_;
+  reply.payload = std::move(snap);
+  reply.bytes = bytes;
+  cl_.send_reconfig(id_, m.from, std::move(reply));
+}
+
+void Replica::handle_snap_reply(const ReconfigMsg& m) {
+  if (m.epoch != transfer_epoch_ || transfer_done_) return;
+  const auto it =
+      std::find(transfer_waiting_.begin(), transfer_waiting_.end(), m.from);
+  if (it == transfer_waiting_.end()) return;  // straggler from an old round
+  transfer_waiting_.erase(it);
+
+  const auto snap = std::static_pointer_cast<const StoreSnapshot>(m.payload);
+  for (const auto& [o, chain] : snap->chains) {
+    if (!chain.empty())
+      // Advance this site's clocks past the adopted versions BEFORE they
+      // land, so snapshots minted here can actually see them (a joiner
+      // starting at vector time zero would find every adopted version
+      // invisible).
+      cl_.oracle().on_propagate(id_, chain.latest().stamp);
+    db_.adopt_chain(o, chain);
+  }
+  if (cl_.spec().track_all_objects)
+    for (const auto& [o, s] : snap->latest_seq)
+      latest_seq_[o] = std::max(latest_seq_[o], s);
+  // WAL-tail catch-up: adopt the donor's decided outcomes so straggler
+  // votes and redelivered terminations are answered with the decision
+  // instead of reopening certification here.
+  for (const auto& rec : store::deserialize_records(snap->wal_tail)) {
+    if (rec.kind != store::WalRecord::Kind::kDecision) continue;
+    if (decided_cache_.count(rec.txn) != 0) continue;
+    decided_cache_.emplace(
+        rec.txn, Outcome{rec.flag, rec.flag ? obs::AbortReason::kNone
+                                            : obs::AbortReason::kCertConflict});
+    decided_fifo_.push_back(rec.txn);
+    if (decided_fifo_.size() > kDecidedCacheCap) {
+      decided_cache_.erase(decided_fifo_.front());
+      decided_fifo_.pop_front();
+    }
+  }
+  if (transfer_waiting_.empty()) {
+    transfer_done_ = true;
+    joiner_maybe_ack();
+  }
+}
+
+void Replica::joiner_maybe_ack() {
+  if (!transfer_done_ || pending_coord_ == kNoSite) return;
+  GDUR_DEBUG("site %d: state transfer for epoch %u complete",
+             static_cast<int>(id_), transfer_epoch_);
+  ReconfigMsg a;
+  a.kind = ReconfigMsg::Kind::kAck;
+  a.epoch = transfer_epoch_;
+  a.from = id_;
+  a.bytes = 8;
+  cl_.send_reconfig(id_, pending_coord_, std::move(a));
+}
+
+void Replica::apply_remote_commit(const TxnPtr& t) {
+  if (t == nullptr || known_outcome(t->id) != nullptr) return;
+  // A forwarded commit is an agreed outcome: decide() installs the writes
+  // and caches the decision, so a direct redelivery is a no-op later.
+  decide(t, true);
 }
 
 }  // namespace gdur::core

@@ -24,10 +24,12 @@
 #include "common/obj_set.h"
 #include "common/types.h"
 #include "core/conflict_index.h"
+#include "core/membership.h"
 #include "core/protocol_spec.h"
 #include "core/transaction.h"
 #include "obs/events.h"
 #include "store/mv_store.h"
+#include "store/wal.h"
 
 namespace gdur::core {
 
@@ -95,6 +97,37 @@ class Replica {
   /// rebuild prepared-transaction state, then re-votes / re-announces so
   /// in-doubt transactions terminate. Charges replay CPU.
   void on_recover();
+
+  // ------------------------------------------------------------------
+  // Membership / online reconfiguration (core/membership, DESIGN.md §12).
+  // ------------------------------------------------------------------
+  /// Highest configuration epoch this replica has activated. Lagging
+  /// replicas fast-forward through epoch gossip: every termination-protocol
+  /// message carries its transaction's epoch, and receiving a higher agreed
+  /// epoch activates it.
+  [[nodiscard]] EpochId epoch() const { return epoch_; }
+  /// True while a prepared retirement is draining this site (new update
+  /// transactions are refused; in-flight certification continues).
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// State shipped to a joining site by a snapshot donor: the object chains
+  /// of the requested partitions (version identities and stamps included),
+  /// the donor's replica-wide version index entries for those objects
+  /// (spec.track_all_objects), and the donor's serialized WAL tail for
+  /// decision catch-up.
+  struct StoreSnapshot {
+    std::vector<std::pair<ObjectId, store::ObjectChain>> chains;
+    std::vector<std::pair<ObjectId, std::uint64_t>> latest_seq;
+    std::vector<std::uint8_t> wal_tail;
+  };
+
+  /// Starts coordinating a membership change toward
+  /// membership().latest().with_joined/retired(subject). Returns false if a
+  /// reconfiguration is already in flight here (the cluster retries later).
+  bool reconfig_begin(ReconfigKind kind, SiteId subject);
+  /// Reconfiguration-protocol message (prepare/ack/activate/abort/state
+  /// transfer/forwarded install) from `m.from`.
+  void on_reconfig(ReconfigMsg m);
 
   /// In-doubt transactions currently tracked (hung-txn detection in tests).
   [[nodiscard]] std::size_t undecided_count() const {
@@ -198,6 +231,10 @@ class Replica {
   /// first announcement and fault-driven re-announcements.
   void send_vote_msgs(const TxnPtr& t, bool vote);
   void check_gc_outcome(const TxnPtr& t);
+  /// True when `voter` is the certification leader of one of the
+  /// transaction's vote partitions — the only votes group-communication
+  /// outcome evaluation counts under online reconfiguration.
+  [[nodiscard]] bool gc_vote_counts(const TxnRecord& t, SiteId voter) const;
   /// `reason` classifies an abort (ignored on commit): certification
   /// conflicts are the default; timeout paths pass kPresumedAbort.
   void decide(const TxnPtr& t, bool commit,
@@ -220,11 +257,44 @@ class Replica {
   void arm_term_timeout(const TxnPtr& t, int round);
   void send_2pc_decisions(const TxnPtr& t, bool commit);
   void process_queue_head();
+  /// Erases `term_[id]` after a straggler-safe delay — re-arming while the
+  /// id is still in the ordered queue, since process_queue_head() requires
+  /// every queued id to keep its termination state.
+  void schedule_term_gc(const TxnId& id);
   void apply_commit(const TxnPtr& t);
   void remove_from_q(const TxnId& id);
   void finish_coordinator(const TxnPtr& t, bool commit);
   [[nodiscard]] bool has_local_writes(const TxnRecord& t) const;
   [[nodiscard]] SimDuration certify_cost(const TxnRecord& t) const;
+
+  // --- membership helpers (all inert while !cluster().reconfig_enabled()) ---
+  /// Activates agreed epoch `e` if it is newer than the current one (epoch
+  /// gossip entry point — called with every received transaction's epoch).
+  void maybe_adopt_epoch(EpochId e);
+  void activate_epoch(EpochId e);
+  /// True iff this site participates in the view of epoch `e`.
+  [[nodiscard]] bool member_of(EpochId e) const;
+  /// Durably logs a reconfiguration record; `done` runs once stable (or
+  /// immediately when running without a WAL).
+  void log_reconfig(store::WalRecord::Kind kind, const MembershipView& v,
+                    SiteId coord, std::function<void()> done);
+  /// Coordinator: (re)broadcasts the prepare for epoch `e` with backoff
+  /// until acks complete or the proposal is abandoned.
+  void reconfig_round(EpochId e, int round);
+  void reconfig_commit(EpochId e);
+  void reconfig_abort(EpochId e);
+  /// Coordinator: rebroadcasts kActivate a few rounds (epoch gossip covers
+  /// any straggler afterwards).
+  void activate_round(EpochId e, int round);
+  void handle_prepare(const ReconfigMsg& m);
+  void handle_snap_request(const ReconfigMsg& m);
+  void handle_snap_reply(const ReconfigMsg& m);
+  /// Joining site: acks the prepare once every snapshot reply arrived.
+  void joiner_maybe_ack();
+  /// Applies a commit forwarded by a donor/coordinator to a site that was
+  /// not in the transaction's epoch (streamed catch-up and late installs).
+  void apply_remote_commit(const TxnPtr& t);
+  [[nodiscard]] std::vector<PartitionId> partitions_hosted(SiteId s) const;
 
   Cluster& cl_;
   SiteId id_;
@@ -257,6 +327,50 @@ class Replica {
   std::uint64_t txn_counter_ = 0;
   std::uint64_t coord_seq_ = 0;  // update-transaction serial (stamp identity)
   std::unordered_map<TxnId, std::function<void(bool)>> commit_cbs_;
+
+  // --- membership / reconfiguration state ---
+  /// Commits decided while reconfiguration is on, retained (bounded FIFO)
+  /// so activating a later epoch can re-forward installs that were decided
+  /// before this replica learned of the new view: the inline late-install
+  /// forwarding in decide() compares against epoch_ at decision time and
+  /// stays silent when the decision races ahead of activation.
+  std::deque<TxnPtr> recent_commits_;
+  static constexpr std::size_t kRecentCommitCap = 4096;
+  EpochId epoch_ = 0;       // highest activated epoch
+  bool draining_ = false;   // prepared retirement of this site
+  /// Reconfiguration-coordinator state for one in-flight proposal.
+  struct ReconfigCoord {
+    MembershipView next;
+    ReconfigKind kind = ReconfigKind::kJoin;
+    SiteId subject = kNoSite;
+    std::vector<SiteId> acked;  // deduped participant acks (self included)
+    bool joiner_acked = false;
+    bool decided = false;
+  };
+  std::optional<ReconfigCoord> rcfg_;
+  /// Participant side: the prepared (not yet activated) view.
+  std::shared_ptr<const MembershipView> pending_view_;
+  ReconfigKind pending_kind_ = ReconfigKind::kJoin;
+  SiteId pending_subject_ = kNoSite;
+  SiteId pending_coord_ = kNoSite;
+  // Joining-site transfer state (volatile: a crash restarts the transfer on
+  // the coordinator's next prepare round). `transfer_waiting_` holds the
+  // donors whose snapshot replies are still outstanding — a set, not a
+  // counter, so a straggler reply from a restarted round cannot complete a
+  // transfer it does not belong to.
+  std::vector<SiteId> transfer_waiting_;
+  EpochId transfer_epoch_ = 0;
+  bool transfer_done_ = false;
+  /// Donor side: partitions whose applies are streamed to a prepared joiner
+  /// until its epoch activates (then late-install forwarding takes over).
+  struct StreamReg {
+    SiteId to = kNoSite;
+    EpochId epoch = 0;
+    std::vector<PartitionId> parts;
+  };
+  std::vector<StreamReg> stream_to_;
+  static constexpr int kMaxReconfigRounds = 16;
+  static constexpr int kActivateRounds = 3;
 
   static constexpr int kMaxReadAttempts = 8;
   static constexpr SimDuration kReadRetryDelay = milliseconds(3);

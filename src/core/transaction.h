@@ -34,6 +34,11 @@ struct TxnRecord {
   std::vector<ReadEntry> reads;    // versions read, for certification
   versioning::TxnSnapshot snap;    // snapshot state built during execution
   versioning::Stamp stamp;         // version number minted at submit
+  /// Configuration epoch the coordinator ran in at submit time. Every
+  /// quorum computation for this transaction (vote destinations, 2PC vote
+  /// counts, Paxos majorities) is evaluated against the membership view of
+  /// this epoch, and votes from sites outside that view are rejected.
+  EpochId epoch = 0;
   SimTime begin_time = 0;
   SimTime submit_time = 0;
 

@@ -63,6 +63,12 @@ void Metrics::merge_from(const Metrics& o) {
     aborts_by_reason[i] += o.aborts_by_reason[i];
   for (std::size_t p = 0; p < obs::kPhaseCount; ++p)
     phase[p].merge_from(o.phase[p]);
+  // Sites that joined or retired mid-run report different epoch counts:
+  // widen to the longer history, then add element-wise.
+  if (committed_by_epoch.size() < o.committed_by_epoch.size())
+    committed_by_epoch.resize(o.committed_by_epoch.size(), 0);
+  for (std::size_t e = 0; e < o.committed_by_epoch.size(); ++e)
+    committed_by_epoch[e] += o.committed_by_epoch[e];
 }
 
 void Metrics::add_phase_report(const obs::TxnPhaseReport& r) {

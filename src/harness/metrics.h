@@ -4,8 +4,10 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/sim_time.h"
+#include "common/types.h"
 #include "obs/events.h"
 
 namespace gdur::obs {
@@ -66,6 +68,11 @@ struct Metrics {
   /// client flow whether or not a trace recorder is attached).
   std::array<std::uint64_t, obs::kAbortReasonCount> aborts_by_reason{};
 
+  /// Commits per configuration epoch, indexed by EpochId and sized on
+  /// demand: a site that joined (or retired) mid-run reports fewer epochs
+  /// than one that lived through the whole reconfiguration history.
+  std::vector<std::uint64_t> committed_by_epoch;
+
   /// Per-phase latency breakdown of committed update transactions, indexed
   /// by obs::Phase. Filled from TxnPhaseReports, so it is populated only
   /// when the run has a trace recorder attached (empty stats otherwise).
@@ -85,6 +92,15 @@ struct Metrics {
   }
   /// Folds one finished transaction's phase report into `phase`.
   void add_phase_report(const obs::TxnPhaseReport& r);
+
+  /// Counts one commit under the configuration epoch it ran in.
+  void note_commit_epoch(EpochId e) {
+    if (committed_by_epoch.size() <= e) committed_by_epoch.resize(e + 1, 0);
+    ++committed_by_epoch[e];
+  }
+  [[nodiscard]] std::uint64_t commits_in_epoch(EpochId e) const {
+    return e < committed_by_epoch.size() ? committed_by_epoch[e] : 0;
+  }
 
   [[nodiscard]] std::uint64_t committed() const {
     return committed_ro + committed_upd;

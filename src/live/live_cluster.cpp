@@ -372,6 +372,13 @@ void LiveCluster::propagate_stamp(SiteId from, const TxnRecord& t,
   }
 }
 
+void LiveCluster::send_reconfig(SiteId /*from*/, SiteId to,
+                                core::ReconfigMsg m) {
+  post(to, [this, to, m = std::move(m)]() mutable {
+    replica(to).on_reconfig(std::move(m));
+  });
+}
+
 // --- inbound dispatch (always on dst's mailbox thread) -----------------------
 
 const TxnPtr& LiveCluster::register_txn(SiteId dst, const TxnPtr& t) {

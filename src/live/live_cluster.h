@@ -98,6 +98,11 @@ class LiveCluster : public core::Cluster {
                      SiteId participant, bool vote, SiteId acceptor) override;
   void propagate_stamp(SiteId from, const core::TxnRecord& t,
                        const std::vector<SiteId>& dests) override;
+  /// Reconfiguration control messages take the in-process path: posted to
+  /// the destination site's mailbox, so handlers still run only on that
+  /// site's thread. (Live runs are fault-free; membership changes are rare
+  /// control traffic, not the measured data path.)
+  void send_reconfig(SiteId from, SiteId to, core::ReconfigMsg m) override;
 
   [[nodiscard]] std::uint64_t live_messages() const {
     return transport_live_->messages_sent();

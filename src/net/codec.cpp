@@ -150,6 +150,7 @@ void encode_txn(Writer& w, const core::TxnRecord& t,
                 std::uint64_t payload_bytes_per_write) {
   w.u32(t.id.coord);
   w.varint(t.id.seq);
+  w.varint(t.epoch);
   w.i64(t.begin_time);
   w.i64(t.submit_time);
   w.varint(t.rs.size());
@@ -177,10 +178,12 @@ std::optional<core::TxnRecord> decode_txn(Reader& r) {
   core::TxnRecord t;
   const auto coord = r.u32();
   const auto seq = r.varint();
+  const auto epoch = r.varint();
   const auto begin = r.i64();
   const auto submit = r.i64();
-  if (!coord || !seq || !begin || !submit) return std::nullopt;
+  if (!coord || !seq || !epoch || !begin || !submit) return std::nullopt;
   t.id = {*coord, *seq};
+  t.epoch = static_cast<EpochId>(*epoch);
   t.begin_time = *begin;
   t.submit_time = *submit;
 

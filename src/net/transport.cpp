@@ -15,7 +15,8 @@ Transport::Transport(sim::Simulator& simulator, Topology topology,
       cost_(cost),
       link_clock_(static_cast<std::size_t>(topo_.sites()) * topo_.sites(), 0),
       recv_clock_(static_cast<std::size_t>(topo_.sites()) * topo_.sites(), 0),
-      jitter_rng_(jitter_seed) {
+      jitter_rng_(jitter_seed),
+      retransmit_rng_(mix64(jitter_seed ^ 0x7265747261'6e73ull)) {
   cpus_.reserve(static_cast<std::size_t>(topo_.sites()));
   for (int s = 0; s < topo_.sites(); ++s)
     cpus_.push_back(std::make_unique<sim::CpuResource>(sim_, cores_per_site));
@@ -35,7 +36,7 @@ SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
                                     std::uint64_t bytes, SimTime departure) {
   const auto& rc = fault_->retransmit();
   SimTime attempt = departure;
-  SimDuration rto = rc.initial_rto;
+  SimDuration rto = std::min(rc.initial_rto, rc.max_rto);
   while (true) {
     const SimTime arrival = attempt + link_delay(src, dst, bytes);
     if (fault_->attempt(src, dst, attempt, arrival)) {
@@ -50,8 +51,13 @@ SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
     ++fstats_.dropped;
     if (trace_ != nullptr)
       trace_->fault(obs::FaultKind::kDrop, src, dst, attempt);
-    // The ack timer fires `rto` after the attempt; retransmit then.
-    attempt += rto;
+    // The ack timer fires `rto` (±rc.jitter, to desynchronize retry storms)
+    // after the attempt; retransmit then. The backoff stays capped at
+    // max_rto so a sender keeps probing a long partition instead of backing
+    // off into uselessness.
+    const double u = 2.0 * retransmit_rng_.next_double() - 1.0;  // [-1, 1)
+    attempt += std::max<SimDuration>(
+        1, rto + static_cast<SimDuration>(double(rto) * rc.jitter * u));
     rto = std::min(static_cast<SimDuration>(double(rto) * rc.backoff),
                    rc.max_rto);
     if (attempt - departure > rc.give_up) {

@@ -131,6 +131,10 @@ class Transport {
   std::vector<SimTime> link_clock_;  // arrival FIFO horizon per (src,dst)
   std::vector<SimTime> recv_clock_;  // receive-processing horizon per link
   Rng jitter_rng_;
+  /// Separate stream for retransmit-delay jitter: the backoff schedule must
+  /// not consume link-jitter draws (and vice versa), or installing a fault
+  /// plan would shift every subsequent link delay.
+  Rng retransmit_rng_;
   double jitter_ = 0.02;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;

@@ -68,6 +68,12 @@ struct RetransmitConfig {
   double backoff = 2.0;
   SimDuration max_rto = milliseconds(320);
   SimDuration give_up = seconds(10);
+  /// Fractional randomization (±jitter) of each backoff delay. Decorrelates
+  /// retry instants across senders so a healing partition is not hit by a
+  /// synchronized retry storm. Samples come from the transport's dedicated
+  /// retransmit Rng (seeded from its jitter seed), so the schedule stays a
+  /// pure function of the seeds.
+  double jitter = 0.1;
 };
 
 /// Knobs for FaultPlan::chaos().

@@ -7,6 +7,7 @@
 // collection the paper runs off the critical path via post_commit events.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +85,25 @@ class MVStore {
 
   /// Number of objects with at least one committed version.
   [[nodiscard]] std::size_t populated() const { return chains_.size(); }
+
+  // --- state transfer (online reconfiguration, DESIGN.md §12) ---------------
+
+  /// Ids of all populated objects, ascending. Snapshot donors iterate this
+  /// so a transfer is deterministic regardless of hash-map order.
+  [[nodiscard]] std::vector<ObjectId> object_ids_sorted() const {
+    std::vector<ObjectId> ids;
+    ids.reserve(chains_.size());
+    for (const auto& [o, c] : chains_) ids.push_back(o);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Installs a whole chain received in a snapshot, replacing any local one.
+  /// Used by a joining site; bypasses install-observer bookkeeping on
+  /// purpose — snapshot state predates the joiner's participation.
+  void adopt_chain(ObjectId o, ObjectChain chain) {
+    chains_[o] = std::move(chain);
+  }
 
  private:
   std::unordered_map<ObjectId, ObjectChain> chains_;

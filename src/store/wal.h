@@ -15,6 +15,15 @@
 // still waiting for their fsync (exactly the durability contract of a real
 // log), and core::Replica::on_recover replays the stable ones to rebuild
 // the prepared-transaction state the crash wiped out.
+//
+// The log additionally supports snapshot marks and compaction (the stable
+// prefix up to a mark is captured elsewhere — a store snapshot — and can be
+// dropped), and a real byte format: length-prefixed, checksummed records
+// that survive torn writes. Both exist for online reconfiguration: a
+// joining site receives a store snapshot plus the serialized WAL tail, and
+// the decoder tolerates a tail truncated mid-record or ending in a
+// partially-written length prefix (it replays every complete record and
+// stops at the first damaged one, like any production log replayer).
 #pragma once
 
 #include <cstdint>
@@ -30,19 +39,42 @@
 
 namespace gdur::store {
 
-/// One durable state change of the termination protocol (§5.3). `payload`
-/// is the immutable TxnRecord for replay; the log layer does not inspect it.
+/// One durable state change of the termination protocol (§5.3) or of the
+/// reconfiguration protocol (DESIGN.md §12). `payload` is the immutable
+/// record for replay (a core::TxnRecord for termination kinds, a
+/// core::MembershipView for reconfiguration kinds); the log layer does not
+/// inspect it.
 struct WalRecord {
   enum class Kind : std::uint8_t {
-    kDeliver,   // termination message entered the queue Q
-    kVote,      // certification vote cast (flag = the vote)
-    kDecision,  // commitment outcome learned (flag = commit)
+    kDeliver,          // termination message entered the queue Q
+    kVote,             // certification vote cast (flag = the vote)
+    kDecision,         // commitment outcome learned (flag = commit)
+    kReconfigPrepare,  // membership change proposed (txn.coord = reconfig
+                       // coordinator, epoch = the epoch being created)
+    kReconfigCommit,   // membership change agreed / activated here
+    kReconfigAbort,    // membership change abandoned
   };
   Kind kind = Kind::kDeliver;
   TxnId txn;
   bool flag = false;
+  /// Configuration epoch the record belongs to (reconfiguration kinds: the
+  /// epoch being created; termination kinds: the transaction's epoch).
+  EpochId epoch = 0;
   std::shared_ptr<const void> payload;
 };
+
+/// Encodes records into the on-disk byte format: per record a varint body
+/// length, the body, and a 32-bit FNV-1a checksum of the body.
+[[nodiscard]] std::vector<std::uint8_t> serialize_records(
+    const std::vector<WalRecord>& records);
+
+/// Decodes as many complete, checksummed records as `bytes` holds. Torn
+/// tails — a record truncated mid-body, a trailing partially-written length
+/// prefix, or a checksum mismatch — end the replay at the last good record
+/// instead of failing it; `torn` (optional) reports whether trailing bytes
+/// were discarded.
+[[nodiscard]] std::vector<WalRecord> deserialize_records(
+    const std::vector<std::uint8_t>& bytes, bool* torn = nullptr);
 
 struct WalConfig {
   /// Latency of one stable write (fsync) to the log device.
@@ -73,6 +105,21 @@ class WriteAheadLog {
   /// survives a crash and what recovery replays.
   [[nodiscard]] const std::vector<WalRecord>& stable() const { return stable_; }
 
+  /// Marks a snapshot point: the stable prefix up to here is captured by a
+  /// store snapshot, so compact() may drop it. Recovery after compaction
+  /// replays only the tail — the store carries the prefix.
+  void mark_snapshot() {
+    snapshot_pos_ = stable_.size();
+    ++snapshots_;
+  }
+
+  /// Drops stable records before the last snapshot mark (log compaction).
+  void compact();
+
+  /// Serialized bytes of the stable tail (records at or after the last
+  /// snapshot mark) — what a state transfer ships alongside the snapshot.
+  [[nodiscard]] std::vector<std::uint8_t> serialize_tail() const;
+
   /// Crash with state loss: records still awaiting their fsync are gone and
   /// their completion callbacks never run; the in-flight sync is abandoned.
   void on_crash();
@@ -80,6 +127,8 @@ class WriteAheadLog {
   [[nodiscard]] std::uint64_t appends() const { return appends_; }
   [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
   [[nodiscard]] std::uint64_t bytes_logged() const { return bytes_; }
+  [[nodiscard]] std::uint64_t snapshots() const { return snapshots_; }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
   /// Records waiting for a sync (diagnostics).
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
@@ -95,11 +144,14 @@ class WriteAheadLog {
   };
   std::deque<Record> pending_;
   std::vector<WalRecord> stable_;
+  std::size_t snapshot_pos_ = 0;  // index of the first post-snapshot record
   bool sync_in_flight_ = false;
   std::uint64_t epoch_ = 0;  // bumped on crash; orphans the in-flight sync
   std::uint64_t appends_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t snapshots_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace gdur::store

@@ -123,6 +123,7 @@ class TxnFlow : public std::enable_shared_from_this<TxnFlow> {
       ++metrics_.exec_failures;
     } else if (committed) {
       (read_only ? metrics_.committed_ro : metrics_.committed_upd)++;
+      metrics_.note_commit_epoch(t.epoch);
       metrics_.txn_latency.add(now - begin_req_);
       if (!read_only) metrics_.upd_term_latency.add(now - term_req);
     } else {

@@ -17,7 +17,11 @@
 #include <optional>
 
 #include "core/cluster.h"
+#include "net/topology.h"
+#include "net/transport.h"
 #include "protocols/protocols.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
 
 namespace gdur::core {
 namespace {
@@ -133,6 +137,58 @@ TEST(Failures, NonParticipantPauseIsInvisibleToTwoPc) {
   ASSERT_TRUE(out->has_value());
   EXPECT_TRUE((*out)->committed);
   EXPECT_LT((*out)->at, milliseconds(200));
+}
+
+// --- transport retransmit: backoff cap and seeded jitter --------------------
+
+TEST(Retransmit, BackoffIsCappedUnderALongBlackout) {
+  // A link dark for 2 s with max_rto = 40 ms: if the backoff kept doubling
+  // past the cap, the sender would make only ~log2 attempts and rediscover
+  // the healed link late; capped, it keeps probing roughly every 40 ms and
+  // delivers within about one RTO of the heal.
+  sim::Simulator sim;
+  net::Transport net(sim, net::Topology::uniform(2, milliseconds(1)));
+  sim::FaultPlan plan;
+  plan.blackout(0, 1, 0, seconds(2));
+  plan.retransmit.initial_rto = milliseconds(10);
+  plan.retransmit.max_rto = milliseconds(40);
+  plan.retransmit.give_up = seconds(5);
+  sim::FaultInjector fi(plan, 7);
+  net.set_fault_injector(&fi);
+  SimTime at = sim::kNever;
+  sim.at(0, [&] { net.send(0, 1, 64, [&] { at = sim.now(); }); });
+  sim.run();
+  ASSERT_NE(at, sim::kNever);
+  EXPECT_GT(at, seconds(2));
+  EXPECT_LT(at, seconds(2) + milliseconds(60))
+      << "a capped RTO probes the healed link within ~max_rto (+jitter)";
+  EXPECT_GE(net.fault_stats().retransmissions, 40u)
+      << "with the cap the sender probes ~every 40 ms, not exponentially";
+}
+
+TEST(Retransmit, JitterIsDeterministicPerSeedAndDecorrelatesSchedules) {
+  // Same seed -> byte-identical retry schedule (reproducible faulty runs);
+  // different seeds -> different retry instants (no synchronized storm).
+  // Link jitter is zeroed so only the retransmit jitter can differ.
+  const auto delivery_time = [](std::uint64_t jitter_seed) {
+    sim::Simulator sim;
+    net::Transport net(sim, net::Topology::uniform(2, milliseconds(1)),
+                       sim::CostModel{}, 4, jitter_seed);
+    net.set_jitter(0.0);
+    sim::FaultPlan plan;
+    plan.blackout(0, 1, 0, milliseconds(500));
+    plan.retransmit.max_rto = milliseconds(40);
+    sim::FaultInjector fi(plan, 7);
+    net.set_fault_injector(&fi);
+    SimTime at = sim::kNever;
+    sim.at(0, [&] { net.send(0, 1, 64, [&] { at = sim.now(); }); });
+    sim.run();
+    return at;
+  };
+  EXPECT_EQ(delivery_time(11), delivery_time(11))
+      << "the retry schedule is a pure function of the seed";
+  EXPECT_NE(delivery_time(11), delivery_time(12))
+      << "different seeds must desynchronize the retry instants";
 }
 
 class PaxosEngine : public ::testing::TestWithParam<const char*> {};

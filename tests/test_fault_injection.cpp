@@ -203,7 +203,7 @@ TEST(WalCrash, UnsyncedRecordsAreLostAndSyncedOnesSurvive) {
   sim.at(0, [&] {
     wal.append(64,
                store::WalRecord{store::WalRecord::Kind::kVote, TxnId{0, 1},
-                                true, nullptr},
+                                true, 0, nullptr},
                [&] { first_done = true; });
   });
   // The first sync (2ms device time) completes; crash while the second
@@ -211,7 +211,7 @@ TEST(WalCrash, UnsyncedRecordsAreLostAndSyncedOnesSurvive) {
   sim.at(milliseconds(5), [&] {
     wal.append(64,
                store::WalRecord{store::WalRecord::Kind::kVote, TxnId{0, 2},
-                                false, nullptr},
+                                false, 0, nullptr},
                [&] { second_done = true; });
   });
   sim.at(milliseconds(6), [&] { wal.on_crash(); });

@@ -137,6 +137,48 @@ TEST(MetricsMerge, AddsCountersReasonsAndPhaseStats) {
   EXPECT_EQ(a.phase[0].count(), 700u);
 }
 
+TEST(MetricsMerge, DifferentEpochCountsWidenToTheLongerHistory) {
+  // An elastic run: site A lived through epochs 0..2, site B joined at
+  // epoch 1 and saw only 1..2, site C retired before any reconfiguration
+  // and reports epoch 0 alone. The merge must align by epoch, not by index
+  // arithmetic on equal-length vectors.
+  Metrics a, b, c;
+  for (int i = 0; i < 4; ++i) a.note_commit_epoch(0);
+  for (int i = 0; i < 2; ++i) a.note_commit_epoch(1);
+  a.note_commit_epoch(2);
+  for (int i = 0; i < 3; ++i) b.note_commit_epoch(1);
+  for (int i = 0; i < 5; ++i) b.note_commit_epoch(2);
+  for (int i = 0; i < 7; ++i) c.note_commit_epoch(0);
+
+  Metrics merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  merged.merge_from(c);
+  ASSERT_EQ(merged.committed_by_epoch.size(), 3u);
+  EXPECT_EQ(merged.commits_in_epoch(0), 11u);
+  EXPECT_EQ(merged.commits_in_epoch(1), 5u);
+  EXPECT_EQ(merged.commits_in_epoch(2), 6u);
+  EXPECT_EQ(merged.commits_in_epoch(3), 0u) << "unknown epochs read as zero";
+
+  // Merging the short history into the long one must not shrink it.
+  Metrics reversed;
+  reversed.merge_from(b);
+  reversed.merge_from(c);
+  reversed.merge_from(a);
+  ASSERT_EQ(reversed.committed_by_epoch.size(), 3u);
+  for (EpochId e = 0; e < 3; ++e)
+    EXPECT_EQ(reversed.commits_in_epoch(e), merged.commits_in_epoch(e));
+}
+
+TEST(MetricsMerge, NoteCommitEpochGrowsOnDemand) {
+  Metrics m;
+  EXPECT_TRUE(m.committed_by_epoch.empty());
+  m.note_commit_epoch(5);
+  ASSERT_EQ(m.committed_by_epoch.size(), 6u);
+  EXPECT_EQ(m.commits_in_epoch(5), 1u);
+  for (EpochId e = 0; e < 5; ++e) EXPECT_EQ(m.commits_in_epoch(e), 0u);
+}
+
 // The live-mode shape: each "site" collects into its own Metrics on its own
 // thread (no sharing, no locks — exactly like live_runner's SiteCollectors),
 // and the harness merges after joining. The merged result must be bit-equal

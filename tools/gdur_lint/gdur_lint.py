@@ -25,6 +25,14 @@ Rules
                            choose, ac, xcast, certifying, vote_snd,
                            vote_recv, commute, certify) or inherit a named
                            default via `auto s = other_factory();`.
+  membership/hardcoded-sites
+                           a counter loop over the whole site universe
+                           (`for (SiteId s = 0; s < ...sites(); ++s)` and
+                           n_sites variants) in src/{core,protocols,comm} —
+                           destinations and quorums must flow through the
+                           MembershipView of the transaction's epoch, or the
+                           loop silently includes retired sites and excludes
+                           joiners.
   thread/guarded-by        a field declared GUARDED_BY(mu) is referenced in a
                            function body that neither holds a MutexLock on
                            mu, nor is annotated REQUIRES(mu) (at any
@@ -71,6 +79,7 @@ RULES = {
     "determinism/unordered-iter",
     "live/blocking-call",
     "protocol/spec-complete",
+    "membership/hardcoded-sites",
     "thread/guarded-by",
     "lint/bad-allow",
     "build/untracked-tu",
@@ -110,6 +119,17 @@ BLOCKING_PATTERNS = [
 
 UNORDERED_DIRS = ("src/core/", "src/sim/", "src/protocols/", "src/obs/",
                   "src/comm/", "src/checker/")
+
+MEMBERSHIP_DIRS = ("src/core/", "src/protocols/", "src/comm/")
+
+# `for (SiteId s = 0; s < <count of sites>; ++s)` — a loop over the whole
+# site universe. Matches sites()/n_sites/num_sites/.sites bounds; the loop
+# variable must start at 0 (slices and partition-replica loops don't).
+HARDCODED_SITES_RE = re.compile(
+    r"for\s*\(\s*(?:core\s*::\s*)?(?:SiteId|int|unsigned|long|std::uint\d+_t"
+    r"|std::size_t|size_t|auto)\s+(\w+)\s*=\s*0\s*;[^;]*?\b\1\s*<[^;]*?"
+    r"(?:\bsites\s*\(\)|\bn_sites\b|\bnum_sites\b|\.sites\b|->\s*sites\b)"
+    r"[^;]*;")
 
 ALLOW_RE = re.compile(r"//\s*gdur-lint:\s*allow\(([^)]*)\)(.*)")
 EXPECT_RE = re.compile(r"//\s*expect:\s*([\w/\-]+)")
@@ -444,6 +464,18 @@ def check_unordered_iter(sf: SourceFile, unordered: set[str],
                 f"copy of the keys or switch to an ordered container"))
 
 
+def check_hardcoded_sites(sf: SourceFile, diags: list[Diag]) -> None:
+    for m in HARDCODED_SITES_RE.finditer(sf.code):
+        line = sf.line_of(m.start())
+        diags.append(Diag(
+            sf.path, line, "membership/hardcoded-sites",
+            "loop over the whole site universe: destinations and quorums "
+            "must flow through the MembershipView of the transaction's "
+            "epoch (view(e).members / view(e).filter(...)), or the loop "
+            "includes retired sites and misses joiners; if it is genuinely "
+            "membership-independent, allow() it with the reason"))
+
+
 SPEC_FN_RE = re.compile(r"\bProtocolSpec\b")
 FRESH_SPEC_RE = re.compile(r"\b(?:core\s*::\s*)?ProtocolSpec\s+([A-Za-z_]\w*)\s*;")
 INHERIT_RE = re.compile(r"\bauto\s+([A-Za-z_]\w*)\s*=\s*[A-Za-z_][\w:]*\s*\(")
@@ -646,6 +678,10 @@ def in_scope_spec(path: str) -> bool:
     return path.startswith("src/protocols/") and path.endswith(".cpp")
 
 
+def in_scope_membership(path: str) -> bool:
+    return path.startswith(MEMBERSHIP_DIRS)
+
+
 def run_rules(files: list[SourceFile]) -> list[Diag]:
     diags: list[Diag] = []
     unordered = collect_unordered_names(files)
@@ -672,6 +708,8 @@ def run_rules(files: list[SourceFile]) -> list[Diag]:
                 "block (in poll())", diags)
         if in_scope_spec(sf.path):
             check_spec_complete(sf, diags)
+        if in_scope_membership(sf.path):
+            check_hardcoded_sites(sf, diags)
         unit = norm(os.path.splitext(sf.path)[0])
         check_guarded_by(sf, guarded_by_unit.get(unit, []), requires_map,
                          diags)
