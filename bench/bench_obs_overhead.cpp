@@ -1,0 +1,211 @@
+// Observability-plane overhead: committed transactions per wall-clock
+// second with the plane attached vs. detached, in both execution modes.
+//
+//   * sim  — bench_selfperf's default scenario (Workload A, 4 sites) per
+//     protocol, measuring what the always-on counters/rings cost the
+//     simulator's hot loop.
+//   * live — bench_live_loopback's scenario over real sockets, where
+//     "plane on" also includes the snapshot attendant thread (watchdog
+//     scans + periodic time-series sampling), i.e. the full production
+//     telemetry configuration.
+//
+// The plane's contract (DESIGN.md §13) is that telemetry-on stays within a
+// few percent of telemetry-off; this bench is how that claim is measured.
+// Overhead is wall-clock sensitive — compare runs on the same idle host and
+// treat single-digit negative overhead as noise (see EXPERIMENTS.md).
+//
+// Output: a table on stdout and a JSON report (BENCH_obs_overhead.json by
+// default) with one record per (mode, protocol): tps with the plane off,
+// tps with it on, and overhead_pct = (off - on) / off * 100.
+//
+// Flags:
+//   --short       smaller windows / fewer clients (CI smoke mode)
+//   --sim-only    skip the live-socket half (e.g. constrained CI runners)
+//   --out FILE    JSON report path (default BENCH_obs_overhead.json)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "live/live_runner.h"
+#include "obs/plane.h"
+
+using namespace gdur;
+
+namespace {
+
+struct OverheadResult {
+  std::string mode;  // "sim" | "live"
+  std::string protocol;
+  double tps_off = 0;
+  double tps_on = 0;
+  double overhead_pct = 0;
+  std::uint64_t violations = 0;  // plane-on run must stay clean
+  std::uint64_t trips = 0;
+};
+
+/// Median of per-pair off/on ratios, as overhead %. Each ratio comes from
+/// two runs adjacent in time, so slow host-load drift cancels; the median
+/// then discards bursts that land inside a single run.
+double median_overhead_pct(std::vector<double> ratios) {
+  if (ratios.empty()) return 0;
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t n = ratios.size();
+  const double mid = n % 2 == 1 ? ratios[n / 2]
+                                : (ratios[n / 2 - 1] + ratios[n / 2]) / 2;
+  return (mid - 1.0) * 100.0;
+}
+
+/// Simulated committed txns per wall second for one (protocol, plane) pair.
+double sim_tps(const std::string& protocol, harness::ExperimentConfig cfg,
+               obs::ObsPlane* plane) {
+  cfg.cluster.plane = plane;
+  const auto spec = protocols::by_name(protocol);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = harness::run_experiment(spec, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  return wall > 0 ? static_cast<double>(r.committed) / wall : 0;
+}
+
+OverheadResult measure_sim(const std::string& protocol,
+                           const harness::ExperimentConfig& cfg,
+                           int repeats) {
+  OverheadResult out;
+  out.mode = "sim";
+  out.protocol = protocol;
+  // Each repeat measures one time-adjacent off/on pair. Each pair gets a
+  // FRESH plane — txn ids restart from zero every run, so a reused monitor
+  // would compare run N's outcomes against run N-1's and report phantom
+  // violations.
+  std::vector<double> ratios;
+  for (int i = 0; i < repeats; ++i) {
+    const double off = sim_tps(protocol, cfg, nullptr);
+    obs::ObsPlaneConfig pc;
+    pc.sites = cfg.cluster.sites;
+    pc.single_writer = true;  // the simulator thread owns every record call
+    obs::ObsPlane plane(pc);
+    const double on = sim_tps(protocol, cfg, &plane);
+    if (on > 0) ratios.push_back(off / on);
+    out.tps_off = std::max(out.tps_off, off);
+    out.tps_on = std::max(out.tps_on, on);
+    out.violations += plane.invariants().violations();
+    out.trips += plane.watchdog().trips();
+  }
+  out.overhead_pct = median_overhead_pct(std::move(ratios));
+  return out;
+}
+
+OverheadResult measure_live(const std::string& protocol,
+                            live::LiveRunConfig cfg, int repeats) {
+  OverheadResult out;
+  out.mode = "live";
+  out.protocol = protocol;
+  cfg.protocol = protocol;
+  std::vector<double> ratios;
+  for (int i = 0; i < repeats; ++i) {
+    cfg.plane = nullptr;
+    const double off = live::run_live(cfg).throughput_tps;
+    // Fresh plane per repeat (see measure_sim); live mode keeps the
+    // default multi-writer record path.
+    obs::ObsPlane plane(obs::ObsPlaneConfig{cfg.sites});
+    cfg.plane = &plane;
+    const auto r = live::run_live(cfg);
+    if (r.throughput_tps > 0) ratios.push_back(off / r.throughput_tps);
+    out.tps_off = std::max(out.tps_off, off);
+    out.tps_on = std::max(out.tps_on, r.throughput_tps);
+    out.violations += r.invariant_violations;
+    out.trips += r.watchdog_trips;
+  }
+  out.overhead_pct = median_overhead_pct(std::move(ratios));
+  return out;
+}
+
+void append_json(std::string& json, const OverheadResult& r, bool last) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"mode\": \"%s\", \"protocol\": \"%s\", "
+                "\"tps_off\": %.1f, \"tps_on\": %.1f, "
+                "\"overhead_pct\": %.2f, \"violations\": %llu, "
+                "\"trips\": %llu}%s\n",
+                r.mode.c_str(), r.protocol.c_str(), r.tps_off, r.tps_on,
+                r.overhead_pct,
+                static_cast<unsigned long long>(r.violations),
+                static_cast<unsigned long long>(r.trips), last ? "" : ",");
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  bool sim_only = false;
+  const char* out_path = "BENCH_obs_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--sim-only") == 0) sim_only = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  // bench_selfperf's "default" scenario, exactly.
+  auto sim_cfg = bench::base_config(4, /*replication=*/1,
+                                    workload::WorkloadSpec::A(0.9));
+  sim_cfg.clients = short_mode ? 128 : 256;
+  sim_cfg.warmup = seconds(0.3);
+  sim_cfg.window = short_mode ? seconds(0.5) : seconds(1.0);
+
+  live::LiveRunConfig live_cfg;
+  live_cfg.sites = 3;
+  live_cfg.clients = short_mode ? 16 : 32;
+  live_cfg.secs = short_mode ? 0.8 : 2.0;
+  live_cfg.workload = workload::WorkloadSpec::A(0.8);
+
+  const std::vector<std::string> sim_names{
+      "P-Store", "S-DUR", "GMU", "Serrano", "Walter", "Jessy2pc", "RC"};
+  // The live half is wall-clock expensive; three protocols span the AC
+  // kinds (group comm, 2PC, Paxos commit).
+  const std::vector<std::string> live_names{"S-DUR", "Jessy2pc", "RC"};
+
+  std::vector<OverheadResult> results;
+  std::printf("# Observability-plane overhead: committed txns per wall "
+              "second, plane off vs on\n");
+  std::printf("%-5s %-10s %12s %12s %10s %6s %6s\n", "mode", "protocol",
+              "tps_off", "tps_on", "overhead%", "viol", "trips");
+
+  bool clean = true;
+  auto show = [&](const OverheadResult& r) {
+    std::printf("%-5s %-10s %12.1f %12.1f %9.2f%% %6llu %6llu\n",
+                r.mode.c_str(), r.protocol.c_str(), r.tps_off, r.tps_on,
+                r.overhead_pct, static_cast<unsigned long long>(r.violations),
+                static_cast<unsigned long long>(r.trips));
+    // A fault-free bench run must never trip the monitor or the watchdog.
+    clean = clean && r.violations == 0 && r.trips == 0;
+    results.push_back(r);
+  };
+
+  const int sim_repeats = short_mode ? 3 : 5;
+  const int live_repeats = short_mode ? 1 : 3;
+  for (const auto& name : sim_names)
+    show(measure_sim(name, sim_cfg, sim_repeats));
+  if (!sim_only)
+    for (const auto& name : live_names)
+      show(measure_live(name, live_cfg, live_repeats));
+
+  double worst = 0;
+  for (const auto& r : results) worst = std::max(worst, r.overhead_pct);
+  std::printf("\n# worst overhead: %.2f%% (target: <= 5%% on the sim "
+              "default scenario)\n", worst);
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i)
+    append_json(json, results[i], i + 1 == results.size());
+  json += "]\n";
+  std::ofstream out(out_path, std::ios::binary);
+  out << json;
+  std::printf("# wrote %zu records to %s\n", results.size(), out_path);
+  return clean ? 0 : 1;
+}

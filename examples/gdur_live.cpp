@@ -19,16 +19,22 @@
 //   --delay-scale D   emulated link delay = topology latency x D (default 0)
 //   --seed N          workload seed (default 42)
 //   --no-check        skip history checking
+//   --obs             attach the observability plane (telemetry + flight
+//                     recorder + stall watchdog + invariant monitor)
+//   --snapshot PFX    with --obs: write PFX.json / PFX.prom snapshots every
+//                     second and flight dumps to PFX.flight.txt
 //
 // Exit status: nonzero if any run violates its criterion, commits nothing,
-// or leaves a client hung.
+// leaves a client hung, or (with --obs) trips the watchdog or an invariant.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "live/live_runner.h"
+#include "obs/plane.h"
 
 using namespace gdur;
 
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
   std::string protocol = "P-Store";
   double ro = 0.8;
   std::string workload = "A";
+  bool with_obs = false;
+  std::string snapshot_prefix;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--protocol") == 0 && i + 1 < argc) {
@@ -74,6 +82,11 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, i, a));
     } else if (std::strcmp(a, "--no-check") == 0) {
       cfg.check = false;
+    } else if (std::strcmp(a, "--obs") == 0) {
+      with_obs = true;
+    } else if (std::strcmp(a, "--snapshot") == 0 && i + 1 < argc) {
+      with_obs = true;
+      snapshot_prefix = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s (see header comment)\n", a);
       return 2;
@@ -95,9 +108,22 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const auto& p : protocols) {
     cfg.protocol = p;
+    // One plane per run: counters and verdicts are per-protocol.
+    std::unique_ptr<obs::ObsPlane> plane;
+    if (with_obs) {
+      obs::ObsPlaneConfig pc;
+      pc.sites = cfg.sites;
+      plane = std::make_unique<obs::ObsPlane>(pc);
+      cfg.plane = plane.get();
+      cfg.snapshot_prefix =
+          protocols.size() > 1 && !snapshot_prefix.empty()
+              ? snapshot_prefix + "." + p
+              : snapshot_prefix;
+    }
     const auto r = live::run_live(cfg);
     const bool ok = r.checker_ok && r.metrics.committed() > 0 &&
-                    r.hung_clients == 0;
+                    r.hung_clients == 0 && r.watchdog_trips == 0 &&
+                    r.invariant_violations == 0;
     all_ok = all_ok && ok;
     std::printf("%-10s %-5s %10llu %10llu %9.0f %10llu  %s\n",
                 r.protocol.c_str(), r.criterion.c_str(),
@@ -113,6 +139,13 @@ int main(int argc, char** argv) {
                   r.hung_clients);
     if (r.metrics.committed() == 0)
       std::printf("  WARNING: zero committed transactions\n");
+    if (r.watchdog_trips > 0)
+      std::printf("  WARNING: watchdog tripped %llu time(s)\n",
+                  static_cast<unsigned long long>(r.watchdog_trips));
+    if (r.invariant_violations > 0)
+      std::printf("  WARNING: %llu invariant violation(s)\n",
+                  static_cast<unsigned long long>(r.invariant_violations));
+    cfg.plane = nullptr;
   }
   return all_ok ? 0 : 1;
 }

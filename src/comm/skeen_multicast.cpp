@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/plane.h"
+
 namespace gdur::comm {
 
 namespace {
@@ -91,6 +93,9 @@ void SkeenMulticast::on_step1(SiteId at, const McastMsg& msg) {
 
 void SkeenMulticast::send_proposal(SiteId at, std::uint64_t id, TsKey prop,
                                    const std::vector<SiteId>& dests) {
+  if (auto* p = net_.plane())
+    p->slot(at).record(obs::Counter::kOrderingMsgs,
+                       static_cast<std::uint64_t>(dests.size()));
   for (SiteId d : dests) {
     if (d == at) {
       on_proposal(at, id, prop);
@@ -193,6 +198,12 @@ void SkeenMulticast::arm_recovery(SiteId at, std::uint64_t id) {
       // in a crash window. finalize() re-runs it; it is idempotent.
       finalize(at, p);
     } else {
+      // A wedge candidate: the ordering layer is re-driving a message whose
+      // proposals went missing — exactly what the flight recorder should
+      // still hold when the watchdog trips on the stalled queue behind it.
+      if (auto* pl = net_.plane())
+        pl->ring(at).append("skeen_rerequest", net_.simulator().now(), at,
+                            id);
       // Re-request every proposal still missing, attaching our copy of the
       // message for proposers whose step 1 died with a crash.
       const std::vector<SiteId>& proposers =

@@ -29,6 +29,10 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
                                           cfg.seed * 131 + 11);
   oracle_ = versioning::make_oracle(spec_.theta, part_);
 
+  // Observability attachments are wired before the replicas exist: each
+  // replica caches its plane slot/ring pointers at construction.
+  plane_ = cfg.plane;
+
   replicas_.reserve(static_cast<std::size_t>(cfg.sites));
   // gdur-lint: allow(membership/hardcoded-sites) bootstrap builds one replica per universe site; membership fences participation
   for (SiteId s = 0; s < static_cast<SiteId>(cfg.sites); ++s)
@@ -59,6 +63,7 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
   vote_retry_ = cfg.vote_retry;
   trace_ = cfg.trace;
   net_->set_trace(trace_);
+  net_->set_plane(plane_);
   if (!cfg.faults.empty()) {
     assert((cfg.faults.crashes.empty() || cfg.durable) &&
            "crash windows need durable=true: recovery replays the WAL");
@@ -72,11 +77,17 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
         replicas_[c.site]->on_crash();
         if (trace_ != nullptr)
           trace_->fault(obs::FaultKind::kCrash, c.site, kNoSite, sim_.now());
+        if (plane_ != nullptr) {
+          plane_->ring(c.site).append("crash", sim_.now(), c.site);
+          plane_->dump_flight("crash");
+        }
       });
       sim_.at(c.recover_at, [this, s = c.site] {
         replicas_[s]->on_recover();
         if (trace_ != nullptr)
           trace_->fault(obs::FaultKind::kRecovery, s, kNoSite, sim_.now());
+        if (plane_ != nullptr)
+          plane_->ring(s).append("recover", sim_.now(), s);
       });
     }
   }

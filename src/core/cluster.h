@@ -19,6 +19,7 @@
 #include "core/replica.h"
 #include "core/transaction.h"
 #include "net/transport.h"
+#include "obs/plane.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -63,6 +64,13 @@ struct ClusterConfig {
   /// check on this pointer, so a trace-free run is byte-identical to one
   /// built before the observability layer existed.
   obs::TraceRecorder* trace = nullptr;
+  /// Production observability plane (obs/plane.h): always-on counters,
+  /// flight recorder, stall watchdog and online invariant monitor. Not
+  /// owned; must outlive the cluster. Like `trace`, every hook is a null
+  /// check, so a plane-free run is byte-identical to one without the
+  /// plane — and unlike `trace`, the plane is cheap enough to leave on in
+  /// a live deployment.
+  obs::ObsPlane* plane = nullptr;
   /// Online-reconfiguration schedule (core/membership). Empty = the fixed
   /// membership of the paper's experiments; runs are then byte-identical to
   /// a build without the membership layer. With a plan, sites join/retire
@@ -176,6 +184,8 @@ class Cluster {
 
   /// Attached trace recorder, or nullptr. Hooks must guard on this.
   [[nodiscard]] obs::TraceRecorder* trace() const { return trace_; }
+  /// Attached observability plane, or nullptr. Hooks must guard on this.
+  [[nodiscard]] obs::ObsPlane* plane() const { return plane_; }
   [[nodiscard]] SimDuration term_timeout() const { return term_timeout_; }
   [[nodiscard]] SimDuration client_timeout() const { return client_timeout_; }
   [[nodiscard]] SimDuration vote_retry() const { return vote_retry_; }
@@ -265,6 +275,7 @@ class Cluster {
   bool reconfig_enabled_ = false;
   std::unique_ptr<sim::FaultInjector> fault_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::ObsPlane* plane_ = nullptr;
   SimDuration term_timeout_ = 0;
   SimDuration client_timeout_ = 0;
   SimDuration vote_retry_ = 0;

@@ -15,6 +15,7 @@
 // writes (see DESIGN.md §5).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -30,6 +31,12 @@
 #include "obs/events.h"
 #include "store/mv_store.h"
 #include "store/wal.h"
+
+namespace gdur::obs {
+class StatsSlot;
+class FlightRing;
+class InvariantMonitor;
+}
 
 namespace gdur::core {
 
@@ -161,6 +168,16 @@ class Replica {
   }
   [[nodiscard]] std::size_t queue_length() const { return q_.size(); }
   [[nodiscard]] const ConflictIndex& conflict_index() const { return cidx_; }
+
+  /// Termination-queue progress, mirrored in relaxed atomics so the stall
+  /// watchdog (obs/watchdog) can probe a live replica from another thread
+  /// without touching q_ itself. pending = pushes - pops.
+  [[nodiscard]] std::uint64_t queue_pushes() const {
+    return obs_q_pushes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t queue_pops() const {
+    return obs_q_pops_.load(std::memory_order_relaxed);
+  }
 
   /// Test seam: installs a committed version directly into the local store
   /// (drives ObjectChain pruning in certification regression tests).
@@ -299,6 +316,14 @@ class Replica {
   Cluster& cl_;
   SiteId id_;
   store::MVStore db_;
+
+  // Observability plane attachments (all nullptr without a plane; cached at
+  // construction so every hook is one pointer test).
+  obs::StatsSlot* oslot_ = nullptr;
+  obs::FlightRing* oring_ = nullptr;
+  obs::InvariantMonitor* omon_ = nullptr;
+  std::atomic<std::uint64_t> obs_q_pushes_{0};
+  std::atomic<std::uint64_t> obs_q_pops_{0};
 
   std::deque<TxnId> q_;  // the termination queue Q of Algorithm 2
   std::unordered_map<TxnId, TermState> term_;

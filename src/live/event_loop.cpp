@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/stats.h"
 
 namespace gdur::live {
 
@@ -93,6 +94,7 @@ void EventLoop::send_frame(int conn_id,
     c.out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
     c.out.insert(c.out.end(), body.begin(), body.end());
   }
+  queued_bytes_.fetch_add(body.size() + 4, std::memory_order_relaxed);
   wake();
 }
 
@@ -121,6 +123,8 @@ void EventLoop::loop() {
       GDUR_ERROR("live: poll failed: %s", std::strerror(errno));
       return;
     }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) stats_->record(obs::Counter::kLoopWakeups);
     if (fds[0].revents & POLLIN) {
       char buf[64];
       while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
@@ -187,11 +191,17 @@ void EventLoop::flush_writable(Conn& c) {
                              c.out.size() - c.out_off, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
+      flushed_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     c.dead = true;  // EPIPE etc.: peer gone (teardown)
+    // Bytes abandoned with the connection count as flushed so the
+    // watchdog's pending-output gauge returns to zero.
+    flushed_bytes_.fetch_add(c.out.size() - c.out_off,
+                             std::memory_order_relaxed);
     break;
   }
   if (c.out_off == c.out.size()) {

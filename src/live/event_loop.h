@@ -21,6 +21,10 @@
 
 #include "common/thread_annotations.h"
 
+namespace gdur::obs {
+class StatsSlot;
+}
+
 namespace gdur::live {
 
 class EventLoop {
@@ -59,6 +63,23 @@ class EventLoop {
     return frames_in_.load(std::memory_order_relaxed);
   }
 
+  /// Lock-free gauges for the stall watchdog. A healthy loop wakes at least
+  /// every poll timeout (100 ms), so the probe pair is (progress = wakeups,
+  /// pending = unflushed output bytes): a loop thread wedged inside a frame
+  /// handler freezes the wakeup counter while queued bytes pile up.
+  [[nodiscard]] std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pending_out_bytes() const {
+    const std::uint64_t q = queued_bytes_.load(std::memory_order_relaxed);
+    const std::uint64_t f = flushed_bytes_.load(std::memory_order_relaxed);
+    return q > f ? q - f : 0;
+  }
+
+  /// Optional stats slot: the loop thread records Counter::kLoopWakeups per
+  /// poll() return. Set before start(); not owned.
+  void set_stats(obs::StatsSlot* s) { stats_ = s; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -80,6 +101,10 @@ class EventLoop {
   int wake_pipe_[2] = {-1, -1};
   /// Written on the loop thread, read from any (frames_received()).
   std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> wakeups_{0};        // loop thread writes
+  std::atomic<std::uint64_t> queued_bytes_{0};   // senders (send_frame)
+  std::atomic<std::uint64_t> flushed_bytes_{0};  // loop thread writes
+  obs::StatsSlot* stats_ = nullptr;  // set before start(), read by the loop
   bool running_ = false;  // control thread (start/stop callers) only
   Mutex stop_mu_;
   bool stopping_ GUARDED_BY(stop_mu_) = false;

@@ -156,6 +156,21 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
         transport_live_->set_link_delay(i, j, std::chrono::nanoseconds(d));
       }
   }
+
+  if (auto* p = plane()) {
+    // Telemetry: each site's mailbox thread records into that site's slot;
+    // the shared event-loop and timer-wheel threads share the runtime slot.
+    // Live mode has concurrent writers per slot (site thread + transport
+    // delivery + attendant), so force the atomic-RMW record path even if
+    // the caller built the plane for a single-writer sim run.
+    for (std::size_t i = 0; i < p->stats().slots(); ++i)
+      p->stats().slot(i).set_single_writer(false);
+    for (int s = 0; s < n; ++s)
+      mailboxes_[s]->set_stats(&p->slot(static_cast<SiteId>(s)));
+    wheel_.set_stats(&p->runtime_slot());
+    transport_live_->loop().set_stats(&p->runtime_slot());
+    transport_live_->set_stats([p](SiteId src) { return &p->slot(src); });
+  }
 }
 
 LiveCluster::~LiveCluster() { stop(); }
@@ -169,11 +184,49 @@ void LiveCluster::start() {
   threads_.reserve(mailboxes_.size());
   for (auto& mb : mailboxes_)
     threads_.emplace_back([m = mb.get()] { m->run(); });
+
+  if (auto* p = plane()) {
+    // Stall watchdog: every work queue in the live runtime registers its
+    // progress/pending probe pair. All gauges are relaxed-atomic reads, so
+    // the scanning thread never blocks a site thread. stop() clears the
+    // probes before tearing down what they read.
+    auto& wd = p->watchdog();
+    for (SiteId s = 0; s < static_cast<SiteId>(sites()); ++s) {
+      Mailbox* m = mailboxes_[s].get();
+      wd.add_probe(
+          "mailbox", s, [m] { return m->executed(); },
+          [m] {
+            // executed first: a task finishing between the reads inflates
+            // pending transiently instead of wrapping it negative.
+            const std::uint64_t e = m->executed();
+            const std::uint64_t q = m->posted();
+            return q > e ? q - e : 0;
+          });
+      core::Replica* r = replicas_[s].get();
+      wd.add_probe(
+          "cert_queue", s, [r] { return r->queue_pops(); },
+          [r] {
+            const std::uint64_t e = r->queue_pops();
+            const std::uint64_t q = r->queue_pushes();
+            return q > e ? q - e : 0;
+          });
+    }
+    wd.add_probe(
+        "timer_wheel", kNoSite, [this] { return wheel_.ticks(); },
+        [this] { return wheel_.armed(); });
+    EventLoop& loop = transport_live_->loop();
+    wd.add_probe(
+        "event_loop", kNoSite, [&loop] { return loop.wakeups(); },
+        [&loop] { return loop.pending_out_bytes(); });
+  }
 }
 
 void LiveCluster::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // The watchdog outlives the cluster (it belongs to the caller's plane);
+  // drop its probes before destroying the state they read.
+  if (auto* p = plane()) p->watchdog().clear_probes();
   // Order matters: silence the timer and I/O threads first so nothing new
   // lands in a mailbox, then stop the site threads. Base-class teardown
   // (replicas, oracle) happens only after every thread has joined.

@@ -1,8 +1,10 @@
 #include "live/live_runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -115,6 +117,108 @@ struct OpenLoop : std::enable_shared_from_this<OpenLoop> {
   }
 };
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+/// Background observability attendant: scans the stall watchdog a few times
+/// a second, feeds the trace recorder's time-series track (the live
+/// counterpart of harness::run_experiment's TimeSeriesSampler — same sample
+/// names, read from the plane's lock-free counters instead of sim state),
+/// and periodically writes plane snapshots when a prefix is configured.
+class PlaneAttendant {
+ public:
+  PlaneAttendant(LiveCluster& cluster, const LiveRunConfig& cfg)
+      : cl_(cluster), cfg_(cfg), plane_(*cfg.plane) {
+    if (!cfg_.snapshot_prefix.empty()) {
+      plane_.set_dump_sink([prefix = cfg_.snapshot_prefix](
+                               const char* /*reason*/, const std::string& text,
+                               const std::string& chrome_json) {
+        write_text_file(prefix + ".flight.txt", text);
+        write_text_file(prefix + ".flight.trace.json", chrome_json);
+      });
+    }
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  /// Runs one last scan + snapshot, then joins. Call before cluster.stop()
+  /// so the final scan still sees live probes.
+  void finish() {
+    if (!thread_.joinable()) return;
+    running_.store(false, std::memory_order_release);
+    thread_.join();
+  }
+
+  ~PlaneAttendant() { finish(); }
+
+ private:
+  void loop() {
+    const SimDuration bucket =
+        cfg_.trace != nullptr ? cfg_.trace->config().timeseries_bucket : 0;
+    SimTime next_sample = bucket;
+    std::uint64_t last_committed = 0;
+    SimTime last_sample_at = 0;
+    const auto snap_every =
+        std::chrono::duration_cast<steady_clock::duration>(
+            std::chrono::duration<double>(
+                std::max(cfg_.snapshot_every_secs, 0.05)));
+    auto next_snap = steady_clock::now() + snap_every;
+    while (running_.load(std::memory_order_acquire)) {
+      // gdur-lint: allow(live/blocking-call) attendant thread pacing, not the event loop
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      const SimTime now = cl_.now();
+      plane_.watchdog().scan(now);
+      if (bucket > 0 && now >= next_sample) {
+        sample(now, now - last_sample_at, last_committed);
+        last_sample_at = now;
+        next_sample = now + bucket;
+      }
+      if (!cfg_.snapshot_prefix.empty() && steady_clock::now() >= next_snap) {
+        snapshot(now);
+        next_snap += snap_every;
+      }
+    }
+    const SimTime now = cl_.now();
+    plane_.watchdog().scan(now);
+    if (!cfg_.snapshot_prefix.empty()) snapshot(now);
+  }
+
+  void sample(SimTime now, SimDuration elapsed, std::uint64_t& last_committed) {
+    std::uint64_t committed = 0;
+    for (SiteId s = 0; s < static_cast<SiteId>(cfg_.sites); ++s)
+      committed += plane_.slot(s).value(obs::Counter::kTxnCommitted);
+    if (elapsed > 0)
+      cfg_.trace->sample("throughput_tps", kNoSite, now,
+                         static_cast<double>(committed - last_committed) /
+                             to_seconds(elapsed));
+    last_committed = committed;
+    for (SiteId s = 0; s < static_cast<SiteId>(cfg_.sites); ++s) {
+      // Lock-free push/pop mirrors, not Replica::queue_length(): the queue
+      // itself belongs to the site thread.
+      const auto& r = cl_.replica(s);
+      const std::uint64_t pushes = r.queue_pushes();
+      const std::uint64_t pops = r.queue_pops();
+      cfg_.trace->sample("cert_queue", s, now,
+                         static_cast<double>(pushes > pops ? pushes - pops : 0));
+    }
+  }
+
+  void snapshot(SimTime now) {
+    write_text_file(cfg_.snapshot_prefix + ".json", plane_.snapshot_json(now));
+    write_text_file(cfg_.snapshot_prefix + ".prom",
+                    plane_.snapshot_prometheus(now));
+  }
+
+  LiveCluster& cl_;
+  const LiveRunConfig& cfg_;
+  obs::ObsPlane& plane_;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
 }  // namespace
 
 const char* criterion_of(const std::string& protocol) {
@@ -137,6 +241,7 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   lc.base.partitions_per_site = cfg.partitions_per_site;
   lc.base.seed = cfg.seed;
   lc.base.trace = cfg.trace;
+  lc.base.plane = cfg.plane;
   lc.delay_scale = cfg.delay_scale;
   LiveCluster cluster(lc, protocols::by_name(cfg.protocol));
 
@@ -151,6 +256,10 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   std::atomic<int> inflight{0};
 
   cluster.start();
+
+  std::unique_ptr<PlaneAttendant> attendant;
+  if (cfg.plane != nullptr)
+    attendant = std::make_unique<PlaneAttendant>(cluster, cfg);
 
   std::vector<std::shared_ptr<ClosedLoop>> flows;
   std::vector<std::shared_ptr<OpenLoop>> sources;
@@ -195,6 +304,7 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   const int hung = inflight.load(std::memory_order_acquire);
+  if (attendant) attendant->finish();  // final scan while probes are live
   cluster.stop();
 
   LiveRunResult res;
@@ -216,6 +326,14 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
     const auto cr = history.check_criterion(res.criterion);
     res.checker_ok = cr.ok;
     res.checker_detail = cr.detail;
+    // A failed criterion is exactly what the flight recorder exists for:
+    // dump the retained window with the failure as the reason.
+    if (!cr.ok && cfg.plane != nullptr) cfg.plane->dump_flight("checker");
+  }
+  if (cfg.plane != nullptr) {
+    res.watchdog_trips = cfg.plane->watchdog().trips();
+    res.invariant_violations = cfg.plane->invariants().violations();
+    res.flight_dumps = cfg.plane->dumps();
   }
   return res;
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "harness/metrics.h"
+#include "obs/plane.h"
 #include "obs/trace.h"
 #include "workload/workload.h"
 
@@ -37,6 +38,14 @@ struct LiveRunConfig {
   /// Grace period for in-flight transactions after the measurement window.
   double drain_secs = 2.0;
   obs::TraceRecorder* trace = nullptr;
+  /// Production observability plane (telemetry, flight recorder, watchdog,
+  /// invariant monitor). When set, a background thread scans the watchdog
+  /// and — if `snapshot_prefix` is non-empty — periodically writes
+  /// `<prefix>.json` / `<prefix>.prom` snapshots and flight dumps to
+  /// `<prefix>.flight.txt` / `<prefix>.flight.trace.json`. Not owned.
+  obs::ObsPlane* plane = nullptr;
+  double snapshot_every_secs = 1.0;
+  std::string snapshot_prefix;
 };
 
 struct LiveRunResult {
@@ -52,6 +61,11 @@ struct LiveRunResult {
   /// Client flows still in flight when the drain grace period expired
   /// (0 on a healthy run).
   int hung_clients = 0;
+  /// Observability-plane verdicts (0 unless cfg.plane was attached; all
+  /// three should be 0 on a healthy run).
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t flight_dumps = 0;
 };
 
 /// The consistency criterion each registry protocol claims (checker

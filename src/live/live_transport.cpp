@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/codec.h"
+#include "obs/stats.h"
 
 namespace gdur::live {
 
@@ -169,6 +170,13 @@ void LiveTransport::send(SiteId src, SiteId dst,
                          const std::vector<std::uint8_t>& body) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(body.size() + 4, std::memory_order_relaxed);
+  if (slot_of_) {
+    if (auto* slot = slot_of_(src)) {
+      slot->record(obs::Counter::kMsgsSent);
+      slot->record(obs::Counter::kBytesSent, body.size() + 4);
+      slot->record_value(obs::Hist::kMsgBytes, body.size() + 4);
+    }
+  }
   loop_.send_frame(out_conn_[link_index(src, dst)], body);
 }
 

@@ -52,6 +52,16 @@ class LiveTransport {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
+  /// The byte-moving event loop, exposed so the observability plane can
+  /// attach its stats slot and stall-watchdog probes.
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+  /// Per-site stats slots: send() records kMsgsSent/kBytesSent/kMsgBytes
+  /// into `slot_of(src)`. Set before start(); not owned.
+  void set_stats(std::function<obs::StatsSlot*(SiteId)> slot_of) {
+    slot_of_ = std::move(slot_of);
+  }
+
  private:
   [[nodiscard]] int link_index(SiteId src, SiteId dst) const {
     return static_cast<int>(src) * sites_ + static_cast<int>(dst);
@@ -66,6 +76,7 @@ class LiveTransport {
   std::vector<std::chrono::nanoseconds> delay_;  // link index -> delay
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::function<obs::StatsSlot*(SiteId)> slot_of_;  // set before start()
 };
 
 }  // namespace gdur::live

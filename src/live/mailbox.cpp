@@ -1,5 +1,7 @@
 #include "live/mailbox.h"
 
+#include "obs/stats.h"
+
 namespace gdur::live {
 
 void Mailbox::post(Task fn) {
@@ -7,7 +9,7 @@ void Mailbox::post(Task fn) {
     MutexLock lock(&mu_);
     if (stopped_) return;
     q_.push_back(std::move(fn));
-    ++posted_;
+    posted_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
@@ -23,6 +25,8 @@ void Mailbox::run() {
       q_.pop_front();
     }
     task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) stats_->record(obs::Counter::kMailboxTasks);
   }
 }
 
@@ -30,14 +34,12 @@ void Mailbox::stop() {
   {
     MutexLock lock(&mu_);
     stopped_ = true;
+    // Discarded tasks count as executed so posted() - executed() (the
+    // watchdog's pending gauge) returns to zero at teardown.
+    executed_.fetch_add(q_.size(), std::memory_order_relaxed);
     q_.clear();
   }
   cv_.notify_all();
-}
-
-std::uint64_t Mailbox::posted() const {
-  MutexLock lock(&mu_);
-  return posted_;
 }
 
 }  // namespace gdur::live

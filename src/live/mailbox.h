@@ -8,11 +8,16 @@
 // per-site event ordering.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 
 #include "common/thread_annotations.h"
+
+namespace gdur::obs {
+class StatsSlot;
+}
 
 namespace gdur::live {
 
@@ -32,13 +37,27 @@ class Mailbox {
   /// period is abandoned, never half-run on a foreign thread).
   void stop();
 
-  [[nodiscard]] std::uint64_t posted() const;
+  [[nodiscard]] std::uint64_t posted() const {
+    return posted_.load(std::memory_order_relaxed);
+  }
+  /// Tasks the consumer has fully run. With posted(), this is the
+  /// watchdog's progress/pending pair: pending = posted() - executed().
+  /// Both are lock-free reads, safe from the watchdog's scanning thread.
+  [[nodiscard]] std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Optional stats slot: the consumer records Counter::kMailboxTasks for
+  /// every task it runs. Set before run() spins up; not owned.
+  void set_stats(obs::StatsSlot* s) { stats_ = s; }
 
  private:
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Task> q_ GUARDED_BY(mu_);
-  std::uint64_t posted_ GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> posted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  obs::StatsSlot* stats_ = nullptr;  // set before run(), read by consumer
   bool stopped_ GUARDED_BY(mu_) = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
+
 namespace gdur::live {
 
 void TimerWheel::start() {
@@ -26,6 +28,7 @@ void TimerWheel::stop() {
   running_ = false;
   for (auto& slot : slots_) slot.clear();
   armed_ = 0;
+  armed_n_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t TimerWheel::tick_of(Clock::time_point tp) const {
@@ -45,6 +48,7 @@ void TimerWheel::schedule_after(std::chrono::nanoseconds delay,
     slots_[tick % kSlots].push_back(Entry{tick, std::move(fn)});
     ++armed_;
     ++scheduled_;
+    armed_n_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_all();
 }
@@ -86,9 +90,14 @@ void TimerWheel::loop() {
     slot.resize(kept);
     armed_ -= due.size();
     ++cur_tick_;
+    ticks_n_.fetch_add(1, std::memory_order_relaxed);
+    armed_n_.fetch_sub(due.size(), std::memory_order_relaxed);
     if (!due.empty()) {
       lock.unlock();
       for (auto& fn : due) fn();
+      fired_n_.fetch_add(due.size(), std::memory_order_relaxed);
+      if (stats_ != nullptr)
+        stats_->record(obs::Counter::kTimerFires, due.size());
       lock.lock();
     }
   }

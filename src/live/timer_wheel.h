@@ -7,6 +7,7 @@
 // thread sleeps indefinitely when the wheel is empty.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,10 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+
+namespace gdur::obs {
+class StatsSlot;
+}
 
 namespace gdur::live {
 
@@ -38,6 +43,24 @@ class TimerWheel {
 
   [[nodiscard]] std::uint64_t scheduled() const;
 
+  /// Lock-free gauges for the stall watchdog. A healthy wheel with armed
+  /// timers advances ticks() every 1 ms slot boundary, so the probe pair is
+  /// (progress = ticks, pending = armed): a wedged wheel thread freezes the
+  /// tick counter while timers stay armed.
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_n_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fired() const {
+    return fired_n_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t armed() const {
+    return armed_n_.load(std::memory_order_relaxed);
+  }
+
+  /// Optional stats slot: the wheel thread records Counter::kTimerFires per
+  /// fired callback. Set before start(); not owned.
+  void set_stats(obs::StatsSlot* s) { stats_ = s; }
+
  private:
   struct Entry {
     std::uint64_t tick;  // absolute tick at which to fire
@@ -60,6 +83,11 @@ class TimerWheel {
   Clock::time_point t0_ GUARDED_BY(mu_);
   bool running_ GUARDED_BY(mu_) = false;
   bool stopping_ GUARDED_BY(mu_) = false;
+  /// Lock-free mirrors of the guarded state above, for watchdog probes.
+  std::atomic<std::uint64_t> ticks_n_{0};
+  std::atomic<std::uint64_t> fired_n_{0};
+  std::atomic<std::uint64_t> armed_n_{0};
+  obs::StatsSlot* stats_ = nullptr;  // set before start(), read by the thread
   std::thread thread_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/plane.h"
 #include "obs/trace.h"
 
 namespace gdur::net {
@@ -51,6 +52,10 @@ SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
     ++fstats_.dropped;
     if (trace_ != nullptr)
       trace_->fault(obs::FaultKind::kDrop, src, dst, attempt);
+    if (plane_ != nullptr) {
+      plane_->slot(src).record(obs::Counter::kMsgsDropped);
+      plane_->ring(src).append("msg_drop", attempt, src, dst);
+    }
     // The ack timer fires `rto` (±rc.jitter, to desynchronize retry storms)
     // after the attempt; retransmit then. The backoff stays capped at
     // max_rto so a sender keeps probing a long partition instead of backing
@@ -64,11 +69,17 @@ SimTime Transport::resolve_delivery(SiteId src, SiteId dst,
       ++fstats_.expired;
       if (trace_ != nullptr)
         trace_->fault(obs::FaultKind::kExpire, src, dst, attempt);
+      if (plane_ != nullptr) {
+        plane_->slot(src).record(obs::Counter::kMsgsExpired);
+        plane_->ring(src).append("msg_expire", attempt, src, dst);
+      }
       return sim::kNever;
     }
     ++fstats_.retransmissions;
     if (trace_ != nullptr)
       trace_->fault(obs::FaultKind::kRetransmit, src, dst, attempt);
+    if (plane_ != nullptr)
+      plane_->slot(src).record(obs::Counter::kRetransmits);
     cpu(src).charge_after(attempt, cost_.msg_send);
   }
 }
@@ -78,6 +89,12 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
   if (fault_ != nullptr && cpu(src).down_at(sim_.now())) return;  // dead site
   ++messages_;
   bytes_ += bytes;
+  if (plane_ != nullptr) {
+    auto& slot = plane_->slot(src);
+    slot.record(obs::Counter::kMsgsSent);
+    slot.record(obs::Counter::kBytesSent, bytes);
+    slot.record_value(obs::Hist::kMsgBytes, bytes);
+  }
   const SimDuration send_cost = cost_.msg_send + cost_.marshal(bytes);
   const SimDuration recv_cost = cost_.msg_recv + cost_.unmarshal(bytes);
   // The departure instant is known synchronously (deterministic CPU model),
@@ -116,6 +133,10 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
       ++fstats_.expired;
       if (trace_ != nullptr)
         trace_->fault(obs::FaultKind::kExpire, dst, kNoSite, sim_.now());
+      if (plane_ != nullptr) {
+        plane_->slot(dst).record(obs::Counter::kMsgsExpired);
+        plane_->ring(dst).append("msg_lost_in_crash", sim_.now(), dst);
+      }
       return;
     }
     const SimTime done = c.charge_after(recv_clock_[idx], recv_cost);
@@ -137,6 +158,10 @@ void Transport::send(SiteId src, SiteId dst, std::uint64_t bytes,
 void Transport::client_send(SiteId dst, std::uint64_t bytes, Handler handler) {
   ++messages_;
   bytes_ += bytes;
+  if (plane_ != nullptr) {
+    plane_->slot(dst).record(obs::Counter::kMsgsSent);
+    plane_->slot(dst).record(obs::Counter::kBytesSent, bytes);
+  }
   if (trace_ != nullptr)
     trace_->message(obs::MsgClass::kClientReq, kNoSite, dst, bytes, sim_.now(),
                     sim_.now() + topo_.client_latency());
@@ -151,6 +176,10 @@ void Transport::send_to_client(SiteId src, std::uint64_t bytes,
                                Handler handler) {
   ++messages_;
   bytes_ += bytes;
+  if (plane_ != nullptr) {
+    plane_->slot(src).record(obs::Counter::kMsgsSent);
+    plane_->slot(src).record(obs::Counter::kBytesSent, bytes);
+  }
   if (trace_ != nullptr)
     trace_->message(obs::MsgClass::kClientResp, src, kNoSite, bytes, sim_.now(),
                     sim_.now() + topo_.client_latency());

@@ -40,6 +40,7 @@
 
 namespace gdur::obs {
 class TraceRecorder;
+class ObsPlane;
 }
 
 namespace gdur::net {
@@ -113,6 +114,12 @@ class Transport {
   void set_trace(obs::TraceRecorder* tr) { trace_ = tr; }
   [[nodiscard]] obs::TraceRecorder* trace() const { return trace_; }
 
+  /// Installs the production observability plane (obs/plane.h); nullptr
+  /// disables. Not owned. Same contract as set_trace: every hook is a null
+  /// check, so a plane-free run is byte-identical.
+  void set_plane(obs::ObsPlane* p) { plane_ = p; }
+  [[nodiscard]] obs::ObsPlane* plane() const { return plane_; }
+
  private:
   [[nodiscard]] SimDuration link_delay(SiteId src, SiteId dst,
                                        std::uint64_t bytes);
@@ -141,6 +148,7 @@ class Transport {
   sim::FaultInjector* fault_ = nullptr;
   FaultStats fstats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::ObsPlane* plane_ = nullptr;
 };
 
 }  // namespace gdur::net

@@ -1,0 +1,103 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdur::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlightRing::FlightRing(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity);
+  mask_ = cap - 1;
+  for (std::size_t i = 0; i < cap; ++i) buf_.emplace_back();
+}
+
+std::vector<FlightEvent> FlightRing::drain() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = buf_.size();
+  const std::uint64_t first = head > cap ? head - cap : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t i = first; i < head; ++i) {
+    const Rec& r = buf_[i & mask_];
+    FlightEvent e;
+    e.name = r.name.load(std::memory_order_relaxed);
+    e.ts = r.ts.load(std::memory_order_relaxed);
+    e.site = r.site.load(std::memory_order_relaxed);
+    e.a = r.a.load(std::memory_order_relaxed);
+    e.b = r.b.load(std::memory_order_relaxed);
+    e.seq = i;
+    out.push_back(e);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(int rings, std::size_t capacity_per_ring) {
+  if (rings < 1) rings = 1;
+  for (int i = 0; i < rings; ++i) rings_.emplace_back(capacity_per_ring);
+}
+
+std::vector<FlightEvent> FlightRecorder::collect() const {
+  std::vector<FlightEvent> all;
+  for (const auto& r : rings_) {
+    auto v = r.drain();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              if (x.ts != y.ts) return x.ts < y.ts;
+              if (x.site != y.site) return x.site < y.site;
+              return x.seq < y.seq;
+            });
+  return all;
+}
+
+std::string FlightRecorder::dump_text(const char* reason) const {
+  const auto events = collect();
+  std::string out;
+  out.reserve(events.size() * 64 + 128);
+  char buf[192];
+  snprintf(buf, sizeof buf, "# flight-recorder dump (reason: %s, events: %zu)\n",
+           reason, events.size());
+  out += buf;
+  for (const auto& e : events) {
+    snprintf(buf, sizeof buf,
+             "%12" PRId64 "  s%-3u  %-18s a=%" PRIu64 " b=%" PRIu64 "\n",
+             e.ts, e.site, e.name, e.a, e.b);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_chrome_json(const char* reason) const {
+  const auto events = collect();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char buf[256];
+  snprintf(buf, sizeof buf,
+           "{\"name\":\"flight_dump\",\"ph\":\"i\",\"ts\":0,\"pid\":0,"
+           "\"tid\":0,\"s\":\"g\",\"args\":{\"reason\":\"%s\"}}",
+           reason);
+  out += buf;
+  for (const auto& e : events) {
+    snprintf(buf, sizeof buf,
+             ",\n{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%u,"
+             "\"tid\":0,\"s\":\"t\",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64
+             "}}",
+             e.name, static_cast<double>(e.ts) / 1000.0, e.site, e.a, e.b);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace gdur::obs

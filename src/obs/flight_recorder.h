@@ -1,0 +1,117 @@
+// Flight recorder — the last N protocol events per site, always on.
+//
+// Full tracing (obs::TraceRecorder) answers "what happened during this
+// run"; the flight recorder answers "what happened *just before it went
+// wrong*" at a cost low enough to never switch off. Each site owns one
+// fixed-capacity ring of small POD records; appending overwrites the
+// oldest entry. When something trips — a crash window, a checker failure,
+// a watchdog stall, an invariant violation — the plane dumps the merged
+// rings as a deterministic text timeline and as Chrome-trace JSON (same
+// viewer as PR 2's exporter).
+//
+// Concurrency contract: each ring has ONE writer (the owning site's
+// mailbox thread in live mode; the single simulator thread in sim mode).
+// Readers (the dumper) may run concurrently with writers in live mode;
+// every field is a relaxed atomic, so a dump taken mid-append is
+// best-effort — it may contain one half-written record — but never tears a
+// word or races. Under the simulator there is one thread, so dumps are
+// exact and byte-deterministic.
+//
+// Record-path contract (enforced by gdur-lint obs/hot-path-alloc):
+// `append()` performs no allocation, takes no lock, reads no clock. Event
+// names must be string literals (the ring stores the pointer); timestamps
+// are passed in by the caller.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace gdur::obs {
+
+/// One dumped event (a stable copy of a ring record).
+struct FlightEvent {
+  const char* name = "";
+  SimTime ts = 0;
+  SiteId site = kNoSite;
+  std::uint64_t a = 0;  // event-specific (typically TxnId pieces)
+  std::uint64_t b = 0;
+  std::uint64_t seq = 0;  // per-ring append index (dump tie-breaker)
+};
+
+/// Single-writer, multi-reader ring of the last `capacity` events.
+class FlightRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit FlightRing(std::size_t capacity);
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  /// Hot path: five relaxed stores + one release store. No allocation, no
+  /// lock, no clock. `name` must be a string literal (pointer is stored).
+  void append(const char* name, SimTime ts, SiteId site, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    const std::uint64_t i = head_.load(std::memory_order_relaxed);
+    Rec& r = buf_[i & mask_];
+    r.name.store(name, std::memory_order_relaxed);
+    r.ts.store(ts, std::memory_order_relaxed);
+    r.site.store(site, std::memory_order_relaxed);
+    r.a.store(a, std::memory_order_relaxed);
+    r.b.store(b, std::memory_order_relaxed);
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::uint64_t appended() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Copies out the retained window, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> drain() const;
+
+ private:
+  struct Rec {
+    std::atomic<const char*> name{""};
+    std::atomic<SimTime> ts{0};
+    std::atomic<SiteId> site{kNoSite};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+  std::deque<Rec> buf_;  // deque: Rec holds atomics (immovable)
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// The per-site ring set plus the dump formatters.
+class FlightRecorder {
+ public:
+  FlightRecorder(int rings, std::size_t capacity_per_ring);
+
+  [[nodiscard]] FlightRing& ring(std::size_t i) { return rings_[i]; }
+  [[nodiscard]] const FlightRing& ring(std::size_t i) const {
+    return rings_[i];
+  }
+  [[nodiscard]] std::size_t rings() const { return rings_.size(); }
+
+  /// All retained events, merged and sorted by (ts, site, seq) — a total,
+  /// deterministic order under the simulator.
+  [[nodiscard]] std::vector<FlightEvent> collect() const;
+
+  /// Deterministic text timeline:
+  ///   <ns-timestamp>  s<site>  <name>  a=<a> b=<b>
+  [[nodiscard]] std::string dump_text(const char* reason) const;
+
+  /// Chrome trace-event JSON (instant events; pid = site), loadable in
+  /// Perfetto next to a TraceRecorder export.
+  [[nodiscard]] std::string dump_chrome_json(const char* reason) const;
+
+ private:
+  std::deque<FlightRing> rings_;
+};
+
+}  // namespace gdur::obs

@@ -1,0 +1,186 @@
+#include "obs/invariants.h"
+
+#include <cstdio>
+
+namespace gdur::obs {
+
+namespace {
+std::string describe(const char* what, bool seen, bool fresh) {
+  char buf[128];
+  snprintf(buf, sizeof buf, "%s: recorded=%s now=%s", what,
+           seen ? "true" : "false", fresh ? "true" : "false");
+  return buf;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+InvariantMonitor::BoundedKV::BoundedKV(std::size_t capacity_pow2)
+    : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+
+std::size_t InvariantMonitor::BoundedKV::home(SiteId site,
+                                              const TxnId& txn) const {
+  return static_cast<std::size_t>(
+             mix(txn.seq ^ (static_cast<std::uint64_t>(site) << 40) ^
+                 (static_cast<std::uint64_t>(txn.coord) << 52))) &
+         mask_;
+}
+
+InvariantMonitor::BoundedKV::Ref InvariantMonitor::BoundedKV::find(
+    SiteId site, const TxnId& txn) const {
+  const std::size_t h = home(site, txn);
+  for (int i = 0; i < kProbeWindow; ++i) {
+    const Slot& s = slots_[(h + i) & mask_];
+    if (!s.used) return {};
+    if (s.seq == txn.seq && s.site == site && s.coord == txn.coord)
+      return {true, s.value};
+  }
+  return {};
+}
+
+InvariantMonitor::BoundedKV::Ref InvariantMonitor::BoundedKV::find_or_insert(
+    SiteId site, const TxnId& txn, bool value) {
+  const std::size_t h = home(site, txn);
+  Slot* victim = nullptr;
+  for (int i = 0; i < kProbeWindow; ++i) {
+    Slot& s = slots_[(h + i) & mask_];
+    if (!s.used) {
+      victim = &s;
+      break;
+    }
+    if (s.seq == txn.seq && s.site == site && s.coord == txn.coord)
+      return {true, s.value};
+    // Recycling candidate: the least-recently-inserted live slot. The
+    // uint32 stamp wraps after 4G insertions; a wrap only skews which slot
+    // is recycled, never correctness.
+    if (victim == nullptr || s.stamp < victim->stamp) victim = &s;
+  }
+  victim->seq = txn.seq;
+  victim->site = site;
+  victim->coord = txn.coord;
+  victim->stamp = ++clock_;
+  victim->used = true;
+  victim->value = value;
+  return {false, value};
+}
+
+void InvariantMonitor::report(const char* invariant, SiteId site,
+                              const TxnId& txn, SimTime now,
+                              std::string detail) {
+  ++count_;
+  if (events_.size() < kMaxEvents) {
+    Violation v;
+    v.invariant = invariant;
+    v.site = site;
+    v.txn = txn;
+    v.at = now;
+    v.detail = std::move(detail);
+    events_.push_back(std::move(v));
+  }
+}
+
+void InvariantMonitor::note_vote(SiteId voter, const TxnId& txn, bool vote,
+                                 SimTime now) {
+  Violation fired;
+  bool any = false;
+  std::function<void(const Violation&)> cb;
+  {
+    MutexLock lock(&mu_);
+    const auto r = votes_.find_or_insert(voter, txn, vote);
+    if (r.found && r.value != vote) {
+      report("vote-consistency", voter, txn, now,
+             describe("vote value changed", r.value, vote));
+      any = true;
+      fired = events_.empty() ? Violation{} : events_.back();
+      cb = on_violation_;
+    }
+  }
+  if (any && cb) cb(fired);
+}
+
+void InvariantMonitor::note_epoch(SiteId site, EpochId e, SimTime now) {
+  Violation fired;
+  bool any = false;
+  std::function<void(const Violation&)> cb;
+  {
+    MutexLock lock(&mu_);
+    auto [it, inserted] = epochs_.try_emplace(site, e);
+    if (!inserted) {
+      if (e < it->second) {
+        char buf[96];
+        snprintf(buf, sizeof buf, "epoch regressed: %u -> %u", it->second, e);
+        report("epoch-monotonic", site, TxnId{kNoSite, 0}, now, buf);
+        any = true;
+        fired = events_.empty() ? Violation{} : events_.back();
+        cb = on_violation_;
+      } else {
+        it->second = e;
+      }
+    }
+  }
+  if (any && cb) cb(fired);
+}
+
+void InvariantMonitor::note_decided(SiteId site, const TxnId& txn, bool commit,
+                                    SimTime now) {
+  Violation fired;
+  bool any = false;
+  std::function<void(const Violation&)> cb;
+  {
+    MutexLock lock(&mu_);
+    decided_.find_or_insert(site, txn, commit);
+    // Cross-site decision consistency (txn-keyed, site-agnostic).
+    const auto o = outcome_.find_or_insert(kNoSite, txn, commit);
+    if (o.found && o.value != commit) {
+      report("decision-consistency", site, txn, now,
+             describe("outcome differs across sites", o.value, commit));
+      any = true;
+    }
+    // Same-site WAL agreement, if the durable record arrived first.
+    if (const auto w = wal_.find(site, txn); w.found && w.value != commit) {
+      report("wal-decision-agreement", site, txn, now,
+             describe("decided-cache contradicts WAL", w.value, commit));
+      any = true;
+    }
+    if (any) {
+      fired = events_.empty() ? Violation{} : events_.back();
+      cb = on_violation_;
+    }
+  }
+  if (any && cb) cb(fired);
+}
+
+void InvariantMonitor::note_wal_decision(SiteId site, const TxnId& txn,
+                                         bool commit, SimTime now) {
+  Violation fired;
+  bool any = false;
+  std::function<void(const Violation&)> cb;
+  {
+    MutexLock lock(&mu_);
+    const auto r = wal_.find_or_insert(site, txn, commit);
+    if (r.found && r.value != commit) {
+      report("wal-decision-agreement", site, txn, now,
+             describe("WAL logged two outcomes", r.value, commit));
+      any = true;
+    }
+    if (const auto d = decided_.find(site, txn); d.found && d.value != commit) {
+      report("wal-decision-agreement", site, txn, now,
+             describe("WAL contradicts decided-cache", d.value, commit));
+      any = true;
+    }
+    if (any) {
+      fired = events_.empty() ? Violation{} : events_.back();
+      cb = on_violation_;
+    }
+  }
+  if (any && cb) cb(fired);
+}
+
+}  // namespace gdur::obs

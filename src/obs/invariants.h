@@ -1,0 +1,136 @@
+// Online invariant monitor — safety checks while the system runs.
+//
+// The offline checker (src/checker) proves a whole history serializable
+// after the run ends; following the runtime-verification approach of
+// "Specification and Runtime Checking of Derecho" (PAPERS.md), this
+// monitor streams a small catalog of *generic* safety invariants during
+// execution, so a violation is reported the moment it happens — with the
+// flight recorder still holding the events that led up to it. G-DUR's
+// realization-point architecture is what makes the catalog protocol-
+// independent: every one of the 7 protocols must satisfy them.
+//
+// Invariant catalog (DESIGN.md §13):
+//   vote-consistency        one vote value per (voter site, txn), across
+//                           re-announcements and crash recoveries
+//   epoch-monotonic         a site's activated configuration epoch never
+//                           decreases
+//   decision-consistency    one commit/abort outcome per txn across sites
+//   wal-decision-agreement  a site's WAL'd decision matches the outcome
+//                           its decided-cache reports
+//
+// The monitor sits close to the hot path — a note fires for every vote
+// announced or received and every per-site decision — so its working set
+// lives in fixed-capacity probe tables allocated once at construction: a
+// note is a mutex acquire plus a short linear probe, never an allocation.
+// Under pressure a table recycles the oldest slot in the probe window; the
+// monitor is a detector, not a proof — an eviction can only cause a miss,
+// never a false positive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace gdur::obs {
+
+class InvariantMonitor {
+ public:
+  struct Violation {
+    const char* invariant = "";  // catalog name above
+    SiteId site = kNoSite;       // site the violating observation concerns
+    TxnId txn{kNoSite, 0};       // involved transaction (if any)
+    SimTime at = 0;
+    std::string detail;
+  };
+
+  /// A vote by `voter` on `txn` became visible (announced or received).
+  void note_vote(SiteId voter, const TxnId& txn, bool vote, SimTime now);
+  /// Site `site` activated configuration epoch `e`.
+  void note_epoch(SiteId site, EpochId e, SimTime now);
+  /// Site `site` decided `txn` (decided-cache insertion).
+  void note_decided(SiteId site, const TxnId& txn, bool commit, SimTime now);
+  /// Site `site` durably logged decision `commit` for `txn` (WAL append).
+  void note_wal_decision(SiteId site, const TxnId& txn, bool commit,
+                         SimTime now);
+
+  /// Invoked (outside the monitor mutex) on every fresh violation.
+  void set_on_violation(std::function<void(const Violation&)> cb) {
+    MutexLock lock(&mu_);
+    on_violation_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::uint64_t violations() const {
+    MutexLock lock(&mu_);
+    return count_;
+  }
+  [[nodiscard]] std::vector<Violation> events() const {
+    MutexLock lock(&mu_);
+    return events_;
+  }
+
+ private:
+  /// Fixed-capacity (site, txn) -> bool probe table. All slots are
+  /// allocated at construction; find/insert is a bounded linear probe, so
+  /// a note never allocates. When every slot in the probe window is live,
+  /// the least-recently-inserted one is recycled (deterministic — the
+  /// simulator's byte-identity guarantee includes monitor state).
+  class BoundedKV {
+   public:
+    explicit BoundedKV(std::size_t capacity_pow2);
+
+    struct Ref {
+      bool found = false;
+      bool value = false;  // stored value, valid when found
+    };
+    /// Lookup only: never modifies the table.
+    [[nodiscard]] Ref find(SiteId site, const TxnId& txn) const;
+    /// Returns the stored value if the key is present; otherwise inserts
+    /// `value` (recycling under pressure) and reports found = false.
+    Ref find_or_insert(SiteId site, const TxnId& txn, bool value);
+
+   private:
+    struct Slot {
+      std::uint64_t seq = 0;
+      SiteId site = kNoSite;
+      SiteId coord = kNoSite;
+      std::uint32_t stamp = 0;  // insertion order, for window recycling
+      bool used = false;
+      bool value = false;
+    };
+    static constexpr int kProbeWindow = 8;
+    [[nodiscard]] std::size_t home(SiteId site, const TxnId& txn) const;
+
+    std::vector<Slot> slots_;
+    std::uint64_t mask_;
+    std::uint32_t clock_ = 0;
+  };
+
+  void report(const char* invariant, SiteId site, const TxnId& txn,
+              SimTime now, std::string detail) REQUIRES(mu_);
+
+  // Sized to stay cache-resident: 4 tables x 16Ki slots x 24 B ~= 1.5 MB.
+  // The detection window only needs to span in-flight transactions (a few
+  // hundred at peak load), not history.
+  static constexpr std::size_t kCap = 1 << 14;  // slots per table
+  static constexpr std::size_t kMaxEvents = 4096;
+
+  mutable Mutex mu_;
+  BoundedKV votes_ GUARDED_BY(mu_){kCap};
+  BoundedKV decided_ GUARDED_BY(mu_){kCap};
+  BoundedKV wal_ GUARDED_BY(mu_){kCap};
+  // Global per-txn outcome (decision-consistency across sites): keyed on
+  // the txn alone, stored with site = kNoSite.
+  BoundedKV outcome_ GUARDED_BY(mu_){kCap};
+  std::map<SiteId, EpochId> epochs_ GUARDED_BY(mu_);
+  std::uint64_t count_ GUARDED_BY(mu_) = 0;
+  std::vector<Violation> events_ GUARDED_BY(mu_);
+  std::function<void(const Violation&)> on_violation_ GUARDED_BY(mu_);
+};
+
+}  // namespace gdur::obs

@@ -1,0 +1,67 @@
+#include "obs/watchdog.h"
+
+#include <utility>
+
+namespace gdur::obs {
+
+void StallWatchdog::add_probe(std::string name, SiteId site, GaugeFn progress,
+                              GaugeFn pending) {
+  MutexLock lock(&mu_);
+  Cell c;
+  c.name = std::move(name);
+  c.site = site;
+  c.progress = std::move(progress);
+  c.pending = std::move(pending);
+  cells_.push_back(std::move(c));
+}
+
+void StallWatchdog::clear_probes() {
+  MutexLock lock(&mu_);
+  cells_.clear();
+}
+
+int StallWatchdog::scan(SimTime now) {
+  std::vector<StallEvent> fresh;
+  std::function<void(const StallEvent&)> cb;
+  {
+    MutexLock lock(&mu_);
+    for (auto& c : cells_) {
+      const std::uint64_t prog = c.progress();
+      const std::uint64_t pend = c.pending();
+      const bool moved = !c.seen || prog != c.last;
+      c.last = prog;
+      c.seen = true;
+      if (moved || pend == 0) {
+        // Progress (or nothing to do): the episode, if any, is over.
+        c.stalled = false;
+        c.tripped = false;
+        continue;
+      }
+      if (!c.stalled) {
+        c.stalled = true;
+        c.stuck_since = now;
+        continue;
+      }
+      if (!c.tripped && now - c.stuck_since >= stall_after_) {
+        c.tripped = true;
+        StallEvent e;
+        e.probe = c.name;
+        e.site = c.site;
+        e.at = now;
+        e.stuck_since = c.stuck_since;
+        e.pending = pend;
+        events_.push_back(e);
+        ++trips_;
+        fresh.push_back(std::move(e));
+      }
+    }
+    cb = on_trip_;
+  }
+  // Callbacks run outside the mutex: they dump flight recorders and may
+  // re-enter watchdog accessors.
+  if (cb)
+    for (const auto& e : fresh) cb(e);
+  return static_cast<int>(fresh.size());
+}
+
+}  // namespace gdur::obs

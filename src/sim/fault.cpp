@@ -35,6 +35,20 @@ FaultPlan& FaultPlan::crash(SiteId site, SimTime at, SimTime recover_at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::double_vote(SiteId site, SimTime from, SimTime until,
+                                  int count) {
+  sabotage.push_back(
+      Sabotage{Sabotage::Kind::kDoubleVote, site, from, until, count});
+  return *this;
+}
+
+FaultPlan& FaultPlan::epoch_regress(SiteId site, SimTime from, SimTime until,
+                                    int count) {
+  sabotage.push_back(
+      Sabotage{Sabotage::Kind::kEpochRegress, site, from, until, count});
+  return *this;
+}
+
 FaultPlan FaultPlan::chaos(int sites, SimTime horizon, std::uint64_t seed,
                            const ChaosOptions& opt) {
   FaultPlan plan;
@@ -86,7 +100,22 @@ FaultPlan FaultPlan::chaos(int sites, SimTime horizon, std::uint64_t seed,
 // ---------------------------------------------------------------------------
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
-    : plan_(std::move(plan)), rng_(mix64(seed ^ 0xfa017)) {}
+    : plan_(std::move(plan)), rng_(mix64(seed ^ 0xfa017)) {
+  sabotage_left_.reserve(plan_.sabotage.size());
+  for (const auto& s : plan_.sabotage) sabotage_left_.push_back(s.count);
+}
+
+bool FaultInjector::consume_sabotage(Sabotage::Kind kind, SiteId site,
+                                     SimTime t) {
+  for (std::size_t i = 0; i < plan_.sabotage.size(); ++i) {
+    const auto& s = plan_.sabotage[i];
+    if (s.kind != kind || s.site != site) continue;
+    if (t < s.from || t >= s.until || sabotage_left_[i] <= 0) continue;
+    --sabotage_left_[i];
+    return true;
+  }
+  return false;
+}
 
 bool FaultInjector::link_cut(SiteId src, SiteId dst, SimTime t) const {
   for (const auto& p : plan_.partitions) {

@@ -87,14 +87,33 @@ struct ChaosOptions {
   SimDuration max_outage = milliseconds(300);
 };
 
+/// Deliberate protocol misbehavior — mutation testing for the *online
+/// invariant monitor* (obs/invariants). The engine consults the active
+/// sabotage at the corresponding realization point and misbehaves once per
+/// budgeted occurrence: kDoubleVote flips the vote value a site actually
+/// sends (equivocation — the announced vote and the wire vote differ);
+/// kEpochRegress makes a site report a configuration epoch one lower than
+/// the one it activated. Both must be caught by the monitor; neither is
+/// ever enabled outside tests.
+struct Sabotage {
+  enum class Kind { kDoubleVote, kEpochRegress };
+  Kind kind = Kind::kDoubleVote;
+  SiteId site = kNoSite;
+  SimTime from = 0;
+  SimTime until = kNever;
+  int count = 1;  // occurrences before the entry is spent
+};
+
 struct FaultPlan {
   std::vector<LinkFault> links;
   std::vector<Partition> partitions;
   std::vector<Crash> crashes;
+  std::vector<Sabotage> sabotage;
   RetransmitConfig retransmit;
 
   [[nodiscard]] bool empty() const {
-    return links.empty() && partitions.empty() && crashes.empty();
+    return links.empty() && partitions.empty() && crashes.empty() &&
+           sabotage.empty();
   }
 
   // Builder helpers (all return *this for chaining).
@@ -108,6 +127,12 @@ struct FaultPlan {
   FaultPlan& partition(std::vector<std::vector<SiteId>> groups, SimTime from,
                        SimTime until);
   FaultPlan& crash(SiteId site, SimTime at, SimTime recover_at);
+  /// Seeds `count` vote equivocations at `site` over [from, until).
+  FaultPlan& double_vote(SiteId site, SimTime from, SimTime until = kNever,
+                         int count = 1);
+  /// Seeds `count` epoch-regression reports at `site` over [from, until).
+  FaultPlan& epoch_regress(SiteId site, SimTime from, SimTime until = kNever,
+                           int count = 1);
 
   /// Samples a hostile-but-survivable schedule over [0, horizon) for `sites`
   /// sites: lossy links, short partitions and crash windows, all bounded so
@@ -146,6 +171,11 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
 
+  /// True — and one occurrence consumed — when a sabotage entry of `kind`
+  /// at `site` covers `t` and still has budget. The engine misbehaves at
+  /// the matching realization point iff this returns true.
+  bool consume_sabotage(Sabotage::Kind kind, SiteId site, SimTime t);
+
  private:
   [[nodiscard]] double drop_prob(SiteId src, SiteId dst, SimTime t) const;
 
@@ -153,6 +183,7 @@ class FaultInjector {
   Rng rng_;
   std::uint64_t drops_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::vector<int> sabotage_left_;  // remaining budget per plan_.sabotage
 };
 
 }  // namespace gdur::sim

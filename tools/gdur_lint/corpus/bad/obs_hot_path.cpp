@@ -1,0 +1,60 @@
+// lint-as: src/obs/bad_stats.h
+//
+// Lint fixture (never compiled): telemetry hot paths (record/record_*/
+// append/poke) that violate the record-path contract — allocation, locking,
+// container growth, or a clock read. One aggregation-side function shows
+// the same constructs are fine outside hot-path names, and one allow()
+// documents a reviewed exception.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdur::corpus {
+
+class BadSlot {
+ public:
+  void record(std::uint64_t v) {
+    samples_.push_back(v);  // expect: obs/hot-path-alloc
+  }
+
+  void record_value(std::uint64_t v) {
+    MutexLock lock(&mu_);  // expect: obs/hot-path-alloc
+    total_ += v;
+  }
+
+  void append(const char* name, std::uint64_t ts) {
+    labels_.push_back(std::string(name));  // expect: obs/hot-path-alloc
+    last_ts_ = ts != 0 ? ts : now();  // expect: obs/hot-path-alloc
+  }
+
+  void poke() {
+    auto* cell = new std::uint64_t(0);  // expect: obs/hot-path-alloc
+    *cell = 1;
+  }
+
+  /// Aggregation side: snapshots may allocate and lock freely.
+  std::vector<std::uint64_t> snapshot() const {
+    std::vector<std::uint64_t> out;
+    out.push_back(total_);
+    return out;
+  }
+
+  /// Reviewed exception: a cold-path append wired through a hot-path name.
+  void record_cold(std::uint64_t v) {
+    // gdur-lint: allow(obs/hot-path-alloc) one-time registration at startup, never on the record path
+    samples_.push_back(v);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t now() const { return 0; }
+
+  int mu_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t last_ts_ = 0;
+  std::vector<std::uint64_t> samples_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace gdur::corpus

@@ -33,6 +33,11 @@ Rules
                            MembershipView of the transaction's epoch, or the
                            loop silently includes retired sites and excludes
                            joiners.
+  obs/hot-path-alloc       allocation, lock acquisition, container growth, or
+                           a clock read inside a telemetry hot-path function
+                           (record/record_*/append/poke) under src/obs/ —
+                           the record path's contract is one relaxed atomic
+                           op; timestamps are passed in by the caller.
   thread/guarded-by        a field declared GUARDED_BY(mu) is referenced in a
                            function body that neither holds a MutexLock on
                            mu, nor is annotated REQUIRES(mu) (at any
@@ -80,6 +85,7 @@ RULES = {
     "live/blocking-call",
     "protocol/spec-complete",
     "membership/hardcoded-sites",
+    "obs/hot-path-alloc",
     "thread/guarded-by",
     "lint/bad-allow",
     "build/untracked-tu",
@@ -119,6 +125,25 @@ BLOCKING_PATTERNS = [
 
 UNORDERED_DIRS = ("src/core/", "src/sim/", "src/protocols/", "src/obs/",
                   "src/comm/", "src/checker/")
+
+# Telemetry record paths (obs/hot-path-alloc): function names treated as hot,
+# and the constructs they must not contain. The contract (obs/stats.h):
+# a record path is one relaxed atomic op — no allocation, no lock, no clock.
+HOT_PATH_FN_RE = re.compile(r"^(?:record(?:_\w+)?|append|poke)$")
+
+HOT_PATH_PATTERNS = [
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "malloc-family call"),
+    (re.compile(r"\b(?:push_back|emplace_back|emplace|insert|resize"
+                r"|reserve|push_front)\s*\("), "container growth"),
+    (re.compile(r"\bstd\s*::\s*string\b"), "std::string construction"),
+    (re.compile(r"\bmake_(?:unique|shared)\s*\("), "heap allocation"),
+    (re.compile(r"\bMutexLock\b"), "MutexLock acquisition"),
+    (re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "lock acquisition"),
+    (re.compile(r"(?:\.|->)\s*lock\s*\(\s*\)"), "explicit .lock()"),
+    (re.compile(r"\bnow\s*\(\s*\)"), "clock read (pass the timestamp in)"),
+]
 
 MEMBERSHIP_DIRS = ("src/core/", "src/protocols/", "src/comm/")
 
@@ -464,6 +489,23 @@ def check_unordered_iter(sf: SourceFile, unordered: set[str],
                 f"copy of the keys or switch to an ordered container"))
 
 
+def check_hot_path(sf: SourceFile, diags: list[Diag]) -> None:
+    for fn in segment_functions(sf.code):
+        _qual, name = func_name_of(fn.sig)
+        if not name or not HOT_PATH_FN_RE.match(name):
+            continue
+        for rx, label in HOT_PATH_PATTERNS:
+            for m in rx.finditer(fn.body):
+                line = sf.line_of(fn.body_start + m.start())
+                diags.append(Diag(
+                    sf.path, line, "obs/hot-path-alloc",
+                    f"{label} inside telemetry hot path {name}(): the record "
+                    f"path's contract (obs/stats.h) is one relaxed atomic op "
+                    f"— no allocation, no lock, no clock; move the work to "
+                    f"the aggregation side or rename the function if it is "
+                    f"not a record path"))
+
+
 def check_hardcoded_sites(sf: SourceFile, diags: list[Diag]) -> None:
     for m in HARDCODED_SITES_RE.finditer(sf.code):
         line = sf.line_of(m.start())
@@ -682,6 +724,10 @@ def in_scope_membership(path: str) -> bool:
     return path.startswith(MEMBERSHIP_DIRS)
 
 
+def in_scope_hot_path(path: str) -> bool:
+    return path.startswith("src/obs/")
+
+
 def run_rules(files: list[SourceFile]) -> list[Diag]:
     diags: list[Diag] = []
     unordered = collect_unordered_names(files)
@@ -710,6 +756,8 @@ def run_rules(files: list[SourceFile]) -> list[Diag]:
             check_spec_complete(sf, diags)
         if in_scope_membership(sf.path):
             check_hardcoded_sites(sf, diags)
+        if in_scope_hot_path(sf.path):
+            check_hot_path(sf, diags)
         unit = norm(os.path.splitext(sf.path)[0])
         check_guarded_by(sf, guarded_by_unit.get(unit, []), requires_map,
                          diags)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate an ObsPlane snapshot JSON against the checked-in shape contract.
+
+Usage:
+    validate_snapshot.py SNAPSHOT.json [--schema tools/obs/snapshot_schema.json]
+                         [--require-clean]
+
+Implements (by hand -- no third-party dependencies) the JSON-Schema subset
+the contract uses: type, required, properties, additionalProperties, items,
+enum, minItems, maxItems, minimum. Exits nonzero on the first structural
+divergence, listing every error found with its JSON path.
+
+--require-clean additionally asserts the run was healthy: zero watchdog
+trips, zero invariant violations, zero flight dumps -- the CI gate for
+fault-free smoke runs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from the numeric types.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(value, schema, path, errors):
+    t = schema.get("type")
+    if t is not None and not TYPE_CHECKS[t](value):
+        errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and TYPE_CHECKS["number"](value):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems "
+                          f"{schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} items > maxItems "
+                          f"{schema['maxItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                validate(sub, items, f"{path}[{i}]", errors)
+
+
+def check_clean(snap, errors):
+    trips = snap.get("watchdog", {}).get("trips")
+    violations = snap.get("invariants", {}).get("violations")
+    dumps = snap.get("flight", {}).get("dumps")
+    if trips != 0:
+        errors.append(f"--require-clean: watchdog.trips = {trips} (want 0)")
+    if violations != 0:
+        errors.append(
+            f"--require-clean: invariants.violations = {violations} (want 0)")
+    if dumps != 0:
+        errors.append(f"--require-clean: flight.dumps = {dumps} (want 0)")
+    for ev in snap.get("invariants", {}).get("events", []):
+        errors.append(f"--require-clean: invariant event: {ev}")
+    for ev in snap.get("watchdog", {}).get("probes", []):
+        errors.append(f"--require-clean: watchdog event: {ev}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("snapshot", help="snapshot JSON file to validate")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "snapshot_schema.json"))
+    ap.add_argument("--require-clean", action="store_true",
+                    help="fail on any watchdog trip, invariant violation, "
+                         "or flight dump")
+    args = ap.parse_args()
+
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    try:
+        with open(args.snapshot, encoding="utf-8") as f:
+            snap = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"error: {args.snapshot} is not valid JSON: {e}")
+        return 1
+
+    errors = []
+    validate(snap, schema, "$", errors)
+    if args.require_clean:
+        check_clean(snap, errors)
+
+    if errors:
+        for e in errors:
+            print(f"error: {e}")
+        print(f"FAIL: {args.snapshot}: {len(errors)} error(s)")
+        return 1
+    committed = snap.get("counters", {}).get("txn_committed")
+    print(f"OK: {args.snapshot} conforms to the snapshot schema "
+          f"(txn_committed={committed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
