@@ -11,6 +11,7 @@ bool reads_latest(const CertContext& ctx) {
   const auto& part = ctx.replica.cluster().partitioner();
   for (const ReadEntry& r : ctx.txn.reads) {
     if (!part.is_local(ctx.replica.site(), r.obj)) continue;
+    if (!ctx.owns(r.obj)) continue;  // shard sub-vote: not my slice
     if (ctx.replica.latest_pidx(r.obj) != r.pidx) return false;
   }
   return true;
@@ -21,6 +22,7 @@ bool ww_visible(const CertContext& ctx) {
   const auto& part = cl.partitioner();
   for (ObjectId o : ctx.txn.ws) {
     if (!part.is_local(ctx.replica.site(), o)) continue;
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
     const auto* chain = ctx.replica.db().chain(o);
     if (chain == nullptr || chain->empty()) continue;
     if (!cl.oracle().visible(chain->latest(), part.partition_of(o),
@@ -35,6 +37,7 @@ bool ww_nmsi(const CertContext& ctx) {
   const auto& part = cl.partitioner();
   for (ObjectId o : ctx.txn.ws) {
     if (!part.is_local(ctx.replica.site(), o)) continue;
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
     const auto* chain = ctx.replica.db().chain(o);
     if (chain == nullptr || chain->empty()) continue;
     const auto& latest = chain->latest();
@@ -47,6 +50,7 @@ bool ww_nmsi(const CertContext& ctx) {
 
 bool ww_all_objects(const CertContext& ctx) {
   for (ObjectId o : ctx.txn.ws) {
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
     if (ctx.replica.latest_seq_of(o) > ctx.txn.snap.start_seq) return false;
   }
   return true;
@@ -64,6 +68,7 @@ bool sdur(const CertContext& ctx) {
   //     lie outside Ti's snapshot.
   for (const ReadEntry& r : ctx.txn.reads) {
     if (!part.is_local(here, r.obj)) continue;
+    if (!ctx.owns(r.obj)) continue;  // shard sub-vote: not my slice
     const auto* chain = ctx.replica.db().chain(r.obj);
     if (chain == nullptr) continue;
     const PartitionId p = part.partition_of(r.obj);
@@ -94,6 +99,7 @@ bool sdur(const CertContext& ctx) {
   //     snapshot may have read an object Ti writes.
   for (ObjectId o : ctx.txn.ws) {
     if (!part.is_local(here, o)) continue;
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
     const auto* readers = ctx.replica.recent_readers(o);
     if (readers == nullptr) continue;
     for (const auto& rd : *readers) {

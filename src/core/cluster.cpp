@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 
+#include "core/shard.h"
 #include "net/wire.h"
 
 namespace gdur::core {
@@ -29,9 +30,24 @@ Cluster::Cluster(const ClusterConfig& cfg, ProtocolSpec spec)
                                           cfg.seed * 131 + 11);
   oracle_ = versioning::make_oracle(spec_.theta, part_);
 
+  shards_ = std::clamp(cfg.shards_per_site, 1, kMaxShardsPerSite);
+  shard_lanes_ = cfg.shard_lanes;
+  live_certify_model_ = cfg.live_certify_model;
+  if (shard_lanes_enabled())
+    lane_free_.assign(static_cast<std::size_t>(cfg.sites) *
+                          static_cast<std::size_t>(shards_),
+                      SimTime{0});
+
   // Observability attachments are wired before the replicas exist: each
   // replica caches its plane slot/ring pointers at construction.
   plane_ = cfg.plane;
+  // A sharded replica records into its site slot from several certifier
+  // lanes (real threads in live mode), so the single-writer fast mode's
+  // plain load/store counters would silently lose increments. Force it off
+  // whenever shards are on, whatever the plane was configured with.
+  if (plane_ != nullptr && shards_ > 1)
+    for (std::size_t i = 0; i < plane_->stats().slots(); ++i)
+      plane_->stats().slot(i).set_single_writer(false);
 
   replicas_.reserve(static_cast<std::size_t>(cfg.sites));
   // gdur-lint: allow(membership/hardcoded-sites) bootstrap builds one replica per universe site; membership fences participation
@@ -137,21 +153,32 @@ void Cluster::send_reconfig(SiteId from, SiteId to, ReconfigMsg m) {
 
 SiteId Cluster::cert_leader(PartitionId p, EpochId e) const {
   const MembershipView& v = view(e);
-  SiteId best = kNoSite;
-  EpochId best_since = 0;
+  // Eligible: *established* members of the partition — tenure predating the
+  // view's epoch (every member qualifies in an epoch-0 view), so the leader
+  // witnessed all ordered certifications a transaction of `e` can overlap.
+  // Tenure is computed from the shared log of agreed views; every site
+  // resolves the same candidate list.
+  std::vector<SiteId> established;
+  std::vector<SiteId> all;
   for (SiteId s : part_.sites_of(p)) {
     if (!v.contains(s)) continue;
-    // Tenure: earliest epoch since which `s` has been continuously a
-    // member, looking back from `e`. Computed from the shared log of
-    // agreed views, so every site resolves the same leader.
+    all.push_back(s);
     EpochId since = v.epoch;  // v.epoch, not e: view() clamps future epochs
     while (since > 0 && members_.view(since - 1).contains(s)) --since;
-    if (best == kNoSite || since < best_since) {
-      best = s;
-      best_since = since;
-    }
+    if (since < v.epoch || v.epoch == 0) established.push_back(s);
   }
-  return best;
+  // A view whose partition members are all fresh joiners has no better
+  // choice: any agreed member serves (the view itself is the agreement).
+  const std::vector<SiteId>& cands = established.empty() ? all : established;
+  if (cands.empty()) return kNoSite;
+  // Rotate by (epoch, partition): still a pure function of the shared
+  // membership log — site-independent within an epoch — but the role moves
+  // across the candidate set as epochs advance and across partitions within
+  // one epoch, instead of pinning all certification load on the
+  // longest-tenured site.
+  return cands[(static_cast<std::size_t>(v.epoch) +
+                static_cast<std::size_t>(p)) %
+               cands.size()];
 }
 
 // ---------------------------------------------------------------------------
@@ -166,6 +193,67 @@ void Cluster::run_after(SiteId /*at*/, SimDuration delay,
 void Cluster::run_local(SiteId at, SimDuration service,
                         std::function<void()> fn) {
   net_->local_work(at, service, std::move(fn));
+}
+
+void Cluster::run_certify(SiteId at, const TxnPtr& t, SimDuration service,
+                          std::function<bool()> compute,
+                          std::function<void(bool)> done) {
+  if (!shard_lanes_enabled()) {
+    // Serial pipeline: one local-work charge, verdict computed inline —
+    // byte-identical to the pre-sharding cast_vote schedule.
+    run_local(at, service,
+              [compute = std::move(compute), done = std::move(done)] {
+                done(compute());
+              });
+    return;
+  }
+  // Per-shard lanes: the charge occupies the lanes of every touched shard
+  // (ascending shard order — the global shard order), starting when the
+  // last of them frees up. Single-shard transactions on distinct shards
+  // overlap fully; cross-shard ones serialize exactly on their overlap.
+  // Scheduling via sim_.at keeps determinism: equal finish times tie-break
+  // by event sequence number, which is itself deterministic.
+  //
+  // Crash semantics mirror CpuResource::crash_until exactly: a verdict
+  // submitted while the site is down vanishes, and one in flight across a
+  // crash is dead — firing it would vote from post-recovery (or cleared)
+  // state that no longer matches the queue entry it certified.
+  auto& cpu = net_->cpu(at);
+  if (cpu.down_at(sim_.now())) return;
+  const std::uint64_t cpu_epoch = cpu.epoch();
+  const ShardSet touched = touched_shards(*t, shards_);
+  SimTime start = sim_.now();
+  touched.for_each(
+      [&](int sh) { start = std::max(start, lane(at, sh)); });
+  const SimTime finish = start + service;
+  touched.for_each([&](int sh) { lane(at, sh) = finish; });
+  sim_.at(finish, [this, at, cpu_epoch, compute = std::move(compute),
+                   done = std::move(done)] {
+    if (net_->cpu(at).epoch() != cpu_epoch) return;  // crashed since
+    done(compute());
+  });
+}
+
+void Cluster::run_apply(SiteId at, const TxnPtr& t, SimDuration cost) {
+  if (!shard_lanes_enabled()) {
+    run_local(at, cost, [] {});
+    return;
+  }
+  // The installs already happened synchronously (as in the serial path);
+  // the analytic charge occupies the write-set shards' applier lanes so
+  // subsequent certifications on those shards queue behind it.
+  const ShardSet ws = write_shards(*t, shards_);
+  SimTime start = sim_.now();
+  ws.for_each([&](int sh) { start = std::max(start, lane(at, sh)); });
+  const SimTime finish = start + cost;
+  ws.for_each([&](int sh) { lane(at, sh) = finish; });
+}
+
+void Cluster::with_apply_exclusion(SiteId /*at*/,
+                                   const std::function<void()>& fn) {
+  // Sim backend: all of a site's work is one logical thread; nothing to
+  // exclude. The live backend overrides this with the sorted shard locks.
+  fn();
 }
 
 bool Cluster::site_down(SiteId s) const {

@@ -35,6 +35,23 @@ struct ClusterConfig {
   std::uint64_t objects_per_site = 100'000;
   int partitions_per_site = 1;
   int cores_per_site = 4;
+  /// Intra-replica keyspace shards (P-DUR, DESIGN.md §14): each replica's
+  /// certification pipeline splits into this many parallel lanes, one per
+  /// keyspace slice (object o belongs to shard o mod S). Clamped to
+  /// [1, core::kMaxShardsPerSite]. 1 = the serial pipeline; runs are then
+  /// byte-identical to a build without the sharding layer.
+  int shards_per_site = 1;
+  /// Model per-shard execution lanes when shards_per_site > 1. Sim: certify
+  /// and apply charges land on per-(site,shard) lane clocks instead of the
+  /// shared site CPU; live: certification runs on per-shard threads. Off =
+  /// sharded *data path* under the serial schedule — decisions still come
+  /// from combined per-shard sub-votes, but event timing stays byte-
+  /// identical to shards_per_site = 1 (the equivalence-test mode).
+  bool shard_lanes = true;
+  /// Live mode only: shard certifier threads wait out the analytic certify
+  /// service time before computing the verdict, modeling a certification-
+  /// bound store without assuming host core count (EXPERIMENTS.md §shards).
+  bool live_certify_model = false;
   sim::CostModel cost{};
   SimDuration min_latency = milliseconds(10);
   SimDuration max_latency = milliseconds(20);
@@ -113,6 +130,26 @@ class Cluster {
   /// spends real CPU instead and ignores the analytic charge).
   virtual void run_local(SiteId at, SimDuration service,
                          std::function<void()> fn);
+  /// Certification seam (DESIGN.md §14): evaluates `compute()` for `t` on
+  /// site `at` after charging `service`, then feeds the verdict to `done`
+  /// on the site's execution context. The serial path (shards_per_site = 1
+  /// or shard_lanes off) is exactly run_local — byte-identical schedules.
+  /// With lanes, the sim charges the lanes of `t`'s touched shards (sorted
+  /// shard order) and live mode runs `compute` on a shard thread holding
+  /// the touched shard locks in ascending order.
+  virtual void run_certify(SiteId at, const TxnPtr& t, SimDuration service,
+                           std::function<bool()> compute,
+                           std::function<void(bool)> done);
+  /// Apply-path charge for installing `t`'s write set at `at` (the state
+  /// change itself already happened synchronously). Serial path = plain
+  /// run_local charge; lanes charge the write-set shards' lanes.
+  virtual void run_apply(SiteId at, const TxnPtr& t, SimDuration cost);
+  /// Runs `fn` (apply-side mutation of shard-partitioned replica state)
+  /// excluded against concurrently-running shard certifiers: live mode
+  /// holds every shard lock of `at` in ascending order; the sim and the
+  /// serial path call `fn` directly.
+  virtual void with_apply_exclusion(SiteId at,
+                                    const std::function<void()>& fn);
   /// Is site `s` currently crashed? (Always false in live mode: the live
   /// runtime is fault-free.)
   [[nodiscard]] virtual bool site_down(SiteId s) const;
@@ -136,6 +173,12 @@ class Cluster {
   [[nodiscard]] const ProtocolSpec& spec() const { return spec_; }
   [[nodiscard]] Replica& replica(SiteId s) { return *replicas_[s]; }
   [[nodiscard]] int sites() const { return part_.sites(); }
+  /// Intra-replica shard count (>= 1; see ClusterConfig::shards_per_site).
+  [[nodiscard]] int shards_per_site() const { return shards_; }
+  /// Are per-shard execution lanes modeled (shards > 1 and lanes on)?
+  [[nodiscard]] bool shard_lanes_enabled() const {
+    return shard_lanes_ && shards_ > 1;
+  }
 
   // ------------------------------------------------------------------
   // Membership (core/membership, DESIGN.md §12).
@@ -156,17 +199,25 @@ class Cluster {
   /// it as real bytes.
   virtual void send_reconfig(SiteId from, SiteId to, ReconfigMsg m);
 
-  /// Certification leader of partition `p` for transactions of epoch `e`:
-  /// the longest-tenured member of `view(e)` among the partition's replicas
-  /// (ties broken primary-first). Group-communication certification counts
-  /// only leader votes once reconfiguration is on: a replica that joined
-  /// mid-run never witnessed the ordered certifications delivered before
-  /// its join, so its verdicts on transactions overlapping that history can
-  /// diverge from established replicas' — and S-DUR-style "any replica
-  /// covers / any false aborts" outcome evaluation then decides
-  /// *differently at different sites*. One deterministic authoritative
-  /// voter per partition restores a site-independent outcome function.
-  /// kNoSite when no replica of `p` is in the view.
+  /// Certification leader of partition `p` for transactions of epoch `e`.
+  /// Group-communication certification counts only leader votes once
+  /// reconfiguration is on: a replica that joined mid-run never witnessed
+  /// the ordered certifications delivered before its join, so its verdicts
+  /// on transactions overlapping that history can diverge from established
+  /// replicas' — and S-DUR-style "any replica covers / any false aborts"
+  /// outcome evaluation then decides *differently at different sites*. One
+  /// deterministic authoritative voter per partition restores a
+  /// site-independent outcome function.
+  ///
+  /// Leadership rotates deterministically by (epoch, partition) over the
+  /// partition's *established* members of `view(e)` — those whose tenure
+  /// predates the epoch, so they witnessed every ordered certification a
+  /// transaction of `e` can overlap (fresh joiners stay ineligible until
+  /// the next epoch). Every site evaluates the same pure function of the
+  /// shared membership log, so the leader is site-independent per epoch but
+  /// no longer pinned: certification load spreads across the replica set as
+  /// epochs advance, instead of the longest-tenured site absorbing all of
+  /// it. kNoSite when no replica of `p` is in the view.
   [[nodiscard]] SiteId cert_leader(PartitionId p, EpochId e) const;
 
   /// Versioning metadata bytes attached to messages under this spec.
@@ -258,9 +309,21 @@ class Cluster {
   void drive_reconfig(const ReconfigAction& a, int attempt);
   static constexpr int kMaxDriveAttempts = 64;
 
+  /// Sim lane clock for (site, shard): the time that shard's certifier/
+  /// applier lane becomes free. Sized sites * shards_ when lanes are on.
+  [[nodiscard]] SimTime& lane(SiteId at, int shard) {
+    return lane_free_[static_cast<std::size_t>(at) *
+                          static_cast<std::size_t>(shards_) +
+                      static_cast<std::size_t>(shard)];
+  }
+
   ProtocolSpec spec_;
   sim::Simulator sim_;
   store::Partitioner part_;
+  int shards_ = 1;
+  bool shard_lanes_ = true;
+  bool live_certify_model_ = false;
+  std::vector<SimTime> lane_free_;
   std::unique_ptr<net::Transport> net_;
   std::unique_ptr<versioning::VersionOracle> oracle_;
   std::vector<std::unique_ptr<Replica>> replicas_;

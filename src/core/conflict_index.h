@@ -43,6 +43,7 @@
 #include "common/obj_set.h"
 #include "common/sim_time.h"
 #include "common/types.h"
+#include "core/shard.h"
 #include "core/transaction.h"
 
 namespace gdur::core {
@@ -94,6 +95,37 @@ class ConflictIndex {
     bool hit = false;
     for_each_footprint(t, [&](ObjectId o) {
       if (hit) return;
+      auto it = buckets_.find(o);
+      if (it == buckets_.end()) return;
+      for (const Node* n : it->second) {
+        if (n->visit == epoch) continue;
+        n->visit = epoch;
+        if (visit(Candidate{*n->txn, n->pos})) {
+          hit = true;
+          return;
+        }
+      }
+    });
+    return hit;
+  }
+
+  /// Shard slice of scan() (DESIGN.md §14): visits only candidates indexed
+  /// under footprint objects that shard `shard` owns in an S-way keyspace
+  /// split. OR-ing scan_shard over a transaction's touched shards covers
+  /// exactly the candidate set scan() covers — every shared object lives in
+  /// some touched shard — so a boolean query (queued_conflict) computes the
+  /// same answer from the slices. A candidate sharing objects in several
+  /// shards is visited once per slice (the per-call dedup epoch spans one
+  /// slice only); `visit` must therefore be a pure predicate, which every
+  /// caller's commute test is.
+  template <typename F>
+  bool scan_shard(const TxnRecord& t, int shard, int shards,
+                  F&& visit) const {
+    const std::uint64_t epoch = ++epoch_;
+    bool hit = false;
+    for_each_footprint(t, [&](ObjectId o) {
+      if (hit) return;
+      if (shard_of(o, shards) != shard) return;  // another slice's object
       auto it = buckets_.find(o);
       if (it == buckets_.end()) return;
       for (const Node* n : it->second) {

@@ -13,6 +13,7 @@
 
 #include "common/obj_set.h"
 #include "common/sim_time.h"
+#include "core/shard.h"
 #include "core/transaction.h"
 #include "store/partitioner.h"
 #include "versioning/stamp.h"
@@ -52,10 +53,27 @@ enum class VoteScope {
 
 /// Context handed to a certify() plug-in. The test runs at one replica and
 /// only inspects objects that replica hosts.
+///
+/// Under intra-replica sharding (DESIGN.md §14) the same predicate is also
+/// evaluated per shard: `shard` then names the keyspace slice, and the
+/// plug-in must skip objects `owns()` rejects, yielding a *sub-vote* over
+/// that slice. Every certifier in core/certifiers.cpp is a per-object
+/// conjunction, so the AND of the sub-votes over a transaction's touched
+/// shards equals the unsharded verdict exactly (the shardability argument;
+/// specs with a non-conjunctive custom certify() clear
+/// ProtocolSpec::certify_shardable). `shard < 0` (the default) means the
+/// unsharded full test: owns() accepts everything.
 struct CertContext {
   const Replica& replica;
   const TxnRecord& txn;
   SimTime now;
+  int shard = -1;  // < 0: full certification, no shard restriction
+  int shards = 1;
+  /// Does this evaluation inspect object `o`? (Shard-restricted sub-votes
+  /// only look at their own keyspace slice.)
+  [[nodiscard]] bool owns(ObjectId o) const {
+    return shard < 0 || shard_of(o, shards) == shard;
+  }
 };
 
 struct ProtocolSpec {
@@ -104,6 +122,16 @@ struct ProtocolSpec {
   /// The certification test is trivial (always passes): its CPU cost is not
   /// charged. Used by RC and the GMU** ablation (§8.3).
   bool trivial_certify = false;
+
+  /// certify() is a per-object conjunction over the transaction's
+  /// footprint, so shard-restricted sub-votes (CertContext::shard) AND
+  /// together to exactly the full verdict. Every certifier in
+  /// core/certifiers.cpp qualifies. A custom spec whose certify() couples
+  /// objects across shards (e.g. counts conflicts) must clear this; the
+  /// replica then evaluates one full certification regardless of
+  /// shards_per_site (sharding keeps its lane parallelism for scheduling,
+  /// but the verdict comes from the unsharded test).
+  bool certify_shardable = true;
 
   /// Optional override of certifying_obj() (P-Store-LA commits single-site
   /// queries locally). Returns nullopt to fall back to `certifying`.

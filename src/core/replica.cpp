@@ -345,15 +345,29 @@ bool Replica::queued_conflict(const TxnRecord& t, std::uint64_t pos,
                               bool preceding_only) const {
   if (!cl_.spec().commute_footprint_local)
     return queued_conflict_pairwise(t, preceding_only);
-  const bool conflict =
-      cidx_.scan(t, [&](const ConflictIndex::Candidate& c) {
-        if (c.pos == pos) return false;  // self
-        if (preceding_only && c.pos > pos) return false;
-        const auto it = term_.find(c.txn.id);
-        if (it == term_.end()) return false;
-        if (!preceding_only && it->second.decided) return false;
-        return !cl_.spec().commute(t, c.txn);
-      });
+  const auto test = [&](const ConflictIndex::Candidate& c) {
+    if (c.pos == pos) return false;  // self
+    if (preceding_only && c.pos > pos) return false;
+    const auto it = term_.find(c.txn.id);
+    if (it == term_.end()) return false;
+    if (!preceding_only && it->second.decided) return false;
+    return !cl_.spec().commute(t, c.txn);
+  };
+  const int shards = cl_.shards_per_site();
+  bool conflict = false;
+  if (shards <= 1) {
+    conflict = cidx_.scan(t, test);
+  } else {
+    // Sharded data path: the index is queried slice by slice, in ascending
+    // shard order, and the slice answers OR together. The union of the
+    // touched slices' buckets is exactly the bucket set scan() walks, and
+    // the commute test is a pure predicate, so the OR equals the unsharded
+    // answer (revisits across slices change nothing).
+    touched_shards(t, shards).for_each([&](int sh) {
+      if (conflict) return;
+      conflict = cidx_.scan_shard(t, sh, shards, test);
+    });
+  }
   if (verify_cert_enabled()) {
     const bool pairwise = queued_conflict_pairwise(t, preceding_only);
     if (pairwise != conflict) {
@@ -385,17 +399,41 @@ void Replica::gc_try_votes() {
   }
 }
 
+bool Replica::evaluate_certify(const TxnRecord& t) const {
+  const auto& spec = cl_.spec();
+  const int shards = cl_.shards_per_site();
+  if (shards <= 1 || !spec.certify_shardable)
+    return spec.certify(CertContext{*this, t, cl_.now()});
+  // Sub-vote combination (DESIGN.md §14): one shard-restricted certify()
+  // per touched keyspace slice, ANDed in ascending shard order. Every
+  // shardable certify() is a per-object conjunction, so the combined
+  // verdict equals the unsharded one exactly — the sharded data path never
+  // changes a decision, only where the work runs.
+  bool v = true;
+  touched_shards(t, shards).for_each([&](int sh) {
+    if (!v) return;
+    v = spec.certify(CertContext{*this, t, cl_.now(), sh, shards});
+  });
+  return v;
+}
+
 void Replica::cast_vote(const TxnPtr& t, bool preemptive_abort) {
   auto& st = state_of(t);
   st.voted = true;
   const bool cheap = preemptive_abort || cl_.spec().trivial_certify;
   const SimDuration service =
       cheap ? cl_.cost().queue_op : certify_cost(*t);
-  cl_.run_local(
-      id_, service, [this, t, preemptive_abort, service] {
-        const bool v =
-            !preemptive_abort &&
-            cl_.spec().certify(CertContext{*this, *t, cl_.now()});
+  // The verdict computation (pure, shard-thread-safe) and its consequences
+  // (vote bookkeeping, WAL, announcement — site-thread state) are split
+  // across the certification seam: the backend decides where and when the
+  // compute runs (serial site CPU, sim shard lanes, live shard threads)
+  // and always delivers the verdict back on this site's execution context.
+  cl_.run_certify(
+      id_, t, service,
+      [this, t, preemptive_abort] {
+        return !preemptive_abort && evaluate_certify(*t);
+      },
+      [this, t, service](bool v) {
         GDUR_TRACE("site %d certify txn %d.%llu vote=%d",
                    static_cast<int>(id_), static_cast<int>(t->id.coord),
                    static_cast<unsigned long long>(t->id.seq),
@@ -491,6 +529,13 @@ void Replica::announce_vote(const TxnPtr& t, bool v) {
     // ordering was enforced before the vote, so it leaves Q now.
     auto& st2 = state_of(t);
     if (st2.in_q && !st2.decided) remove_from_q(t->id);
+    // Retention: such a participant often never hears the outcome (votes
+    // flow to the write-set replicas), so decide() — the only other site
+    // arming the term-state GC — may never run here and the entry would
+    // pin its TxnRecord for the rest of the run. Arm the GC now. The
+    // coordinator is exempt: it still accumulates votes in this entry to
+    // decide, and decide() arms the GC there.
+    if (id_ != t->id.coord) schedule_term_gc(t->id);
   }
 }
 
@@ -729,6 +774,12 @@ void Replica::on_paxos_2a(const TxnPtr& t, SiteId participant, bool vote) {
       paxos_acc_.erase(paxos_acc_fifo_.front());
       paxos_acc_fifo_.pop_front();
     }
+    // Retention: an acceptor that certifies nothing and applies nothing
+    // never reaches decide(), the only other path arming the straggler GC,
+    // so its slot (and any incidental term state) would persist until the
+    // FIFO cap evicts it. The coordinator is exempt: it is the learner and
+    // decide() arms the GC there.
+    if (id_ != t->id.coord) schedule_term_gc(t->id);
   }
   auto [slot, first] = it->second.try_emplace(participant, vote);
   (void)first;
@@ -864,8 +915,7 @@ void Replica::decide(const TxnPtr& t, bool commit, obs::AbortReason reason) {
 void Replica::schedule_term_gc(const TxnId& id) {
   cl_.run_after(id_, seconds(5), [this, id] {
     auto it = term_.find(id);
-    if (it == term_.end()) return;
-    if (it->second.in_q) {
+    if (it != term_.end() && it->second.in_q) {
       // Still parked in the ordered queue behind an undecided head (its
       // votes may be stuck behind a partition or a crashed site for longer
       // than the straggler window). Erasing now would leave q_ holding an
@@ -874,7 +924,18 @@ void Replica::schedule_term_gc(const TxnId& id) {
       schedule_term_gc(id);
       return;
     }
-    term_.erase(it);
+    // The Paxos acceptor slot rides along: past the straggler window a
+    // re-proposal would be answered from the decided cache at the learner
+    // anyway, and a fresh accept of the (deterministic) re-proposed value
+    // is idempotent. Without this, every acceptor leaked one map entry per
+    // transaction until the FIFO cap evicted it — the cap now only guards
+    // transactions this site accepted for but never saw terminate.
+    // (paxos_acc_fifo_ keeps the id; its cap-driven erase of an already
+    // dropped key is a no-op, and the deque itself is bounded by the cap.)
+    // A pure acceptor has a slot here but no termination state at all —
+    // the erase below must not be gated on term_ holding the id.
+    paxos_acc_.erase(id);
+    if (it != term_.end()) term_.erase(it);
   });
 }
 
@@ -921,62 +982,73 @@ void Replica::apply_commit(const TxnPtr& t) {
     oslot_->record(obs::Counter::kApplies);
     oring_->append("apply", now, id_, txn.id.coord, txn.id.seq);
   }
+  // Store installs, the replica-wide version index and the recency window
+  // are exactly the state shard certifier sub-votes read. The apply
+  // exclusion makes this mutation safe against them: the live sharded
+  // backend holds every shard lock of this site around `fn`, the sim and
+  // the serial pipeline run `fn` inline (byte-identical).
+  cl_.with_apply_exclusion(id_, [&] {
+    if (!local_ws.empty()) {
+      // All partitions the transaction writes (not only the local ones):
+      // the dependence vector must cover the transaction's remote writes
+      // too, or snapshot-compatibility tests at other replicas could miss
+      // fractures.
+      std::vector<PartitionId> parts;
+      for (ObjectId o : txn.ws) {
+        const PartitionId p = part.partition_of(o);
+        if (std::find(parts.begin(), parts.end(), p) == parts.end())
+          parts.push_back(p);
+      }
+      versioning::Stamp stamp = txn.stamp;
+      const auto pidx = cl_.oracle().on_apply(id_, stamp, parts, txn.snap);
+      for (ObjectId o : local_ws) {
+        const PartitionId p = part.partition_of(o);
+        const auto k = static_cast<std::size_t>(
+            std::find(parts.begin(), parts.end(), p) - parts.begin());
+        db_.install(o, store::Version{.writer = txn.id,
+                                      .pidx = pidx[k],
+                                      .commit_time = now,
+                                      .stamp = stamp});
+        if (cl_.install_observer())
+          cl_.install_observer()(Cluster::InstallEvent{
+              .obj = o, .writer = txn.id, .pidx = pidx[k], .site = id_,
+              .time = now});
+      }
+      if (cl_.spec().track_all_objects)
+        for (ObjectId o : txn.ws) latest_seq_[o] = stamp.seq;
+      // Durable mode: persist the after-values off the critical path.
+      if (auto* wal = cl_.wal(id_)) {
+        if (oslot_ != nullptr) oslot_->record(obs::Counter::kWalAppends);
+        wal->append(net::wire::termination(0, local_ws.size(), 16), [] {});
+      }
+    } else {
+      const std::uint64_t seq = cl_.oracle().on_commit_observed(id_);
+      if (cl_.spec().track_all_objects && seq != 0)
+        for (ObjectId o : txn.ws) latest_seq_[o] = seq;
+      // A participant with nothing to apply still learns the transaction's
+      // version number (otherwise its vector clock would lag behind the
+      // snapshots of transactions that later read here).
+      cl_.oracle().on_propagate(id_, txn.stamp);
+    }
+
+    recency_.note_commit(txn, now);
+    if (cl_.spec().track_committed_readers && !txn.read_only()) {
+      for (ObjectId o : txn.rs) {
+        if (!part.is_local(id_, o)) continue;
+        recency_.note_reader(o, ReaderInfo{.origin = txn.stamp.origin,
+                                           .seq = txn.stamp.seq,
+                                           .commit_time = now});
+      }
+    }
+  });
   if (!local_ws.empty()) {
-    // All partitions the transaction writes (not only the local ones): the
-    // dependence vector must cover the transaction's remote writes too, or
-    // snapshot-compatibility tests at other replicas could miss fractures.
-    std::vector<PartitionId> parts;
-    for (ObjectId o : txn.ws) {
-      const PartitionId p = part.partition_of(o);
-      if (std::find(parts.begin(), parts.end(), p) == parts.end())
-        parts.push_back(p);
-    }
-    versioning::Stamp stamp = txn.stamp;
-    const auto pidx = cl_.oracle().on_apply(id_, stamp, parts, txn.snap);
-    for (ObjectId o : local_ws) {
-      const PartitionId p = part.partition_of(o);
-      const auto k = static_cast<std::size_t>(
-          std::find(parts.begin(), parts.end(), p) - parts.begin());
-      db_.install(o, store::Version{.writer = txn.id,
-                                    .pidx = pidx[k],
-                                    .commit_time = now,
-                                    .stamp = stamp});
-      if (cl_.install_observer())
-        cl_.install_observer()(Cluster::InstallEvent{
-            .obj = o, .writer = txn.id, .pidx = pidx[k], .site = id_,
-            .time = now});
-    }
-    if (cl_.spec().track_all_objects)
-      for (ObjectId o : txn.ws) latest_seq_[o] = stamp.seq;
-    // Durable mode: persist the after-values off the critical path.
-    if (auto* wal = cl_.wal(id_)) {
-      if (oslot_ != nullptr) oslot_->record(obs::Counter::kWalAppends);
-      wal->append(net::wire::termination(0, local_ws.size(), 16), [] {});
-    }
     // The store mutation is synchronous (so successors certify against it);
-    // its CPU cost is charged as a fire-and-forget job.
+    // its CPU cost is charged as a fire-and-forget job — on the write-set
+    // shards' applier lanes when lanes are modeled.
     const SimDuration apply_cost =
         cl_.cost().apply_per_obj * static_cast<SimDuration>(local_ws.size());
-    cl_.run_local(id_, apply_cost, [] {});
+    cl_.run_apply(id_, t, apply_cost);
     if (auto* tr = cl_.trace()) tr->applied(txn.id, id_, now, apply_cost);
-  } else {
-    const std::uint64_t seq = cl_.oracle().on_commit_observed(id_);
-    if (cl_.spec().track_all_objects && seq != 0)
-      for (ObjectId o : txn.ws) latest_seq_[o] = seq;
-    // A participant with nothing to apply still learns the transaction's
-    // version number (otherwise its vector clock would lag behind the
-    // snapshots of transactions that later read here).
-    cl_.oracle().on_propagate(id_, txn.stamp);
-  }
-
-  recency_.note_commit(txn, now);
-  if (cl_.spec().track_committed_readers && !txn.read_only()) {
-    for (ObjectId o : txn.rs) {
-      if (!part.is_local(id_, o)) continue;
-      recency_.note_reader(o, ReaderInfo{.origin = txn.stamp.origin,
-                                         .seq = txn.stamp.seq,
-                                         .commit_time = now});
-    }
   }
 
   if (cl_.reconfig_enabled() && !txn.read_only()) {

@@ -194,6 +194,40 @@ class Replica {
                                       : it->second.reason;
   }
 
+  // ------------------------------------------------------------------
+  // Retention probes (soak/regression tests). Each per-txn table below has
+  // a retention contract documented at its declaration; these sizes must
+  // reach a steady state over a long run, not grow with transaction count.
+  // ------------------------------------------------------------------
+  [[nodiscard]] std::size_t term_table_size() const { return term_.size(); }
+  [[nodiscard]] std::size_t paxos_table_size() const {
+    return paxos_acc_.size();
+  }
+  [[nodiscard]] std::size_t decided_cache_size() const {
+    return decided_cache_.size();
+  }
+  [[nodiscard]] std::size_t commit_cb_count() const {
+    return commit_cbs_.size();
+  }
+  /// Diagnostic slice of term_: how many entries are decided / parked in
+  /// the ordered queue / vote-announced. Lets a soak test tell a stuck
+  /// population (undecided, in_q) from a GC-window tail (decided).
+  struct TermBreakdown {
+    std::size_t decided = 0;
+    std::size_t in_q = 0;
+    std::size_t announced = 0;
+  };
+  [[nodiscard]] TermBreakdown term_breakdown() const {
+    TermBreakdown b;
+    // gdur-lint: allow(determinism/unordered-iter) order-independent count aggregation; never feeds schedules, traces, or votes
+    for (const auto& [id, st] : term_) {
+      if (st.decided) ++b.decided;
+      if (st.in_q) ++b.in_q;
+      if (st.announced) ++b.announced;
+    }
+    return b;
+  }
+
  private:
   struct TermState {
     TxnPtr txn;
@@ -242,6 +276,12 @@ class Replica {
                                               bool preceding_only) const;
   void gc_try_votes();
   void cast_vote(const TxnPtr& t, bool preemptive_abort);
+  /// The certification verdict for `t` at this replica. Unsharded (or for a
+  /// spec without certify_shardable): one full spec.certify(). Sharded:
+  /// the AND of per-shard sub-votes, each the spec's certify() restricted
+  /// to one touched keyspace slice, combined in ascending shard order
+  /// (DESIGN.md §14). Pure — safe to evaluate on a shard certifier thread.
+  [[nodiscard]] bool evaluate_certify(const TxnRecord& t) const;
   /// Second half of cast_vote, after the (optional) durable log write.
   void announce_vote(const TxnPtr& t, bool vote);
   /// Just the vote messages (no decide / queue bookkeeping) — shared by the
@@ -326,9 +366,16 @@ class Replica {
   std::atomic<std::uint64_t> obs_q_pops_{0};
 
   std::deque<TxnId> q_;  // the termination queue Q of Algorithm 2
+  // Retention: an entry is created at delivery (or by a straggler message)
+  // and erased by schedule_term_gc 5s after the *last* of (a) decide() and
+  // (b) a no-local-writes GC participant's early queue leave — the two
+  // paths every transaction takes exactly one of. Steady-state size is
+  // bounded by the 5s straggler window times the decision rate.
   std::unordered_map<TxnId, TermState> term_;
-  // Paxos Commit acceptor state: first accepted vote per (txn, participant),
-  // pruned FIFO (an acceptor never needs old instances again).
+  // Paxos Commit acceptor state: first accepted vote per (txn, participant).
+  // Retention: erased together with the term state by schedule_term_gc once
+  // the straggler window passes; the FIFO cap is only the backstop for
+  // transactions this site accepted for but never itself terminated.
   std::unordered_map<TxnId, std::unordered_map<SiteId, bool>> paxos_acc_;
   std::deque<TxnId> paxos_acc_fifo_;
   static constexpr std::size_t kPaxosAcceptorCap = 100'000;
@@ -351,6 +398,10 @@ class Replica {
   // Coordinator state.
   std::uint64_t txn_counter_ = 0;
   std::uint64_t coord_seq_ = 0;  // update-transaction serial (stamp identity)
+  // Retention: erased by finish_coordinator at the decision; every
+  // submitted transaction decides at its coordinator (fault-free runs
+  // directly, faulty runs via the presumed-abort timeout), so the table
+  // holds only in-flight transactions.
   std::unordered_map<TxnId, std::function<void(bool)>> commit_cbs_;
 
   // --- membership / reconfiguration state ---

@@ -1,0 +1,84 @@
+// Intra-replica keyspace sharding (DESIGN.md §14).
+//
+// Parallel Deferred Update Replication (Pacheco, Sciascia, Pedone) splits
+// each replica's keyspace into S intra-replica shards; every shard owns a
+// slice of the conflict index and a certifier/applier lane, and transactions
+// synchronize only where their footprints cross shards. These helpers define
+// the one mapping everything else agrees on:
+//
+//   * shard_of(o, S)        — which shard owns object o (o mod S);
+//   * touched_shards(t, S)  — the set of shards a transaction's footprint
+//                             (rs ∪ ws) intersects;
+//   * write_shards(t, S)    — the shards its write-set touches (apply lanes).
+//
+// ShardSet iterates in ascending shard id. That order IS the deterministic
+// total order over shards: live shard locks are acquired in it (deadlock
+// freedom), sub-votes are combined in it, and sim lanes are charged in it.
+// Shard ids fit a 64-bit mask, which caps shards_per_site at 64 — far above
+// any core count this middleware models; ClusterConfig clamps to the cap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/transaction.h"
+
+namespace gdur::core {
+
+inline constexpr int kMaxShardsPerSite = 64;
+
+/// The shard owning object `o` under an S-way split (always 0 when S <= 1).
+[[nodiscard]] inline int shard_of(ObjectId o, int shards) {
+  return shards <= 1 ? 0
+                     : static_cast<int>(o % static_cast<ObjectId>(shards));
+}
+
+/// A set of intra-replica shard ids, iterated in ascending order.
+class ShardSet {
+ public:
+  void insert(int s) { mask_ |= std::uint64_t{1} << s; }
+  [[nodiscard]] bool contains(int s) const { return (mask_ >> s) & 1; }
+  [[nodiscard]] bool empty() const { return mask_ == 0; }
+  [[nodiscard]] int count() const { return __builtin_popcountll(mask_); }
+  /// Lowest touched shard id — the home lane of a cross-shard transaction.
+  [[nodiscard]] int first() const { return __builtin_ctzll(mask_); }
+  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+
+  /// Visits each member in ascending shard id (the global lock order).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint64_t m = mask_; m != 0; m &= m - 1)
+      f(__builtin_ctzll(m));
+  }
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+/// Shards intersecting rs(t) ∪ ws(t). Never empty: a transaction with an
+/// empty footprint (degenerate, but constructible) homes on shard 0.
+[[nodiscard]] inline ShardSet touched_shards(const TxnRecord& t, int shards) {
+  ShardSet s;
+  if (shards <= 1) {
+    s.insert(0);
+    return s;
+  }
+  for (ObjectId o : t.rs) s.insert(shard_of(o, shards));
+  for (ObjectId o : t.ws) s.insert(shard_of(o, shards));
+  if (s.empty()) s.insert(0);
+  return s;
+}
+
+/// Shards intersecting ws(t) — the lanes an apply occupies.
+[[nodiscard]] inline ShardSet write_shards(const TxnRecord& t, int shards) {
+  ShardSet s;
+  if (shards <= 1) {
+    s.insert(0);
+    return s;
+  }
+  for (ObjectId o : t.ws) s.insert(shard_of(o, shards));
+  if (s.empty()) s.insert(0);
+  return s;
+}
+
+}  // namespace gdur::core

@@ -139,6 +139,16 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
   dispatch_state_.resize(n);
   mailboxes_.reserve(n);
   for (int s = 0; s < n; ++s) mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (shard_lanes_enabled()) {
+    const std::size_t lanes =
+        std::size_t(n) * std::size_t(shards_per_site());
+    shard_mailboxes_.reserve(lanes);
+    shard_mu_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      shard_mailboxes_.push_back(std::make_unique<Mailbox>());
+      shard_mu_.push_back(std::make_unique<Mutex>());
+    }
+  }
 
   transport_live_ = std::make_unique<LiveTransport>(
       n, wheel_, [this](SiteId src, SiteId dst, std::vector<std::uint8_t> f) {
@@ -167,6 +177,11 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
       p->stats().slot(i).set_single_writer(false);
     for (int s = 0; s < n; ++s)
       mailboxes_[s]->set_stats(&p->slot(static_cast<SiteId>(s)));
+    // Shard certifier workers record into their site's slot (atomic RMW
+    // path — single-writer was just forced off above).
+    for (std::size_t i = 0; i < shard_mailboxes_.size(); ++i)
+      shard_mailboxes_[i]->set_stats(
+          &p->slot(static_cast<SiteId>(i / std::size_t(shards_per_site()))));
     wheel_.set_stats(&p->runtime_slot());
     transport_live_->loop().set_stats(&p->runtime_slot());
     transport_live_->set_stats([p](SiteId src) { return &p->slot(src); });
@@ -184,6 +199,9 @@ void LiveCluster::start() {
   threads_.reserve(mailboxes_.size());
   for (auto& mb : mailboxes_)
     threads_.emplace_back([m = mb.get()] { m->run(); });
+  shard_threads_.reserve(shard_mailboxes_.size());
+  for (auto& mb : shard_mailboxes_)
+    shard_threads_.emplace_back([m = mb.get()] { m->run(); });
 
   if (auto* p = plane()) {
     // Stall watchdog: every work queue in the live runtime registers its
@@ -211,6 +229,29 @@ void LiveCluster::start() {
             return q > e ? q - e : 0;
           });
     }
+    if (!shard_mailboxes_.empty()) {
+      // One probe per site aggregating its shard certifier workers: a wedged
+      // shard thread (e.g. a lock-order bug) shows up as rising pending with
+      // flat progress, same as any other stalled queue.
+      const int S = shards_per_site();
+      for (SiteId s = 0; s < static_cast<SiteId>(sites()); ++s) {
+        wd.add_probe(
+            "shard_cert", s,
+            [this, s, S] {
+              std::uint64_t e = 0;
+              for (int sh = 0; sh < S; ++sh) e += shard_box(s, sh).executed();
+              return e;
+            },
+            [this, s, S] {
+              // executed first (see the mailbox probe above).
+              std::uint64_t e = 0;
+              std::uint64_t q = 0;
+              for (int sh = 0; sh < S; ++sh) e += shard_box(s, sh).executed();
+              for (int sh = 0; sh < S; ++sh) q += shard_box(s, sh).posted();
+              return q > e ? q - e : 0;
+            });
+      }
+    }
     wd.add_probe(
         "timer_wheel", kNoSite, [this] { return wheel_.ticks(); },
         [this] { return wheel_.armed(); });
@@ -232,8 +273,13 @@ void LiveCluster::stop() {
   // (replicas, oracle) happens only after every thread has joined.
   wheel_.stop();
   transport_live_->stop();
+  // Shard workers before site threads: a certify task posted to a stopped
+  // mailbox is dropped (Mailbox contract), never half-run on a dead thread.
+  for (auto& mb : shard_mailboxes_) mb->stop();
   for (auto& mb : mailboxes_) mb->stop();
+  for (auto& th : shard_threads_) th.join();
   for (auto& th : threads_) th.join();
+  shard_threads_.clear();
   threads_.clear();
 }
 
@@ -259,6 +305,84 @@ void LiveCluster::run_local(SiteId at, SimDuration /*service*/,
                             std::function<void()> fn) {
   // Real CPU is spent executing the work; the analytic charge is sim-only.
   post(at, std::move(fn));
+}
+
+void LiveCluster::lock_shards(SiteId at, core::ShardSet s) {
+  s.for_each([&](int sh) { shard_mutex(at, sh).lock(); });
+}
+
+void LiveCluster::unlock_shards(SiteId at, core::ShardSet s) {
+  s.for_each([&](int sh) { shard_mutex(at, sh).unlock(); });
+}
+
+void LiveCluster::run_certify(SiteId at, const core::TxnPtr& t,
+                              SimDuration service,
+                              std::function<bool()> compute,
+                              std::function<void(bool)> done) {
+  if (shard_mailboxes_.empty()) {
+    if (live_certify_model_ && service > 0) {
+      // Serial pipeline under the certify-service model: the wait runs on
+      // the site thread, stalling the whole pipeline for its duration —
+      // that IS the serial baseline the sharded cores-scaling runs compare
+      // against (a single certifier processes verdicts back to back).
+      post(at, [service, compute = std::move(compute),
+                done = std::move(done)]() mutable {
+        // gdur-lint: allow(live/blocking-call) certify-service model: the stall IS the modeled serial certifier occupancy
+        std::this_thread::sleep_for(std::chrono::nanoseconds(service));
+        done(compute());
+      });
+      return;
+    }
+    // Serial live runtime: the base posts the verdict computation straight
+    // onto the site mailbox (via run_local) — single-threaded as before.
+    core::Cluster::run_certify(at, t, service, std::move(compute),
+                               std::move(done));
+    return;
+  }
+  const core::ShardSet touched = core::touched_shards(*t, shards_per_site());
+  // The task runs on the lead (lowest) touched shard's worker; transactions
+  // with disjoint shard footprints land on different workers and certify
+  // concurrently. `compute` only reads replica state, and every writer of
+  // that state holds ALL of this site's shard mutexes (the apply exclusion),
+  // so holding the touched subset suffices.
+  shard_box(at, touched.first())
+      .post([this, at, touched, service, compute = std::move(compute),
+             done = std::move(done)]() mutable {
+        if (live_certify_model_ && service > 0) {
+          // Pipeline-model mode: wait out the analytic certification service
+          // time before computing. Waiting shard workers overlap even on a
+          // single hardware core, so cores-scaling runs measure the
+          // pipeline's parallelism rather than the host's core count
+          // (EXPERIMENTS.md, cores-scaling methodology).
+          // gdur-lint: allow(live/blocking-call) blocks a shard worker, never the event loop or a site mailbox thread
+          std::this_thread::sleep_for(std::chrono::nanoseconds(service));
+        }
+        lock_shards(at, touched);
+        const bool v = compute();
+        unlock_shards(at, touched);
+        // The verdict re-enters the single-threaded replica on its own
+        // mailbox; everything downstream of cast_vote stays site-threaded.
+        post(at, [done = std::move(done), v] { done(v); });
+      });
+}
+
+void LiveCluster::run_apply(SiteId /*at*/, const core::TxnPtr& /*t*/,
+                            SimDuration /*cost*/) {
+  // Real CPU was already spent installing the write-set inside the apply
+  // exclusion; the analytic lane charge is sim-only.
+}
+
+void LiveCluster::with_apply_exclusion(SiteId at,
+                                       const std::function<void()>& fn) {
+  if (shard_mailboxes_.empty()) {
+    fn();
+    return;
+  }
+  core::ShardSet all;
+  for (int sh = 0; sh < shards_per_site(); ++sh) all.insert(sh);
+  lock_shards(at, all);
+  fn();
+  unlock_shards(at, all);
 }
 
 // --- client API --------------------------------------------------------------

@@ -10,6 +10,16 @@
 //   * One thread per site drains that site's Mailbox; the replica and all
 //     its handlers run only there (the sim's single-threaded-site invariant,
 //     preserved).
+//   * With shards_per_site > 1 (DESIGN.md §14), one extra thread per
+//     (site, shard) drains that shard's certifier mailbox. Certification
+//     verdicts are computed there — pure reads of replica state — under the
+//     touched shards' mutexes acquired in ascending shard order; the store
+//     mutation on the apply path runs on the site thread holding ALL of the
+//     site's shard mutexes (Cluster::with_apply_exclusion). Writer-holds-all
+//     vs. reader-holds-at-least-one makes every certify-visible structure
+//     (store chains, version index, recency window) safe to read off-thread.
+//     The verdict re-enters the site mailbox, so everything downstream of
+//     cast_vote stays single-threaded.
 //   * One event-loop thread moves bytes; it never touches protocol state —
 //     it posts decode+dispatch tasks to the destination's mailbox.
 //   * One timer-wheel thread fires run_after callbacks and emulated link
@@ -37,7 +47,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/cluster.h"
+#include "core/shard.h"
 #include "live/live_transport.h"
 #include "live/mailbox.h"
 #include "live/timer_wheel.h"
@@ -73,6 +85,21 @@ class LiveCluster : public core::Cluster {
                  std::function<void()> fn) override;
   void run_local(SiteId at, SimDuration service,
                  std::function<void()> fn) override;
+  /// Sharded certification (DESIGN.md §14): posts the verdict computation to
+  /// the lead touched shard's worker thread, which takes the touched shard
+  /// mutexes in ascending order, evaluates, and posts `done` back to the
+  /// site mailbox. Serial (shards_per_site == 1) runs fall through to the
+  /// base implementation, which posts to the site mailbox.
+  void run_certify(SiteId at, const core::TxnPtr& t, SimDuration service,
+                   std::function<bool()> compute,
+                   std::function<void(bool)> done) override;
+  /// Live apply cost is real CPU spent inside the exclusion — no analytic
+  /// lane charge.
+  void run_apply(SiteId at, const core::TxnPtr& t, SimDuration cost) override;
+  /// Runs `fn` holding every shard mutex of `at` (ascending), excluding all
+  /// concurrent shard certifiers. No-op wrapper when unsharded.
+  void with_apply_exclusion(SiteId at,
+                            const std::function<void()>& fn) override;
   [[nodiscard]] bool site_down(SiteId) const override { return false; }
   void remote_read(SiteId from, SiteId target, const core::MutTxnPtr& t,
                    ObjectId x, std::function<void(bool)> cb) override;
@@ -152,8 +179,29 @@ class LiveCluster : public core::Cluster {
 
   static constexpr std::size_t kTxnCacheCap = 200'000;
 
+  /// (site, shard) → certifier worker mailbox / shard-slice mutex. Built in
+  /// the constructor iff shard lanes are enabled; empty means serial mode.
+  [[nodiscard]] Mailbox& shard_box(SiteId at, int shard) {
+    return *shard_mailboxes_[std::size_t(at) *
+                                 std::size_t(shards_per_site()) +
+                             std::size_t(shard)];
+  }
+  [[nodiscard]] Mutex& shard_mutex(SiteId at, int shard) {
+    return *shard_mu_[std::size_t(at) * std::size_t(shards_per_site()) +
+                      std::size_t(shard)];
+  }
+  /// Sorted (ascending-shard) acquisition over a dynamic lock set — the one
+  /// global order both certifiers and the apply exclusion use, so they can
+  /// never deadlock. Dynamic sets defeat Clang TSA's static lock matching;
+  /// gdur-lint's thread/shard-affinity rule checks the discipline instead.
+  void lock_shards(SiteId at, core::ShardSet s) NO_THREAD_SAFETY_ANALYSIS;
+  void unlock_shards(SiteId at, core::ShardSet s) NO_THREAD_SAFETY_ANALYSIS;
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Mailbox>> shard_mailboxes_;
+  std::vector<std::unique_ptr<Mutex>> shard_mu_;
   std::vector<std::thread> threads_;
+  std::vector<std::thread> shard_threads_;
   std::vector<SiteState> dispatch_state_;
   TimerWheel wheel_;
   std::unique_ptr<LiveTransport> transport_live_;

@@ -240,6 +240,9 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   lc.base.objects_per_site = cfg.objects_per_site;
   lc.base.partitions_per_site = cfg.partitions_per_site;
   lc.base.seed = cfg.seed;
+  lc.base.shards_per_site = cfg.shards_per_site;
+  lc.base.live_certify_model = cfg.live_certify_model;
+  lc.base.cost = cfg.cost;
   lc.base.trace = cfg.trace;
   lc.base.plane = cfg.plane;
   lc.delay_scale = cfg.delay_scale;

@@ -10,6 +10,7 @@
 #include "harness/metrics.h"
 #include "obs/plane.h"
 #include "obs/trace.h"
+#include "sim/cost_model.h"
 #include "workload/workload.h"
 
 namespace gdur::live {
@@ -28,6 +29,20 @@ struct LiveRunConfig {
   int partitions_per_site = 2;
   int replication = 1;
   std::uint64_t seed = 42;
+  /// Keyspace shards per replica (DESIGN.md §14). > 1 spawns per-(site,
+  /// shard) certifier worker threads in the live runtime; 1 keeps the
+  /// serial single-thread-per-site pipeline.
+  int shards_per_site = 1;
+  /// Certifier workers wait out the analytic certification service time
+  /// before computing the verdict (cores-scaling benchmark mode; see
+  /// EXPERIMENTS.md). With shards_per_site = 1 the wait stalls the site
+  /// thread — the serial baseline; with > 1 it stalls only the shard's
+  /// worker, so disjoint-footprint certifications overlap.
+  bool live_certify_model = false;
+  /// Analytic CPU service times (certify_base &c.). The live runtime spends
+  /// real CPU for everything else; this model only drives the
+  /// live_certify_model waits and the trace annotations.
+  sim::CostModel cost{};
   /// Poisson arrivals at this total offered rate instead of closed loops
   /// (0 = closed loop).
   double open_loop_tps = 0.0;

@@ -23,9 +23,12 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -96,6 +99,7 @@ class StatsSlot {
   void record(Counter c, std::uint64_t n = 1) {
     auto& cell = counters_[static_cast<std::size_t>(c)];
     if (single_writer_) {
+      assert_single_writer();
       cell.store(cell.load(std::memory_order_relaxed) + n,
                  std::memory_order_relaxed);
     } else {
@@ -112,6 +116,7 @@ class StatsSlot {
     }
     auto& cell = hist_[static_cast<std::size_t>(h) * kHistBuckets + b];
     if (single_writer_) {
+      assert_single_writer();
       cell.store(cell.load(std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
     } else {
@@ -123,8 +128,15 @@ class StatsSlot {
   /// discrete-event simulator), so counters bump with plain relaxed
   /// load/store instead of atomic RMW — roughly 3x cheaper per record.
   /// Aggregation-side reads stay safe (whole-word relaxed loads); NEVER
-  /// enable this when site threads record concurrently (live mode).
-  void set_single_writer(bool on) { single_writer_ = on; }
+  /// enable this when site threads record concurrently (live mode, or a
+  /// sharded sim backend with lane threads). ObsPlane force-disables it
+  /// when it is attached to a cluster with shards_per_site > 1.
+  void set_single_writer(bool on) {
+    single_writer_ = on;
+    writer_.store(0, std::memory_order_relaxed);  // re-arm identity check
+  }
+
+  [[nodiscard]] bool single_writer() const { return single_writer_; }
 
   [[nodiscard]] std::uint64_t value(Counter c) const {
     return counters_[static_cast<std::size_t>(c)].load(
@@ -136,8 +148,30 @@ class StatsSlot {
   }
 
  private:
+  /// Debug-build teeth for the single-writer contract: the first record call
+  /// claims the slot for its thread (one CAS), every later call verifies the
+  /// claim with a relaxed load. A second writer would previously just corrupt
+  /// counts silently (the load+store bump loses increments); now it aborts in
+  /// debug builds. No allocation, no lock, no clock — the release-build hot
+  /// path is unchanged (the whole check compiles away under NDEBUG).
+  void assert_single_writer() {
+#ifndef NDEBUG
+    const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::size_t me = h == 0 ? 1 : h;
+    std::size_t seen = writer_.load(std::memory_order_relaxed);
+    if (seen == 0) {
+      if (writer_.compare_exchange_strong(seen, me,
+                                          std::memory_order_relaxed))
+        return;  // claimed by this thread
+    }
+    assert(seen == me &&
+           "StatsSlot single-writer mode violated: second thread recording");
+#endif
+  }
+
   std::array<std::atomic<std::uint64_t>, kCounterCount> counters_{};
   std::array<std::atomic<std::uint64_t>, kHistCount * kHistBuckets> hist_{};
+  std::atomic<std::size_t> writer_{0};  // debug: claimed writer identity
   bool single_writer_ = false;  // set once at attach time, before recording
 };
 

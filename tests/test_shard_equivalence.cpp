@@ -1,0 +1,287 @@
+// Sharded certification pipeline — equivalence and safety (DESIGN.md §14).
+//
+//   * Decision identity: with shard lanes OFF, a sharded run (sub-votes,
+//     sliced conflict scans) is byte-identical in schedule to the serial
+//     run, so every per-transaction commit/abort decision must match the
+//     shards_per_site = 1 baseline exactly — across all 7 paper protocols,
+//     shards ∈ {1, 2, 4}, ≥5k transactions under the chaos fault matrix.
+//   * Checker cleanliness: with shard lanes ON (the default), the lane
+//     clocks reshuffle timing, so individual decisions may legitimately
+//     differ — but every recorded history must still satisfy the
+//     protocol's consistency criterion.
+//   * Live runtime: a sharded LiveCluster (real shard certifier threads,
+//     sorted shard-mutex acquisition) must produce a checker-clean history
+//     with no hung clients. These cases run under TSan in CI
+//     (--gtest_filter=*Live*).
+//   * StatsSlot single-writer force-off: attaching a single-writer plane to
+//     a sharded cluster must silently downgrade every slot to the atomic
+//     RMW path (satellite of the same PR).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checker/history.h"
+#include "core/cluster.h"
+#include "harness/metrics.h"
+#include "live/live_runner.h"
+#include "obs/plane.h"
+#include "protocols/protocols.h"
+#include "sim/fault.h"
+#include "workload/client.h"
+
+namespace gdur {
+namespace {
+
+const char* kProtocols[] = {"P-Store", "S-DUR",    "GMU", "Serrano",
+                            "Walter",  "Jessy2pc", "RC"};
+
+struct RunOutcome {
+  /// (coord, seq) → committed, for every transaction a client finished.
+  std::map<std::pair<SiteId, std::uint64_t>, bool> decisions;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t txns = 0;
+  bool checker_ok = false;
+  std::string checker_detail;
+};
+
+/// One chaos run of `name` at the given sharding configuration — the
+/// VerifyCertStress deployment shape (4 sites, replication 2, tiny keyspace
+/// for deep queues, seeded chaos faults). Faults span the first 3 simulated
+/// seconds; running past that horizon leaves a settle tail so late installs
+/// reach the checker's authority site (the ReconfigChaos pattern — a commit
+/// whose install is merely in flight at the cutoff is not a violation).
+RunOutcome run_chaos(const char* name, int shards, bool lanes,
+                     std::uint64_t chaos_seed,
+                     SimDuration horizon = seconds(4),
+                     sim::ChaosOptions chaos_opts = {}) {
+  core::ClusterConfig cfg;
+  cfg.sites = 4;
+  cfg.replication = 2;
+  cfg.objects_per_site = 24;  // high contention => deep queues
+  cfg.durable = true;
+  cfg.shards_per_site = shards;
+  cfg.shard_lanes = lanes;
+  cfg.term_timeout = milliseconds(500);
+  cfg.client_timeout = seconds(2);
+  cfg.faults =
+      sim::FaultPlan::chaos(cfg.sites, seconds(3), chaos_seed, chaos_opts);
+  core::Cluster cluster(cfg, protocols::by_name(name));
+
+  checker::History history;
+  history.attach(cluster);
+  harness::Metrics metrics;
+  RunOutcome out;
+  std::vector<std::unique_ptr<workload::ClientActor>> actors;
+  for (int i = 0; i < 24; ++i) {
+    auto c = std::make_unique<workload::ClientActor>(
+        cluster, static_cast<SiteId>(i % cfg.sites),
+        workload::WorkloadSpec::B(0.2), metrics,
+        mix64(83'000 + static_cast<std::uint64_t>(i)));
+    c->set_observer([&cluster, &history, &out](const core::TxnRecord& t,
+                                               bool committed) {
+      history.record_txn(t, committed, cluster.simulator().now());
+      out.decisions[{t.id.coord, t.id.seq}] = committed;
+    });
+    c->start(i * microseconds(373));
+    actors.push_back(std::move(c));
+  }
+  cluster.simulator().run_until(horizon);
+  out.committed = metrics.committed();
+  out.aborted = metrics.aborted();
+  for (const auto& a : actors) out.txns += a->txns_run();
+  const auto res = history.check_criterion(live::criterion_of(name));
+  out.checker_ok = res.ok;
+  out.checker_detail = res.detail;
+  return out;
+}
+
+TEST(ShardEquivalence, LanesOffDecisionsIdenticalAcrossShardCounts) {
+  std::uint64_t total_txns = 0;
+  std::uint64_t chaos_seed = 700;
+  for (const char* name : kProtocols) {
+    ++chaos_seed;
+    const RunOutcome base =
+        run_chaos(name, /*shards=*/1, /*lanes=*/false, chaos_seed);
+    EXPECT_GT(base.committed, 0u) << name;
+    EXPECT_TRUE(base.checker_ok) << name << ": " << base.checker_detail;
+    total_txns += base.txns;
+    for (int shards : {2, 4}) {
+      const RunOutcome sh = run_chaos(name, shards, /*lanes=*/false,
+                                      chaos_seed);
+      EXPECT_TRUE(sh.checker_ok)
+          << name << " shards=" << shards << ": " << sh.checker_detail;
+      // Byte-identity of the schedule implies identity of every decision,
+      // not just the totals.
+      EXPECT_EQ(sh.committed, base.committed) << name << " shards=" << shards;
+      EXPECT_EQ(sh.aborted, base.aborted) << name << " shards=" << shards;
+      EXPECT_EQ(sh.decisions, base.decisions)
+          << name << " shards=" << shards
+          << ": per-transaction outcomes diverged from the serial run";
+      total_txns += sh.txns;
+    }
+  }
+  EXPECT_GE(total_txns, 5'000u)
+      << "the stress must exercise at least 5k transactions";
+}
+
+TEST(ShardEquivalence, LanesOnHistoriesCheckerCleanUnderContention) {
+  // With lane clocks active the schedule differs from the serial run, so
+  // only the consistency criterion is asserted — the same claim P-DUR makes
+  // for its parallel pipeline (equivalent serializable outcomes, not
+  // identical ones). These runs are fault-free, matching the repo's checker
+  // guarantee surface (test_properties): the randomized chaos matrix has
+  // pre-existing divergence windows (vote loss racing termination timeouts)
+  // that trip the checker at the SERIAL baseline too — e.g. S-DUR at chaos
+  // seed 802 over 8 simulated seconds — so chaos coverage for sharding
+  // comes from the decision-identity test above, which proves under full
+  // chaos (crashes included) that the sharded data path changes no
+  // decision at all.
+  for (const char* name : kProtocols) {
+    core::ClusterConfig cfg;
+    cfg.sites = 4;
+    cfg.replication = 2;
+    cfg.objects_per_site = 64;  // 256 objects: heavy contention
+    cfg.shards_per_site = 4;
+    core::Cluster cluster(cfg, protocols::by_name(name));
+    checker::History history;
+    history.attach(cluster);
+    harness::Metrics metrics;
+    std::vector<std::unique_ptr<workload::ClientActor>> actors;
+    for (int i = 0; i < 24; ++i) {
+      auto c = std::make_unique<workload::ClientActor>(
+          cluster, static_cast<SiteId>(i % cfg.sites),
+          workload::WorkloadSpec::B(0.6), metrics,
+          mix64(57'000 + static_cast<std::uint64_t>(i)));
+      c->set_observer([&cluster, &history](const core::TxnRecord& t,
+                                           bool committed) {
+        history.record_txn(t, committed, cluster.simulator().now());
+      });
+      c->start(i * microseconds(431));
+      actors.push_back(std::move(c));
+    }
+    cluster.simulator().run_until(seconds(2));
+    EXPECT_GT(metrics.committed(), 120u) << name;
+    const auto res = history.check_criterion(live::criterion_of(name));
+    EXPECT_TRUE(res.ok) << name << " violates " << live::criterion_of(name)
+                        << ": " << res.detail;
+  }
+}
+
+TEST(ShardEquivalence, LanesOnSingleShardFootprintsPipelineInSim) {
+  // Sanity of the lane model itself: a certification-bound, fully
+  // shardable workload must finish sooner on 4 lanes than on 1 (the
+  // committed count over a fixed window rises).
+  auto committed_at = [](int shards) {
+    core::ClusterConfig cfg;
+    cfg.sites = 2;
+    cfg.replication = 1;
+    cfg.objects_per_site = 4096;
+    cfg.cores_per_site = 1;
+    cfg.shards_per_site = shards;
+    cfg.cost.certify_base = microseconds(400);
+    core::Cluster cluster(cfg, protocols::by_name("P-Store"));
+    harness::Metrics metrics;
+    std::vector<std::unique_ptr<workload::ClientActor>> actors;
+    for (int i = 0; i < 32; ++i) {
+      actors.push_back(std::make_unique<workload::ClientActor>(
+          cluster, static_cast<SiteId>(i % cfg.sites),
+          workload::WorkloadSpec::B(0.5), metrics,
+          mix64(91'000 + static_cast<std::uint64_t>(i))));
+      actors.back()->start(i * microseconds(119));
+    }
+    cluster.simulator().run_until(seconds(2));
+    return metrics.committed();
+  };
+  const std::uint64_t serial = committed_at(1);
+  const std::uint64_t sharded = committed_at(4);
+  ASSERT_GT(serial, 0u);
+  EXPECT_GT(sharded, serial)
+      << "4 certifier lanes should outrun 1 on a certification-bound load";
+}
+
+// --- live runtime (TSan target) --------------------------------------------
+
+TEST(ShardEquivalenceLive, ShardedLiveRunIsCheckerClean) {
+  live::LiveRunConfig cfg;
+  cfg.protocol = "P-Store";
+  cfg.sites = 3;
+  cfg.clients = 8;
+  cfg.secs = 0.5;
+  cfg.shards_per_site = 4;
+  const auto r = live::run_live(cfg);
+  EXPECT_TRUE(r.checker_ok) << r.checker_detail;
+  EXPECT_GT(r.metrics.committed(), 0u);
+  EXPECT_EQ(r.hung_clients, 0);
+}
+
+TEST(ShardEquivalenceLive, ShardedLiveCrossShardProtocolIsCheckerClean) {
+  // GMU certifies read+write sets → most transactions touch several shards,
+  // exercising the sorted multi-mutex path and the apply exclusion.
+  live::LiveRunConfig cfg;
+  cfg.protocol = "GMU";
+  cfg.sites = 3;
+  cfg.clients = 8;
+  cfg.secs = 0.5;
+  cfg.shards_per_site = 2;
+  const auto r = live::run_live(cfg);
+  EXPECT_TRUE(r.checker_ok) << r.checker_detail;
+  EXPECT_GT(r.metrics.committed(), 0u);
+  EXPECT_EQ(r.hung_clients, 0);
+}
+
+TEST(ShardEquivalenceLive, CertifyModelRunStaysClean) {
+  live::LiveRunConfig cfg;
+  cfg.protocol = "P-Store";
+  cfg.sites = 2;
+  cfg.clients = 8;
+  cfg.secs = 0.5;
+  cfg.shards_per_site = 2;
+  cfg.live_certify_model = true;
+  const auto r = live::run_live(cfg);
+  EXPECT_TRUE(r.checker_ok) << r.checker_detail;
+  EXPECT_GT(r.metrics.committed(), 0u);
+  EXPECT_EQ(r.hung_clients, 0);
+}
+
+// --- StatsSlot single-writer force-off (satellite) --------------------------
+
+TEST(ShardStats, SingleWriterForcedOffWhenSharded) {
+  obs::ObsPlaneConfig pc;
+  pc.sites = 2;
+  pc.single_writer = true;
+  obs::ObsPlane plane(pc);
+  for (std::size_t i = 0; i < plane.stats().slots(); ++i)
+    ASSERT_TRUE(plane.stats().slot(i).single_writer());
+
+  core::ClusterConfig cfg;
+  cfg.sites = 2;
+  cfg.shards_per_site = 2;
+  cfg.plane = &plane;
+  core::Cluster cluster(cfg, protocols::by_name("P-Store"));
+  for (std::size_t i = 0; i < plane.stats().slots(); ++i)
+    EXPECT_FALSE(plane.stats().slot(i).single_writer())
+        << "slot " << i << ": single-writer fast path must be disabled when "
+        << "shard lane threads can record concurrently";
+}
+
+TEST(ShardStats, SingleWriterKeptForSerialSim) {
+  obs::ObsPlaneConfig pc;
+  pc.sites = 2;
+  pc.single_writer = true;
+  obs::ObsPlane plane(pc);
+  core::ClusterConfig cfg;
+  cfg.sites = 2;
+  cfg.plane = &plane;
+  core::Cluster cluster(cfg, protocols::by_name("P-Store"));
+  for (std::size_t i = 0; i < plane.stats().slots(); ++i)
+    EXPECT_TRUE(plane.stats().slot(i).single_writer());
+}
+
+}  // namespace
+}  // namespace gdur

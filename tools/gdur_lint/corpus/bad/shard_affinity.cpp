@@ -1,0 +1,40 @@
+// lint-as: src/core/shard_affinity.cpp
+//
+// Lint fixture (never compiled): the sharded-certification contracts.
+// One certifier walks the transaction footprint without the owns() gate —
+// under shards_per_site > 1 every shard would re-judge the full footprint,
+// so the per-shard sub-votes stop AND-combining to the serial verdict. A
+// helper below also pokes lane state that only the cluster layer owns.
+
+namespace gdur::corpus {
+
+bool ungated_certifier(const CertContext& ctx) {
+  for (ObjectId o : ctx.txn.ws) {  // expect: thread/shard-affinity
+    if (latest_seq_of(o) > ctx.txn.snap.start_seq) return false;
+  }
+  return true;
+}
+
+bool gated_certifier(const CertContext& ctx) {
+  for (ObjectId o : ctx.txn.ws) {
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
+    if (latest_seq_of(o) > ctx.txn.snap.start_seq) return false;
+  }
+  return true;
+}
+
+bool no_footprint(const CertContext& ctx) {
+  // Constant verdict: nothing per-object to slice, no gate required.
+  return ctx.txn.snap.start_seq >= 0;
+}
+
+void poke_lane(int site, int shard) {
+  lane_free_[site * 4 + shard] = 0;  // expect: thread/shard-affinity
+}
+
+void dump_lane(int site) {
+  // gdur-lint: allow(thread/shard-affinity) read-only diagnostic dump; scheduling decisions still flow through run_certify
+  print_lane(lane_free_[site]);
+}
+
+}  // namespace gdur::corpus

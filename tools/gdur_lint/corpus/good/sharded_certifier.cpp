@@ -1,0 +1,21 @@
+// lint-as: src/core/sharded_certifier.cpp
+//
+// Lint fixture (never compiled): a shard-clean certifier. Every footprint
+// walk is gated on ctx.owns(), so each shard's sub-vote judges exactly its
+// own slice and the AND of the sub-votes equals the serial verdict.
+
+namespace gdur::corpus {
+
+bool reads_then_writes(const CertContext& ctx) {
+  for (const ReadEntry& r : ctx.txn.reads) {
+    if (!ctx.owns(r.obj)) continue;  // shard sub-vote: not my slice
+    if (latest_pidx(r.obj) != r.pidx) return false;
+  }
+  for (ObjectId o : ctx.txn.ws) {
+    if (!ctx.owns(o)) continue;  // shard sub-vote: not my slice
+    if (latest_seq_of(o) > ctx.txn.snap.start_seq) return false;
+  }
+  return true;
+}
+
+}  // namespace gdur::corpus

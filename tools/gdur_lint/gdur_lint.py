@@ -38,6 +38,19 @@ Rules
                            (record/record_*/append/poke) under src/obs/ —
                            the record path's contract is one relaxed atomic
                            op; timestamps are passed in by the caller.
+  thread/shard-affinity    the sharded-certification contracts: (a) a
+                           certify function (takes const CertContext&) that
+                           walks the transaction footprint (ctx.txn.ws /
+                           ctx.txn.reads) must gate each object on
+                           ctx.owns(o) — under shards_per_site > 1 each
+                           shard casts a sub-vote over its own slice and the
+                           sub-votes AND-combine; an ungated walk re-judges
+                           the full footprint on every shard. (b) per-shard
+                           scheduling state (lane clocks, shard mailboxes,
+                           shard mutexes) is owned by the cluster layer
+                           (core/cluster.*, live/live_cluster.*); all other
+                           code must go through run_certify / run_apply /
+                           with_apply_exclusion.
   thread/guarded-by        a field declared GUARDED_BY(mu) is referenced in a
                            function body that neither holds a MutexLock on
                            mu, nor is annotated REQUIRES(mu) (at any
@@ -86,6 +99,7 @@ RULES = {
     "protocol/spec-complete",
     "membership/hardcoded-sites",
     "obs/hot-path-alloc",
+    "thread/shard-affinity",
     "thread/guarded-by",
     "lint/bad-allow",
     "build/untracked-tu",
@@ -506,6 +520,54 @@ def check_hot_path(sf: SourceFile, diags: list[Diag]) -> None:
                     f"not a record path"))
 
 
+# Shard affinity (thread/shard-affinity). Two textual contracts from the
+# sharded certification pipeline (DESIGN.md §14):
+#   (a) certify functions gate every footprint walk on ctx.owns(obj) so the
+#       per-shard sub-votes AND-combine to exactly the serial verdict;
+#   (b) per-shard scheduling state stays inside the cluster layer — lanes,
+#       shard mailboxes, and shard mutexes are indexed by (site, shard) and
+#       are safe only behind the run_certify/run_apply/with_apply_exclusion
+#       seam, which owns the deterministic lock order.
+CERT_CTX_PARAM_RE = re.compile(r"\bCertContext\s*&\s*([A-Za-z_]\w*)")
+FOOTPRINT_WALK_RE_TMPL = r"\b%s\s*\.\s*txn\s*\.\s*(?:ws|reads)\b"
+SHARD_STATE_RE = re.compile(
+    r"\b(lane_free_|shard_mailboxes_|shard_mu_|shard_threads_)\b")
+SHARD_STATE_OWNERS = ("src/core/cluster.h", "src/core/cluster.cpp",
+                      "src/live/live_cluster.h", "src/live/live_cluster.cpp")
+
+
+def check_shard_affinity(sf: SourceFile, diags: list[Diag]) -> None:
+    for fn in segment_functions(sf.code):
+        pm = CERT_CTX_PARAM_RE.search(fn.sig)
+        if not pm:
+            continue
+        p = pm.group(1)
+        foot = re.search(FOOTPRINT_WALK_RE_TMPL % re.escape(p), fn.body)
+        if not foot:
+            continue
+        if re.search(r"\b" + re.escape(p) + r"\s*\.\s*owns\s*\(", fn.body):
+            continue
+        _qual, name = func_name_of(fn.sig)
+        line = sf.line_of(fn.body_start + foot.start())
+        diags.append(Diag(
+            sf.path, line, "thread/shard-affinity",
+            f"certifier {name or '<certify fn>'}() walks the transaction "
+            f"footprint without gating on {p}.owns(obj): under "
+            f"shards_per_site > 1 every shard re-judges the full footprint "
+            f"and the sub-votes no longer AND-combine to the serial verdict; "
+            f"skip foreign slices with 'if (!{p}.owns(o)) continue;'"))
+    if sf.path not in SHARD_STATE_OWNERS:
+        for m in SHARD_STATE_RE.finditer(sf.code):
+            line = sf.line_of(m.start())
+            diags.append(Diag(
+                sf.path, line, "thread/shard-affinity",
+                f"'{m.group(1)}' is per-shard scheduling state owned by the "
+                f"cluster layer (core/cluster.*, live/live_cluster.*); other "
+                f"code must route through run_certify()/run_apply()/"
+                f"with_apply_exclusion(), which own the deterministic shard "
+                f"lock order"))
+
+
 def check_hardcoded_sites(sf: SourceFile, diags: list[Diag]) -> None:
     for m in HARDCODED_SITES_RE.finditer(sf.code):
         line = sf.line_of(m.start())
@@ -728,6 +790,10 @@ def in_scope_hot_path(path: str) -> bool:
     return path.startswith("src/obs/")
 
 
+def in_scope_shard(path: str) -> bool:
+    return path.startswith(("src/core/", "src/protocols/", "src/live/"))
+
+
 def run_rules(files: list[SourceFile]) -> list[Diag]:
     diags: list[Diag] = []
     unordered = collect_unordered_names(files)
@@ -758,6 +824,8 @@ def run_rules(files: list[SourceFile]) -> list[Diag]:
             check_hardcoded_sites(sf, diags)
         if in_scope_hot_path(sf.path):
             check_hot_path(sf, diags)
+        if in_scope_shard(sf.path):
+            check_shard_affinity(sf, diags)
         unit = norm(os.path.splitext(sf.path)[0])
         check_guarded_by(sf, guarded_by_unit.get(unit, []), requires_map,
                          diags)
