@@ -1,0 +1,139 @@
+// Live saturation benchmark: client-visible latency versus offered load on
+// the real socket runtime, the canonical "knee" study for the production
+// front door (DESIGN.md §15). Open-loop Poisson arrivals sweep a ladder of
+// offered rates for each protocol; at every point we record committed
+// throughput and the p50/p99/max of the client-visible transaction latency,
+// first with per-destination vote/ack coalescing off, then on. The batching
+// column pair (batches, batched_msgs) shows how much wire traffic the
+// coalescer absorbed; at rates near the knee the coalesced run should
+// sustain more committed/s than the uncoalesced one on at least one
+// protocol — that is the measurable gain the batching hot path exists for.
+//
+// Every run's recorded history is verified against the protocol's claimed
+// criterion; a violation fails the bench (exit nonzero), so no latency or
+// throughput number ever comes from a run that broke its contract.
+//
+// Output: a table on stdout and a JSON report (BENCH_live_saturation.json
+// by default) with one record per (protocol, coalesce, offered_tps) point.
+// Wall-clock numbers vary with the host; compare against a baseline on the
+// same machine (see EXPERIMENTS.md).
+//
+// Flags:
+//   --short       1 s windows, 2 load points, 2 protocols (CI smoke mode)
+//   --out FILE    JSON report path (default BENCH_live_saturation.json)
+//   --sites N     sites / mailbox threads (default 3)
+//   --secs S      measurement window per point (default 2.0)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "live/live_runner.h"
+
+using namespace gdur;
+
+namespace {
+
+struct Point {
+  double offered_tps = 0.0;
+  bool coalesce = false;
+  live::LiveRunResult r;
+};
+
+void append_json(std::string& json, const Point& p, bool last) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"protocol\": \"%s\", \"criterion\": \"%s\", \"coalesce\": %s, "
+      "\"offered_tps\": %.0f, \"committed\": %llu, \"aborted\": %llu, "
+      "\"wall_s\": %.3f, \"committed_per_wall_s\": %.1f, "
+      "\"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f}, "
+      "\"frames\": %llu, \"batches\": %llu, \"batched_msgs\": %llu, "
+      "\"checker_ok\": %s}%s\n",
+      p.r.protocol.c_str(), p.r.criterion.c_str(),
+      p.coalesce ? "true" : "false", p.offered_tps,
+      static_cast<unsigned long long>(p.r.metrics.committed()),
+      static_cast<unsigned long long>(p.r.metrics.aborted()), p.r.wall_secs,
+      p.r.throughput_tps, p.r.metrics.txn_latency.percentile_ms(0.5),
+      p.r.metrics.txn_latency.percentile_ms(0.99),
+      p.r.metrics.txn_latency.max_ms(),
+      static_cast<unsigned long long>(p.r.messages),
+      static_cast<unsigned long long>(p.r.batches),
+      static_cast<unsigned long long>(p.r.batched_msgs),
+      p.r.checker_ok ? "true" : "false", last ? "" : ",");
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  const char* out_path = "BENCH_live_saturation.json";
+  live::LiveRunConfig cfg;
+  cfg.sites = 3;
+  cfg.secs = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc)
+      cfg.sites = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--secs") == 0 && i + 1 < argc)
+      cfg.secs = std::atof(argv[++i]);
+  }
+  cfg.workload = workload::WorkloadSpec::A(0.8);
+
+  std::vector<std::string> names{"P-Store", "GMU", "Walter"};
+  std::vector<double> loads{500, 2000, 8000, 20000};
+  if (short_mode) {
+    cfg.secs = 1.0;
+    names = {"P-Store", "GMU"};
+    loads = {500, 4000};
+  }
+
+  std::printf(
+      "# Live saturation: client-visible latency vs offered load "
+      "(%d sites, open loop, %.1f s per point)\n",
+      cfg.sites, cfg.secs);
+  std::printf("%-10s %-5s %-4s %9s %10s %12s %9s %9s %10s  %s\n", "protocol",
+              "crit", "coal", "offered", "committed", "txns/wall_s", "p50_ms",
+              "p99_ms", "batches", "check");
+
+  std::vector<Point> points;
+  bool all_ok = true;
+  for (const auto& name : names) {
+    for (const bool coalesce : {false, true}) {
+      for (const double tps : loads) {
+        cfg.protocol = name;
+        cfg.coalesce = coalesce;
+        cfg.open_loop_tps = tps;
+        Point p;
+        p.offered_tps = tps;
+        p.coalesce = coalesce;
+        p.r = live::run_live(cfg);
+        const bool ok = p.r.checker_ok && p.r.metrics.committed() > 0;
+        all_ok = all_ok && ok;
+        std::printf(
+            "%-10s %-5s %-4s %9.0f %10llu %12.1f %9.3f %9.3f %10llu  %s\n",
+            p.r.protocol.c_str(), p.r.criterion.c_str(),
+            coalesce ? "on" : "off", tps,
+            static_cast<unsigned long long>(p.r.metrics.committed()),
+            p.r.throughput_tps, p.r.metrics.txn_latency.percentile_ms(0.5),
+            p.r.metrics.txn_latency.percentile_ms(0.99),
+            static_cast<unsigned long long>(p.r.batches),
+            ok ? "clean" : p.r.checker_detail.c_str());
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i)
+    append_json(json, points[i], i + 1 == points.size());
+  json += "]\n";
+  std::ofstream out(out_path, std::ios::binary);
+  out << json;
+  std::printf("\n# wrote %zu records to %s\n", points.size(), out_path);
+  return all_ok ? 0 : 1;
+}

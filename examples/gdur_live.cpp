@@ -17,6 +17,8 @@
 //   --ro R            read-only transaction ratio (default 0.8)
 //   --rate TPS        open-loop Poisson arrivals instead of closed loops
 //   --delay-scale D   emulated link delay = topology latency x D (default 0)
+//   --coalesce        batch small protocol messages per destination
+//                     (kBatch frames, flushed at mailbox-idle / size cap)
 //   --seed N          workload seed (default 42)
 //   --no-check        skip history checking
 //   --obs             attach the observability plane (telemetry + flight
@@ -33,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "front/signals.h"
 #include "live/live_runner.h"
 #include "obs/plane.h"
 
@@ -54,6 +57,11 @@ double arg_double(int argc, char** argv, int& i, const char* flag) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // SIGTERM/SIGINT end the measurement window early and drain cleanly
+  // (mailboxes flushed, history checked, final obs snapshot) instead of
+  // killing the process mid-transaction. Exit stays 0 unless something
+  // actually failed.
+  front::install_shutdown_handler();
   live::LiveRunConfig cfg;
   std::string protocol = "P-Store";
   double ro = 0.8;
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
       cfg.delay_scale = arg_double(argc, argv, i, a);
     } else if (std::strcmp(a, "--seed") == 0) {
       cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, i, a));
+    } else if (std::strcmp(a, "--coalesce") == 0) {
+      cfg.coalesce = true;
     } else if (std::strcmp(a, "--no-check") == 0) {
       cfg.check = false;
     } else if (std::strcmp(a, "--obs") == 0) {
@@ -146,6 +156,11 @@ int main(int argc, char** argv) {
       std::printf("  WARNING: %llu invariant violation(s)\n",
                   static_cast<unsigned long long>(r.invariant_violations));
     cfg.plane = nullptr;
+    if (r.interrupted) {
+      std::printf("  interrupted: measurement window cut short, drained "
+                  "cleanly\n");
+      break;
+    }
   }
   return all_ok ? 0 : 1;
 }

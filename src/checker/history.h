@@ -53,6 +53,12 @@ class History {
   /// via record_txn (wire it to ClientActor::set_observer).
   void attach(core::Cluster& cluster);
 
+  /// Offline variant: adopts a partitioner without a live cluster, for
+  /// checking histories merged from per-process dump files
+  /// (front::read_history_dump / gdur_checkhist). Feed records via
+  /// record_txn / record_install.
+  void attach_partitioner(const store::Partitioner& part) { part_ = part; }
+
   void record_txn(const core::TxnRecord& t, bool committed, SimTime response);
   void record_install(const core::Cluster::InstallEvent& e);
 

@@ -1,0 +1,316 @@
+#include "front/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace gdur::front {
+
+namespace codec = net::codec;
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+GdurClient::~GdurClient() { close(); }
+
+bool GdurClient::connect() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double>(cfg_.connect_timeout_s));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1)
+    return false;
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      break;
+    ::close(fd_);
+    fd_ = -1;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kClientHello));
+  codec::encode_client_hello(w, {1, kNoSite});
+  if (!send_frame(w.data())) {
+    close();
+    return false;
+  }
+  std::vector<std::uint8_t> body;
+  if (!read_frame(body)) {
+    close();
+    return false;
+  }
+  codec::Reader r(body);
+  const auto tag = r.u8();
+  if (!tag ||
+      static_cast<codec::MsgType>(*tag) != codec::MsgType::kClientWelcome) {
+    close();
+    return false;
+  }
+  auto welcome = codec::decode_client_welcome(r);
+  if (!welcome) {
+    close();
+    return false;
+  }
+  session_ = welcome->session;
+  window_ = welcome->window;
+  site_ = welcome->site;
+  protocol_ = welcome->protocol;
+  {
+    MutexLock lock(&mu_);
+    closed_ = false;
+    pushed_ = false;
+  }
+  connected_.store(true, std::memory_order_relaxed);
+  reader_ = std::thread([this] { reader_loop(); });
+  return true;
+}
+
+void GdurClient::close() {
+  {
+    MutexLock lock(&mu_);
+    if (closed_ && fd_ < 0) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connected_.store(false, std::memory_order_relaxed);
+  fail_all();
+}
+
+bool GdurClient::send_frame(const std::vector<std::uint8_t>& body) {
+  std::uint8_t hdr[4];
+  const auto n = static_cast<std::uint32_t>(body.size());
+  hdr[0] = static_cast<std::uint8_t>(n);
+  hdr[1] = static_cast<std::uint8_t>(n >> 8);
+  hdr[2] = static_cast<std::uint8_t>(n >> 16);
+  hdr[3] = static_cast<std::uint8_t>(n >> 24);
+  MutexLock lock(&write_mu_);
+  return write_all(fd_, hdr, 4) && write_all(fd_, body.data(), body.size());
+}
+
+bool GdurClient::read_frame(std::vector<std::uint8_t>& body) {
+  std::uint8_t hdr[4];
+  if (!read_all(fd_, hdr, 4)) return false;
+  const std::uint32_t n = std::uint32_t(hdr[0]) | (std::uint32_t(hdr[1]) << 8) |
+                          (std::uint32_t(hdr[2]) << 16) |
+                          (std::uint32_t(hdr[3]) << 24);
+  if (n > (1u << 24)) return false;
+  body.resize(n);
+  return read_all(fd_, body.data(), n);
+}
+
+void GdurClient::reader_loop() {
+  std::vector<std::uint8_t> body;
+  for (;;) {
+    if (!read_frame(body)) break;
+    codec::Reader r(body);
+    const auto tag = r.u8();
+    if (!tag) break;
+    switch (static_cast<codec::MsgType>(*tag)) {
+      case codec::MsgType::kClientResp: {
+        auto m = codec::decode_client_resp(r);
+        if (!m) break;
+        RespCb cb;
+        {
+          MutexLock lock(&mu_);
+          auto it = cbs_.find(m->cookie);
+          if (it == cbs_.end()) break;
+          cb = std::move(it->second);
+          cbs_.erase(it);
+          if (inflight_ > 0) --inflight_;
+          inflight_gauge_.store(inflight_, std::memory_order_relaxed);
+        }
+        cv_.notify_all();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (cb) cb(*m);
+        break;
+      }
+      case codec::MsgType::kPushback: {
+        auto m = codec::decode_pushback(r);
+        if (!m) break;
+        {
+          MutexLock lock(&mu_);
+          pushed_ = m->stop;
+        }
+        pushed_gauge_.store(m->stop, std::memory_order_relaxed);
+        if (m->stop) pushbacks_.fetch_add(1, std::memory_order_relaxed);
+        cv_.notify_all();
+        break;
+      }
+      default:
+        break;  // unknown server frame: ignore (forward compatibility)
+    }
+  }
+  connected_.store(false, std::memory_order_relaxed);
+  fail_all();
+}
+
+void GdurClient::fail_all() {
+  std::unordered_map<std::uint64_t, RespCb> orphans;
+  {
+    MutexLock lock(&mu_);
+    closed_ = true;
+    orphans.swap(cbs_);
+    inflight_ = 0;
+    inflight_gauge_.store(0, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  for (auto& [cookie, cb] : orphans) {  // gdur-lint: allow(determinism/unordered-iter) teardown fan-out, order immaterial
+    if (!cb) continue;
+    Resp r;
+    r.cookie = cookie;
+    r.ok = false;
+    cb(r);
+  }
+}
+
+bool GdurClient::submit(codec::ClientOp op, std::uint64_t txn, ObjectId obj,
+                        std::vector<ObjectId> reads,
+                        std::vector<ObjectId> writes, RespCb cb) {
+  std::uint64_t cookie = 0;
+  {
+    MutexLock lock(&mu_);
+    cv_.wait(lock, [this]() REQUIRES(mu_) {
+      return closed_ || (inflight_ < window_ && !pushed_);
+    });
+    if (closed_) return false;
+    cookie = next_cookie_++;
+    cbs_.emplace(cookie, std::move(cb));
+    ++inflight_;
+    inflight_gauge_.store(inflight_, std::memory_order_relaxed);
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kClientReq));
+  codec::encode_client_req(
+      w, {cookie, op, txn, obj, std::move(reads), std::move(writes)});
+  if (send_frame(w.data())) return true;
+  fail_all();
+  return false;
+}
+
+bool GdurClient::try_submit(codec::ClientOp op, std::uint64_t txn,
+                            ObjectId obj, std::vector<ObjectId> reads,
+                            std::vector<ObjectId> writes, RespCb cb) {
+  std::uint64_t cookie = 0;
+  {
+    MutexLock lock(&mu_);
+    if (closed_ || inflight_ >= window_ || pushed_) return false;
+    cookie = next_cookie_++;
+    cbs_.emplace(cookie, std::move(cb));
+    ++inflight_;
+    inflight_gauge_.store(inflight_, std::memory_order_relaxed);
+  }
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(codec::MsgType::kClientReq));
+  codec::encode_client_req(
+      w, {cookie, op, txn, obj, std::move(reads), std::move(writes)});
+  if (send_frame(w.data())) return true;
+  fail_all();
+  return false;
+}
+
+GdurClient::Resp GdurClient::roundtrip(codec::ClientOp op, std::uint64_t txn,
+                                       ObjectId obj,
+                                       std::vector<ObjectId> reads,
+                                       std::vector<ObjectId> writes) {
+  // One-shot waiter sharing the client's cv: the callback runs on the
+  // reader thread and flips `done`.
+  struct Waiter {
+    bool done = false;
+    Resp resp;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  const bool sent = submit(op, txn, obj, std::move(reads), std::move(writes),
+                           [this, waiter](const Resp& r) {
+                             {
+                               MutexLock lock(&mu_);
+                               waiter->resp = r;
+                               waiter->done = true;
+                             }
+                             cv_.notify_all();
+                           });
+  if (!sent) {
+    Resp r;
+    r.ok = false;
+    return r;
+  }
+  MutexLock lock(&mu_);
+  cv_.wait(lock, [&]() REQUIRES(mu_) { return waiter->done || closed_; });
+  return waiter->resp;  // ok=false default when the connection died first
+}
+
+std::optional<std::uint64_t> GdurClient::begin_sync() {
+  const Resp r = roundtrip(codec::ClientOp::kBegin, 0, 0, {}, {});
+  if (!r.ok) return std::nullopt;
+  return r.txn;
+}
+
+bool GdurClient::read_sync(std::uint64_t txn, ObjectId obj) {
+  return roundtrip(codec::ClientOp::kRead, txn, obj, {}, {}).ok;
+}
+
+bool GdurClient::write_sync(std::uint64_t txn, ObjectId obj) {
+  return roundtrip(codec::ClientOp::kWrite, txn, obj, {}, {}).ok;
+}
+
+bool GdurClient::commit_sync(std::uint64_t txn) {
+  return roundtrip(codec::ClientOp::kCommit, txn, 0, {}, {}).ok;
+}
+
+bool GdurClient::stored_sync(const std::vector<ObjectId>& reads,
+                             const std::vector<ObjectId>& writes) {
+  return roundtrip(codec::ClientOp::kStored, 0, 0, reads, writes).ok;
+}
+
+}  // namespace gdur::front

@@ -1,0 +1,608 @@
+#include "front/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/stats.h"
+
+namespace gdur::front {
+
+namespace {
+
+constexpr std::uint64_t kListenerBit = 1ull << 63;
+constexpr int kMaxEvents = 128;
+constexpr int kMaxIov = 64;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Reactor::Reactor(ReactorConfig cfg) : cfg_(cfg) {}
+
+Reactor::~Reactor() {
+  stop();
+  {
+    MutexLock lock(&conns_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+  }
+  for (int lfd : listeners_) ::close(lfd);
+}
+
+int Reactor::add_connection(int fd) {
+  set_nonblocking(fd);
+  auto c = std::make_unique<Conn>();
+  c->fd = fd;
+  int id;
+  {
+    MutexLock lock(&conns_mu_);
+    conns_.push_back(std::move(c));
+    id = static_cast<int>(conns_.size()) - 1;
+  }
+  // Registration with the backend happens on the reactor thread at the next
+  // control drain (immediately for pre-start adds: start() arms everything).
+  mark_dirty(id);
+  wake();
+  return id;
+}
+
+void Reactor::add_listener(int fd) {
+  set_nonblocking(fd);
+  listeners_.push_back(fd);
+}
+
+Reactor::Conn* Reactor::conn_at(int conn_id) const {
+  if (conn_id < 0) return nullptr;
+  MutexLock lock(&conns_mu_);
+  if (static_cast<std::size_t>(conn_id) >= conns_.size()) return nullptr;
+  return conns_[static_cast<std::size_t>(conn_id)].get();
+}
+
+std::size_t Reactor::conn_count() const {
+  MutexLock lock(&conns_mu_);
+  return conns_.size();
+}
+
+void Reactor::start() {
+  if (running_) return;
+  if (::pipe(wake_pipe_) != 0) {
+    GDUR_ERROR("front: pipe() failed: %s", std::strerror(errno));
+    return;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+#ifdef __linux__
+  if (cfg_.use_epoll) {
+    epfd_ = ::epoll_create1(0);
+    if (epfd_ < 0) {
+      GDUR_WARN("front: epoll_create1 failed (%s); using poll() backend",
+                std::strerror(errno));
+    }
+  }
+#endif
+  {
+    MutexLock lock(&ctl_mu_);
+    stopping_ = false;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Reactor::stop() {
+  if (!running_) return;
+  {
+    MutexLock lock(&ctl_mu_);
+    stopping_ = true;
+  }
+  wake();
+  thread_.join();
+  running_ = false;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (epfd_ >= 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+  }
+}
+
+void Reactor::wake() {
+  if (wake_pipe_[1] < 0) return;
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    MutexLock lock(&ctl_mu_);
+    if (stopping_) return;
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void Reactor::mark_dirty(int conn_id) {
+  MutexLock lock(&ctl_mu_);
+  dirty_.push_back(conn_id);
+}
+
+void Reactor::send_frame(int conn_id, std::vector<std::uint8_t> body) {
+  Conn* c = conn_at(conn_id);
+  if (c == nullptr) return;
+  if (body.size() > cfg_.max_frame) {
+    GDUR_ERROR("front: refusing oversized frame (%zu bytes)", body.size());
+    return;
+  }
+  const auto len = static_cast<std::uint32_t>(body.size());
+  const std::uint64_t total = body.size() + 4;
+  {
+    MutexLock lock(&c->out_mu);
+    OutMsg m;
+    m.hdr[0] = static_cast<std::uint8_t>(len & 0xff);
+    m.hdr[1] = static_cast<std::uint8_t>((len >> 8) & 0xff);
+    m.hdr[2] = static_cast<std::uint8_t>((len >> 16) & 0xff);
+    m.hdr[3] = static_cast<std::uint8_t>((len >> 24) & 0xff);
+    m.body = std::move(body);  // zero-copy: gathered into writev later
+    c->out.push_back(std::move(m));
+  }
+  c->out_bytes.fetch_add(total, std::memory_order_relaxed);
+  queued_bytes_.fetch_add(total, std::memory_order_relaxed);
+  mark_dirty(conn_id);
+  wake();
+}
+
+void Reactor::pause_read(int conn_id, bool paused) {
+  Conn* c = conn_at(conn_id);
+  if (c == nullptr) return;
+  c->user_paused.store(paused, std::memory_order_relaxed);
+  mark_dirty(conn_id);
+  wake();
+}
+
+void Reactor::close_soon(int conn_id) {
+  post([this, conn_id] {
+    Conn* c = conn_at(conn_id);
+    if (c == nullptr || c->dead) return;
+    c->close_after_flush = true;
+    if (!flush_writable(*c)) {
+      mark_dead(*c, conn_id);
+      return;
+    }
+    bool empty;
+    {
+      MutexLock lock(&c->out_mu);
+      empty = c->out.empty();
+    }
+    if (empty) {
+      mark_dead(*c, conn_id);
+    } else {
+      update_interest(*c, conn_id);
+    }
+  });
+}
+
+std::uint64_t Reactor::conn_pending_out(int conn_id) const {
+  const Conn* c = conn_at(conn_id);
+  return c != nullptr ? c->out_bytes.load(std::memory_order_relaxed) : 0;
+}
+
+bool Reactor::read_paused(int conn_id) const {
+  const Conn* c = conn_at(conn_id);
+  if (c == nullptr) return false;
+  return c->auto_paused || c->user_paused.load(std::memory_order_relaxed);
+}
+
+bool Reactor::wants_read(const Conn& c) const {
+  return !c.dead && !c.close_after_flush && !c.auto_paused &&
+         !c.user_paused.load(std::memory_order_relaxed);
+}
+
+bool Reactor::wants_write(Conn& c) {
+  if (c.dead) return false;
+  MutexLock lock(&c.out_mu);
+  return !c.out.empty();
+}
+
+void Reactor::update_interest(Conn& c, int conn_id) {
+  if (c.dead || c.fd < 0) return;
+  // Output watermark: a peer that stops draining its responses gets its
+  // reads parked until the backlog halves — server memory stays bounded no
+  // matter how fast the peer submits (the never-reading-client contract).
+  if (cfg_.pause_read_at > 0) {
+    const std::uint64_t out = c.out_bytes.load(std::memory_order_relaxed);
+    if (!c.auto_paused && out > cfg_.pause_read_at) {
+      c.auto_paused = true;
+    } else if (c.auto_paused && out < cfg_.pause_read_at / 2) {
+      c.auto_paused = false;
+    }
+  }
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    std::uint32_t ev = 0;
+    if (wants_read(c)) ev |= EPOLLIN;
+    if (wants_write(c)) ev |= EPOLLOUT;
+    if (ev == c.armed_events) return;
+    epoll_event e{};
+    e.events = ev;
+    e.data.u64 = static_cast<std::uint64_t>(conn_id);
+    const int op = c.armed_events == 0 && !c.in_epoll_once
+                       ? EPOLL_CTL_ADD
+                       : EPOLL_CTL_MOD;
+    if (::epoll_ctl(epfd_, op, c.fd, &e) == 0) {
+      c.in_epoll_once = true;
+      c.armed_events = ev;
+    }
+    return;
+  }
+#endif
+  // poll() backend recomputes interest from scratch every iteration.
+  (void)conn_id;
+}
+
+void Reactor::drain_control() {
+  {
+    MutexLock lock(&ctl_mu_);
+    task_scratch_.swap(tasks_);
+    dirty_scratch_.swap(dirty_);
+  }
+  for (auto& t : task_scratch_) t();
+  task_scratch_.clear();
+  for (int id : dirty_scratch_) {
+    Conn* c = conn_at(id);
+    if (c == nullptr || c->dead) continue;
+    // Opportunistic flush so a send queued between waits does not pay a
+    // full wait-timeout of latency.
+    if (!flush_writable(*c)) {
+      mark_dead(*c, id);
+      continue;
+    }
+    if (c->close_after_flush) {
+      bool empty;
+      {
+        MutexLock lock(&c->out_mu);
+        empty = c->out.empty();
+      }
+      if (empty) {
+        mark_dead(*c, id);
+        continue;
+      }
+    }
+    update_interest(*c, id);
+  }
+  dirty_scratch_.clear();
+}
+
+void Reactor::loop() {
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    run_epoll();
+    return;
+  }
+#endif
+  run_poll();
+}
+
+#ifdef __linux__
+void Reactor::run_epoll() {
+  {
+    // Arm the wake pipe and listeners once.
+    epoll_event e{};
+    e.events = EPOLLIN;
+    e.data.u64 = kListenerBit | 0xffffffffull;  // wake pipe sentinel
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_pipe_[0], &e);
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      epoll_event le{};
+      le.events = EPOLLIN;
+      le.data.u64 = kListenerBit | static_cast<std::uint64_t>(i);
+      ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listeners_[i], &le);
+    }
+  }
+  epoll_event evs[kMaxEvents];
+  for (;;) {
+    {
+      MutexLock lock(&ctl_mu_);
+      if (stopping_) return;
+    }
+    drain_control();
+    const int rc = ::epoll_wait(epfd_, evs, kMaxEvents, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      GDUR_ERROR("front: epoll_wait failed: %s", std::strerror(errno));
+      return;
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) stats_->record(obs::Counter::kLoopWakeups);
+    for (int i = 0; i < rc; ++i) {
+      const std::uint64_t key = evs[i].data.u64;
+      if (key & kListenerBit) {
+        const std::uint64_t idx = key & ~kListenerBit;
+        if (idx == 0xffffffffull) {
+          char buf[64];
+          while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+          }
+        } else {
+          handle_listener(listeners_[static_cast<std::size_t>(idx)]);
+        }
+        continue;
+      }
+      const int id = static_cast<int>(key);
+      Conn* c = conn_at(id);
+      if (c == nullptr || c->dead) continue;
+      const std::uint32_t ev = evs[i].events;
+      if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) handle_readable(*c, id);
+      if (!c->dead && (ev & EPOLLOUT)) {
+        if (!flush_writable(*c)) {
+          mark_dead(*c, id);
+          continue;
+        }
+      }
+      if (!c->dead) {
+        if (c->close_after_flush) {
+          bool empty;
+          {
+            MutexLock lock(&c->out_mu);
+            empty = c->out.empty();
+          }
+          if (empty) {
+            mark_dead(*c, id);
+            continue;
+          }
+        }
+        update_interest(*c, id);
+      }
+    }
+  }
+}
+#else
+void Reactor::run_epoll() { run_poll(); }
+#endif
+
+void Reactor::run_poll() {
+  std::vector<pollfd> fds;
+  std::vector<int> ids;  // fds index -> conn id (-1 = wake pipe/listener)
+  for (;;) {
+    {
+      MutexLock lock(&ctl_mu_);
+      if (stopping_) return;
+    }
+    drain_control();
+    fds.clear();
+    ids.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    ids.push_back(-1);
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      fds.push_back(pollfd{listeners_[i], POLLIN, 0});
+      ids.push_back(-2 - static_cast<int>(i));
+    }
+    const std::size_t n = conn_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      Conn* c = conn_at(static_cast<int>(i));
+      short ev = 0;
+      if (c != nullptr && !c->dead) {
+        if (wants_read(*c)) ev |= POLLIN;
+        if (wants_write(*c)) ev |= POLLOUT;
+      }
+      fds.push_back(
+          pollfd{(c == nullptr || c->dead) ? -1 : c->fd, ev, 0});
+      ids.push_back(static_cast<int>(i));
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      GDUR_ERROR("front: poll failed: %s", std::strerror(errno));
+      return;
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) stats_->record(obs::Counter::kLoopWakeups);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short rev = fds[i].revents;
+      if (rev == 0) continue;
+      if (ids[i] == -1) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (ids[i] <= -2) {
+        handle_listener(listeners_[static_cast<std::size_t>(-2 - ids[i])]);
+        continue;
+      }
+      const int id = ids[i];
+      Conn* c = conn_at(id);
+      if (c == nullptr || c->dead) continue;
+      if (rev & (POLLIN | POLLERR | POLLHUP)) handle_readable(*c, id);
+      if (!c->dead && (rev & POLLOUT)) {
+        if (!flush_writable(*c)) {
+          mark_dead(*c, id);
+          continue;
+        }
+      }
+      if (!c->dead && c->close_after_flush) {
+        bool empty;
+        {
+          MutexLock lock(&c->out_mu);
+          empty = c->out.empty();
+        }
+        if (empty) mark_dead(*c, id);
+      }
+    }
+  }
+}
+
+void Reactor::handle_listener(int lfd) {
+  for (;;) {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      GDUR_WARN("front: accept failed: %s", std::strerror(errno));
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (cfg_.keepalive) {
+      ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof one);
+#ifdef TCP_KEEPIDLE
+      ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &cfg_.keepalive_idle_s,
+                   sizeof cfg_.keepalive_idle_s);
+#endif
+#ifdef TCP_KEEPINTVL
+      ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &cfg_.keepalive_interval_s,
+                   sizeof cfg_.keepalive_interval_s);
+#endif
+#ifdef TCP_KEEPCNT
+      ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &cfg_.keepalive_count,
+                   sizeof cfg_.keepalive_count);
+#endif
+    }
+    if (cfg_.sndbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.sndbuf,
+                   sizeof cfg_.sndbuf);
+    const int id = add_connection(fd);
+    Conn* c = conn_at(id);
+    if (c != nullptr) update_interest(*c, id);  // reactor thread: arm now
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (on_accept_) on_accept_(id);
+  }
+}
+
+void Reactor::handle_readable(Conn& c, int conn_id) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+    if (n > 0) {
+      c.in.insert(c.in.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer closed or hard error.
+    mark_dead(c, conn_id);
+    return;
+  }
+  // Extract complete frames.
+  while (c.in.size() - c.in_off >= 4) {
+    const std::uint32_t len = read_le32(c.in.data() + c.in_off);
+    if (len > cfg_.max_frame) {
+      GDUR_ERROR("front: oversized frame (%u bytes), dropping conn", len);
+      mark_dead(c, conn_id);
+      return;
+    }
+    if (c.in.size() - c.in_off < 4 + static_cast<std::size_t>(len)) break;
+    std::vector<std::uint8_t> frame(c.in.begin() + c.in_off + 4,
+                                    c.in.begin() + c.in_off + 4 + len);
+    c.in_off += 4 + len;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    if (on_frame_) on_frame_(conn_id, std::move(frame));
+    if (c.dead) return;  // handler may close the connection
+  }
+  if (c.in_off > 0 && c.in_off == c.in.size()) {
+    c.in.clear();
+    c.in_off = 0;
+  } else if (c.in_off > (1u << 16)) {
+    c.in.erase(c.in.begin(), c.in.begin() + c.in_off);
+    c.in_off = 0;
+  }
+}
+
+bool Reactor::flush_writable(Conn& c) {
+  MutexLock lock(&c.out_mu);
+  while (!c.out.empty()) {
+    // Gather up to kMaxIov segments (header + body interleaved) into one
+    // writev: bodies are the senders' buffers, never re-copied.
+    iovec iov[kMaxIov];
+    int niov = 0;
+    for (auto& m : c.out) {
+      if (niov >= kMaxIov - 1) break;
+      const std::size_t body_off = m.off > 4 ? m.off - 4 : 0;
+      if (m.off < 4) {
+        iov[niov].iov_base = m.hdr + m.off;
+        iov[niov].iov_len = 4 - m.off;
+        ++niov;
+      }
+      if (m.body.size() > body_off) {
+        iov[niov].iov_base = m.body.data() + body_off;
+        iov[niov].iov_len = m.body.size() - body_off;
+        ++niov;
+      }
+    }
+    if (niov == 0) {
+      c.out.pop_front();
+      continue;
+    }
+    const ssize_t n = ::writev(c.fd, iov, niov);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      // EPIPE etc.: peer gone. Abandoned bytes count as flushed so the
+      // watchdog's pending-output gauge returns to zero.
+      std::uint64_t abandoned = 0;
+      for (const auto& m : c.out) abandoned += 4 + m.body.size() - m.off;
+      flushed_bytes_.fetch_add(abandoned, std::memory_order_relaxed);
+      c.out_bytes.fetch_sub(abandoned, std::memory_order_relaxed);
+      c.out.clear();
+      return false;
+    }
+    flushed_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+    c.out_bytes.fetch_sub(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && !c.out.empty()) {
+      OutMsg& m = c.out.front();
+      const std::size_t sz = 4 + m.body.size() - m.off;
+      if (left >= sz) {
+        left -= sz;
+        c.out.pop_front();
+      } else {
+        m.off += left;
+        left = 0;
+      }
+    }
+  }
+  return true;
+}
+
+void Reactor::mark_dead(Conn& c, int conn_id) {
+  if (c.dead) return;
+  c.dead = true;
+  {
+    MutexLock lock(&c.out_mu);
+    std::uint64_t abandoned = 0;
+    for (const auto& m : c.out) abandoned += 4 + m.body.size() - m.off;
+    flushed_bytes_.fetch_add(abandoned, std::memory_order_relaxed);
+    c.out_bytes.fetch_sub(abandoned, std::memory_order_relaxed);
+    c.out.clear();
+  }
+  if (c.fd >= 0) {
+    ::close(c.fd);  // epoll interest evaporates with the fd
+    c.fd = -1;
+  }
+  if (on_close_) on_close_(conn_id);
+}
+
+}  // namespace gdur::front

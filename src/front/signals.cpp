@@ -1,0 +1,57 @@
+#include "front/signals.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+namespace gdur::front {
+
+namespace {
+
+std::atomic<int> g_signals{0};
+
+extern "C" void on_shutdown_signal(int /*sig*/) {
+  // Async-signal-safe: one fetch_add, and a hard exit if the operator
+  // insists (second signal while the drain is still running).
+  if (g_signals.fetch_add(1, std::memory_order_relaxed) >= 1) _exit(130);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_signals.load(std::memory_order_relaxed) > 0;
+}
+
+bool interruptible_sleep(double secs) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(secs));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (shutdown_requested()) return true;
+    // gdur-lint: allow(live/blocking-call) main-thread wait loop, not runtime code
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return shutdown_requested();
+}
+
+void request_shutdown_for_test() {
+  g_signals.fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset_shutdown_for_test() {
+  g_signals.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gdur::front

@@ -1,0 +1,29 @@
+// Clean-shutdown signal plumbing shared by the long-running binaries
+// (gdur_live, gdur_site): SIGTERM/SIGINT request a drain instead of killing
+// the process mid-transaction.
+//
+// The handler only sets a flag (async-signal-safe); runtime code polls
+// shutdown_requested() at its natural pause points. A second signal while
+// draining escalates to _exit(130) so a wedged drain can still be killed
+// interactively.
+#pragma once
+
+namespace gdur::front {
+
+/// Installs SIGTERM + SIGINT handlers. Call once, before spawning threads.
+void install_shutdown_handler();
+
+/// True once a shutdown signal arrived. Cheap (one relaxed atomic load).
+[[nodiscard]] bool shutdown_requested();
+
+/// Blocks until a shutdown signal arrives or `secs` elapse, polling the
+/// flag (the measurement-window sleep of the live harness: interruptible,
+/// unlike a bare sleep_for). Returns true if interrupted by a signal.
+bool interruptible_sleep(double secs);
+
+/// Test hooks: fake a received signal without raising one / clear the flag
+/// so later tests in the same binary start fresh.
+void request_shutdown_for_test();
+void reset_shutdown_for_test();
+
+}  // namespace gdur::front

@@ -122,10 +122,25 @@ obs::MsgClass class_of(codec::MsgType t) {
     case codec::MsgType::kPropagate:
       return obs::MsgClass::kPropagation;
     case codec::MsgType::kControl:
+    // Batch containers trace as control; their inner frames re-enter
+    // dispatch and trace under their own class. Client frames never cross
+    // inter-site links (the front server owns them).
+    case codec::MsgType::kBatch:
+    case codec::MsgType::kClientHello:
+    case codec::MsgType::kClientWelcome:
+    case codec::MsgType::kClientReq:
+    case codec::MsgType::kClientResp:
+    case codec::MsgType::kPushback:
       return obs::MsgClass::kControl;
   }
   return obs::MsgClass::kControl;
 }
+
+/// Batch flush thresholds: a batch ships early once it carries this many
+/// messages or payload bytes, whichever first; otherwise it rides until
+/// the site's mailbox runs dry.
+constexpr std::size_t kBatchMaxMsgs = 64;
+constexpr std::size_t kBatchMaxBytes = 16 * 1024;
 
 }  // namespace
 
@@ -134,11 +149,24 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
   // Swap in the serializing oracle before any thread exists.
   oracle_ = std::make_unique<LockedOracle>(std::move(oracle_), part_);
   t0_ = std::chrono::steady_clock::now();
+  coalesce_ = cfg.coalesce;
+  self_ = cfg.self;
 
   const int n = sites();
   dispatch_state_.resize(n);
+  batchers_.resize(n);
+  for (auto& b : batchers_) {
+    b.per_dst.resize(std::size_t(n));
+    b.bytes.assign(std::size_t(n), 0);
+  }
   mailboxes_.reserve(n);
   for (int s = 0; s < n; ++s) mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (coalesce_) {
+    for (SiteId s = 0; s < static_cast<SiteId>(n); ++s) {
+      if (!hosted(s)) continue;
+      mailboxes_[s]->set_idle([this, s] { flush_batches(s); });
+    }
+  }
   if (shard_lanes_enabled()) {
     const std::size_t lanes =
         std::size_t(n) * std::size_t(shards_per_site());
@@ -150,12 +178,19 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
     }
   }
 
-  transport_live_ = std::make_unique<LiveTransport>(
-      n, wheel_, [this](SiteId src, SiteId dst, std::vector<std::uint8_t> f) {
-        post(dst, [this, src, dst, f = std::move(f)]() mutable {
-          dispatch(src, dst, std::move(f));
-        });
-      });
+  auto deliver = [this](SiteId src, SiteId dst, std::vector<std::uint8_t> f) {
+    post(dst, [this, src, dst, f = std::move(f)]() mutable {
+      dispatch(src, dst, std::move(f));
+    });
+  };
+  if (!cfg.peers.empty()) {
+    // Multi-process mesh: real sockets to peer processes, one per site.
+    transport_live_ = std::make_unique<LiveTransport>(n, cfg.self, cfg.peers,
+                                                      wheel_, std::move(deliver));
+  } else {
+    transport_live_ =
+        std::make_unique<LiveTransport>(n, wheel_, std::move(deliver));
+  }
   if (cfg.delay_scale > 0) {
     const auto& topo = net_->topology();
     for (SiteId i = 0; i < static_cast<SiteId>(n); ++i)
@@ -183,7 +218,7 @@ LiveCluster::LiveCluster(const LiveConfig& cfg, core::ProtocolSpec spec)
       shard_mailboxes_[i]->set_stats(
           &p->slot(static_cast<SiteId>(i / std::size_t(shards_per_site()))));
     wheel_.set_stats(&p->runtime_slot());
-    transport_live_->loop().set_stats(&p->runtime_slot());
+    transport_live_->reactor().set_stats(&p->runtime_slot());
     transport_live_->set_stats([p](SiteId src) { return &p->slot(src); });
   }
 }
@@ -196,12 +231,20 @@ void LiveCluster::start() {
   t0_ = std::chrono::steady_clock::now();
   wheel_.start();
   transport_live_->start();
+  // Hosted-site gating: in a multi-process deployment this process spawns
+  // worker threads only for the site it hosts; the other sites' mailboxes
+  // exist (indices must line up) but never receive work.
   threads_.reserve(mailboxes_.size());
-  for (auto& mb : mailboxes_)
-    threads_.emplace_back([m = mb.get()] { m->run(); });
+  for (std::size_t s = 0; s < mailboxes_.size(); ++s) {
+    if (!hosted(static_cast<SiteId>(s))) continue;
+    threads_.emplace_back([m = mailboxes_[s].get()] { m->run(); });
+  }
   shard_threads_.reserve(shard_mailboxes_.size());
-  for (auto& mb : shard_mailboxes_)
-    shard_threads_.emplace_back([m = mb.get()] { m->run(); });
+  for (std::size_t i = 0; i < shard_mailboxes_.size(); ++i) {
+    if (!hosted(static_cast<SiteId>(i / std::size_t(shards_per_site()))))
+      continue;
+    shard_threads_.emplace_back([m = shard_mailboxes_[i].get()] { m->run(); });
+  }
 
   if (auto* p = plane()) {
     // Stall watchdog: every work queue in the live runtime registers its
@@ -210,6 +253,7 @@ void LiveCluster::start() {
     // probes before tearing down what they read.
     auto& wd = p->watchdog();
     for (SiteId s = 0; s < static_cast<SiteId>(sites()); ++s) {
+      if (!hosted(s)) continue;  // no thread drains it — nothing to probe
       Mailbox* m = mailboxes_[s].get();
       wd.add_probe(
           "mailbox", s, [m] { return m->executed(); },
@@ -235,6 +279,7 @@ void LiveCluster::start() {
       // flat progress, same as any other stalled queue.
       const int S = shards_per_site();
       for (SiteId s = 0; s < static_cast<SiteId>(sites()); ++s) {
+        if (!hosted(s)) continue;
         wd.add_probe(
             "shard_cert", s,
             [this, s, S] {
@@ -255,10 +300,10 @@ void LiveCluster::start() {
     wd.add_probe(
         "timer_wheel", kNoSite, [this] { return wheel_.ticks(); },
         [this] { return wheel_.armed(); });
-    EventLoop& loop = transport_live_->loop();
+    front::Reactor& r = transport_live_->reactor();
     wd.add_probe(
-        "event_loop", kNoSite, [&loop] { return loop.wakeups(); },
-        [&loop] { return loop.pending_out_bytes(); });
+        "event_loop", kNoSite, [&r] { return r.wakeups(); },
+        [&r] { return r.pending_out_bytes(); });
   }
 }
 
@@ -418,7 +463,49 @@ void LiveCluster::commit(SiteId coord, const core::MutTxnPtr& t,
 
 void LiveCluster::send_frame(SiteId from, SiteId to,
                              const codec::Writer& w) {
+  // FIFO contract: anything coalesced toward `to` was logically sent before
+  // this frame, so it must hit the socket first.
+  if (coalesce_) flush_batch(from, to);
   transport_live_->send(from, to, w.data());
+}
+
+void LiveCluster::send_small(SiteId from, SiteId to, const codec::Writer& w) {
+  if (!coalesce_) {
+    send_frame(from, to, w);
+    return;
+  }
+  // Site-thread only (all protocol sends run inside mailbox tasks of
+  // `from`), so the batcher needs no lock.
+  auto& b = batchers_[from];
+  b.per_dst[to].push_back(w.data());
+  b.bytes[to] += w.data().size();
+  if (b.per_dst[to].size() >= kBatchMaxMsgs || b.bytes[to] >= kBatchMaxBytes)
+    flush_batch(from, to);
+}
+
+void LiveCluster::flush_batch(SiteId from, SiteId to) {
+  auto& b = batchers_[from];
+  auto& q = b.per_dst[to];
+  if (q.empty()) return;
+  if (q.size() == 1) {
+    // A lone message gains nothing from the container; ship it bare.
+    transport_live_->send(from, to, q.front());
+  } else {
+    codec::Writer w;
+    w.u8(static_cast<std::uint8_t>(codec::MsgType::kBatch));
+    codec::encode_batch(w, q);
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    batched_msgs_.fetch_add(q.size(), std::memory_order_relaxed);
+    transport_live_->send(from, to, w.data());
+  }
+  q.clear();
+  b.bytes[to] = 0;
+}
+
+void LiveCluster::flush_batches(SiteId from) {
+  auto& b = batchers_[from];
+  for (SiteId d = 0; d < static_cast<SiteId>(b.per_dst.size()); ++d)
+    flush_batch(from, d);
 }
 
 void LiveCluster::remote_read(SiteId from, SiteId target,
@@ -491,7 +578,7 @@ void LiveCluster::send_vote(SiteId from, SiteId to, const TxnPtr& t,
   codec::Writer w;
   w.u8(static_cast<std::uint8_t>(codec::MsgType::kVote));
   codec::encode_vote(w, {t->id, from, vote});
-  send_frame(from, to, w);
+  send_small(from, to, w);
 }
 
 void LiveCluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
@@ -503,7 +590,7 @@ void LiveCluster::send_decision(SiteId from, SiteId to, const TxnPtr& t,
   codec::Writer w;
   w.u8(static_cast<std::uint8_t>(codec::MsgType::kDecision));
   codec::encode_decision(w, {t->id, commit});
-  send_frame(from, to, w);
+  send_small(from, to, w);
 }
 
 void LiveCluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
@@ -517,7 +604,7 @@ void LiveCluster::send_paxos_2a(SiteId from, SiteId acceptor, const TxnPtr& t,
   codec::Writer w;
   w.u8(static_cast<std::uint8_t>(codec::MsgType::kPaxos2a));
   codec::encode_paxos(w, {t->id, participant, vote, acceptor});
-  send_frame(from, acceptor, w);
+  send_small(from, acceptor, w);
 }
 
 void LiveCluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
@@ -532,7 +619,7 @@ void LiveCluster::send_paxos_2b(SiteId from, SiteId to, const TxnPtr& t,
   codec::Writer w;
   w.u8(static_cast<std::uint8_t>(codec::MsgType::kPaxos2b));
   codec::encode_paxos(w, {t->id, participant, vote, acceptor});
-  send_frame(from, to, w);
+  send_small(from, to, w);
 }
 
 void LiveCluster::propagate_stamp(SiteId from, const TxnRecord& t,
@@ -544,7 +631,7 @@ void LiveCluster::propagate_stamp(SiteId from, const TxnRecord& t,
     if (d == from) {
       post(d, [this, d, stamp = t.stamp] { oracle().on_propagate(d, stamp); });
     } else {
-      send_frame(from, d, w);
+      send_small(from, d, w);
     }
   }
 }
@@ -710,8 +797,22 @@ void LiveCluster::dispatch(SiteId src, SiteId dst,
       oracle().on_propagate(dst, m->stamp);
       return;
     }
+    case codec::MsgType::kBatch: {
+      auto m = codec::decode_batch(r);
+      if (!m) break;
+      // Each item is a complete tagged frame body; re-dispatch preserves
+      // the sender's append order, so per-link FIFO survives coalescing.
+      for (auto& inner : *m) dispatch(src, dst, std::move(inner));
+      return;
+    }
     case codec::MsgType::kControl:
       return;  // handshake-only; nothing to do mid-run
+    case codec::MsgType::kClientHello:
+    case codec::MsgType::kClientWelcome:
+    case codec::MsgType::kClientReq:
+    case codec::MsgType::kClientResp:
+    case codec::MsgType::kPushback:
+      break;  // client-protocol frames never travel between sites
   }
   GDUR_WARN("live: dropping malformed frame type=%u src=%u dst=%u",
             static_cast<unsigned>(*tag), static_cast<unsigned>(src),

@@ -40,6 +40,7 @@
 // is spent instead), and fault injection (live runs are fault-free).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -64,6 +65,19 @@ struct LiveConfig {
   /// Emulated one-way link delay = topology latency × this factor
   /// (0 = raw loopback). Lets live runs reproduce geo-replication spacing.
   double delay_scale = 0.0;
+  /// Coalesce small protocol messages (votes, decisions, Paxos rounds,
+  /// stamp propagation) per destination into kBatch frames, flushed when
+  /// the sending site's mailbox runs dry or the batch hits its size cap.
+  /// Per-link FIFO is preserved: a direct (unbatched) frame to a
+  /// destination flushes that destination's pending batch first.
+  bool coalesce = false;
+  /// Multi-process deployment: when `self` != kNoSite, this process hosts
+  /// only site `self` — threads, replica activity and watchdog probes are
+  /// spawned for it alone, and the transport dials `peers` (one endpoint
+  /// per site, boot order free) instead of building the in-process mesh.
+  /// kNoSite (default) hosts every site in this process (PR 4 behavior).
+  SiteId self = kNoSite;
+  std::vector<SiteEndpoint> peers;
 };
 
 class LiveCluster : public core::Cluster {
@@ -137,6 +151,22 @@ class LiveCluster : public core::Cluster {
   [[nodiscard]] std::uint64_t live_bytes() const {
     return transport_live_->bytes_sent();
   }
+  /// Coalesced frames sent / messages carried inside them (0 with
+  /// coalescing off). Site threads write, any thread reads.
+  [[nodiscard]] std::uint64_t batches_sent() const {
+    return batches_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batched_msgs() const {
+    return batched_msgs_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this process runs site `s`'s threads (always true in the
+  /// single-process mesh).
+  [[nodiscard]] bool hosted(SiteId s) const {
+    return self_ == kNoSite || s == self_;
+  }
+  /// The one site this process hosts, or kNoSite when it hosts them all.
+  [[nodiscard]] SiteId self_site() const { return self_; }
 
  private:
   /// The fixed relay site giving all group-communication flavors a total
@@ -165,6 +195,15 @@ class LiveCluster : public core::Cluster {
     std::uint64_t read_seq = 0;
   };
 
+  /// Per-site outbound coalescing state; touched only on that site's
+  /// mailbox thread (sends happen inside mailbox tasks, the flush hook runs
+  /// on the same thread at queue-dry).
+  struct Batcher {
+    /// dst -> pending tagged frame bodies awaiting one kBatch frame.
+    std::vector<std::vector<std::vector<std::uint8_t>>> per_dst;
+    std::vector<std::size_t> bytes;  // dst -> pending payload bytes
+  };
+
   void dispatch(SiteId src, SiteId dst, std::vector<std::uint8_t> frame);
   /// Registers `t` at `dst` if unknown; returns the canonical record (the
   /// first one seen wins, so the coordinator keeps its original pointer).
@@ -175,7 +214,17 @@ class LiveCluster : public core::Cluster {
                 std::function<void(const core::TxnPtr&)> fn);
   /// Sequencer-side relay of one termination record to its destinations.
   void relay_term(const core::TxnPtr& t, const std::vector<SiteId>& dests);
+  /// Direct (unbatched) send; flushes `to`'s pending batch first so the
+  /// per-link FIFO contract survives coalescing.
   void send_frame(SiteId from, SiteId to, const net::codec::Writer& w);
+  /// Coalescing send for small protocol messages: appends the tagged frame
+  /// to the (from, to) batch (flushed at mailbox idle or at the size cap),
+  /// or falls through to a direct send with coalescing off.
+  void send_small(SiteId from, SiteId to, const net::codec::Writer& w);
+  /// Ships one destination's pending batch (site thread only).
+  void flush_batch(SiteId from, SiteId to);
+  /// Ships every pending batch of `from` (the mailbox idle hook).
+  void flush_batches(SiteId from);
 
   static constexpr std::size_t kTxnCacheCap = 200'000;
 
@@ -203,9 +252,14 @@ class LiveCluster : public core::Cluster {
   std::vector<std::thread> threads_;
   std::vector<std::thread> shard_threads_;
   std::vector<SiteState> dispatch_state_;
+  std::vector<Batcher> batchers_;
   TimerWheel wheel_;
   std::unique_ptr<LiveTransport> transport_live_;
   std::chrono::steady_clock::time_point t0_;
+  bool coalesce_ = false;
+  SiteId self_ = kNoSite;
+  std::atomic<std::uint64_t> batches_sent_{0};
+  std::atomic<std::uint64_t> batched_msgs_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -11,6 +11,7 @@
 
 #include "checker/history.h"
 #include "common/rng.h"
+#include "front/signals.h"
 #include "live/live_cluster.h"
 #include "protocols/protocols.h"
 #include "workload/client.h"
@@ -246,6 +247,7 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   lc.base.trace = cfg.trace;
   lc.base.plane = cfg.plane;
   lc.delay_scale = cfg.delay_scale;
+  lc.coalesce = cfg.coalesce;
   LiveCluster cluster(lc, protocols::by_name(cfg.protocol));
 
   std::vector<SiteCollector> col(static_cast<std::size_t>(cfg.sites));
@@ -290,8 +292,10 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   }
 
   const auto t_start = steady_clock::now();
-  // gdur-lint: allow(live/blocking-call) measurement window sleep on the harness thread, not the event loop
-  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.secs));
+  // Interruptible measurement window: SIGTERM/SIGINT (front::signals) ends
+  // the window early and proceeds to the normal drain, so an operator kill
+  // still yields a complete, checkable history and a clean exit.
+  const bool interrupted = front::interruptible_sleep(cfg.secs);
   running.store(false, std::memory_order_release);
   const double wall =
       std::chrono::duration<double>(steady_clock::now() - t_start).count();
@@ -316,6 +320,9 @@ LiveRunResult run_live(const LiveRunConfig& cfg) {
   res.wall_secs = wall;
   res.messages = cluster.live_messages();
   res.bytes = cluster.live_bytes();
+  res.batches = cluster.batches_sent();
+  res.batched_msgs = cluster.batched_msgs();
+  res.interrupted = interrupted;
   res.hung_clients = hung;
   for (auto& c : col) {
     res.metrics.merge_from(c.metrics);

@@ -46,6 +46,9 @@ struct LiveRunConfig {
   /// Poisson arrivals at this total offered rate instead of closed loops
   /// (0 = closed loop).
   double open_loop_tps = 0.0;
+  /// Per-destination vote/ack coalescing into kBatch frames (see
+  /// LiveConfig::coalesce).
+  bool coalesce = false;
   /// Emulated link delay = topology latency × this (see LiveConfig).
   double delay_scale = 0.0;
   /// Verify the recorded history against the protocol's criterion.
@@ -73,6 +76,11 @@ struct LiveRunResult {
   std::string checker_detail;
   std::uint64_t messages = 0;  // frames over the live transport
   std::uint64_t bytes = 0;
+  std::uint64_t batches = 0;       // kBatch frames sent (coalescing on)
+  std::uint64_t batched_msgs = 0;  // messages carried inside them
+  /// True when a shutdown signal cut the measurement window short (the run
+  /// still drained and checked normally).
+  bool interrupted = false;
   /// Client flows still in flight when the drain grace period expired
   /// (0 on a healthy run).
   int hung_clients = 0;

@@ -1,10 +1,22 @@
 // Real-socket transport with the simulator's delivery contract.
 //
-// Sites are connected by a full mesh of loopback TCP connections, one per
-// ordered pair (i, j): site i only ever writes on its (i, j) connection and
-// site j only reads from it, so TCP's per-connection byte stream directly
-// yields exactly-once, FIFO-per-link delivery — the contract core::Cluster
+// Sites are connected by a full mesh of TCP connections, one per ordered
+// pair (i, j): site i only ever writes on its (i, j) connection and site j
+// only reads from it, so TCP's per-connection byte stream directly yields
+// exactly-once, FIFO-per-link delivery — the contract core::Cluster
 // documents for its transport seam.
+//
+// Two deployment shapes share this class:
+//   * Loopback mesh (single process): every site lives in this process;
+//     listeners bind 127.0.0.1:0 and the whole mesh is wired synchronously
+//     in the constructor (PR 4 behavior).
+//   * External mesh (multi-process, one gdur_site process per site): this
+//     process IS site `self`; it binds the configured port, then dials every
+//     peer with bounded retries (peers boot in any order) and accepts the
+//     peers' inbound links. Only `self`'s outbound links exist here.
+//
+// Byte-moving runs on front::Reactor (epoll, poll() fallback) — the same
+// engine the client front door uses.
 //
 // Link delay emulation: a received frame can be held on a real-clock timer
 // wheel before dispatch. The emulated delay is constant per link, so
@@ -16,45 +28,62 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
-#include "live/event_loop.h"
+#include "front/reactor.h"
 #include "live/timer_wheel.h"
 
 namespace gdur::live {
 
+/// Where a site's inter-site listener lives (multi-process mesh).
+struct SiteEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 class LiveTransport {
  public:
-  /// Called (on the event-loop or timer thread) once a frame is due at its
+  /// Called (on the reactor or timer thread) once a frame is due at its
   /// destination; expected to post decode+dispatch work to dst's mailbox.
   using Deliver =
       std::function<void(SiteId src, SiteId dst, std::vector<std::uint8_t>)>;
 
-  /// Establishes the loopback mesh synchronously: one listener per site on
-  /// 127.0.0.1:0, then every ordered pair connects and identifies itself
-  /// with a codec::ControlMsg hello. Throws std::runtime_error on failure.
-  /// `wheel` must be started before start() and outlive this object.
+  /// Establishes the in-process loopback mesh synchronously: one listener
+  /// per site on 127.0.0.1:0, then every ordered pair connects and
+  /// identifies itself with a codec::ControlMsg hello. Throws
+  /// std::runtime_error on failure. `wheel` must be started before start()
+  /// and outlive this object.
   LiveTransport(int sites, TimerWheel& wheel, Deliver deliver);
+
+  /// External (multi-process) mesh: this process is site `self`. Binds
+  /// `peers[self]`, dials every other peer with bounded retries (they may
+  /// not have booted yet), and accepts their inbound links. Blocks until
+  /// the mesh is complete or the deadline passes; throws on failure.
+  LiveTransport(int sites, SiteId self, const std::vector<SiteEndpoint>& peers,
+                TimerWheel& wheel, Deliver deliver,
+                std::chrono::seconds connect_deadline = std::chrono::seconds(30));
 
   ~LiveTransport() { stop(); }
 
   /// Per-link one-way delay to emulate (0 = deliver on arrival).
   void set_link_delay(SiteId src, SiteId dst, std::chrono::nanoseconds d);
 
-  void start() { loop_.start(); }
-  void stop() { loop_.stop(); }
+  void start() { reactor_.start(); }
+  void stop() { reactor_.stop(); }
 
   /// Queues `body` (type tag + encoded message) on the (src, dst) link.
-  /// Thread-safe; src != dst (self-sends bypass the transport).
+  /// Thread-safe; src != dst (self-sends bypass the transport). In the
+  /// external mesh src must be `self`.
   void send(SiteId src, SiteId dst, const std::vector<std::uint8_t>& body);
 
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
-  /// The byte-moving event loop, exposed so the observability plane can
-  /// attach its stats slot and stall-watchdog probes.
-  [[nodiscard]] EventLoop& loop() { return loop_; }
+  /// The byte-moving reactor, exposed so the observability plane can attach
+  /// its stats slot and stall-watchdog probes.
+  [[nodiscard]] front::Reactor& reactor() { return reactor_; }
 
   /// Per-site stats slots: send() records kMsgsSent/kBytesSent/kMsgBytes
   /// into `slot_of(src)`. Set before start(); not owned.
@@ -66,11 +95,13 @@ class LiveTransport {
   [[nodiscard]] int link_index(SiteId src, SiteId dst) const {
     return static_cast<int>(src) * sites_ + static_cast<int>(dst);
   }
+  void install_frame_handler();
+  void register_inbound(int conn, SiteId src, SiteId dst);
 
   int sites_;
   TimerWheel& wheel_;
   Deliver deliver_;
-  EventLoop loop_;
+  front::Reactor reactor_;
   std::vector<int> out_conn_;                   // link index -> conn id
   std::vector<std::pair<SiteId, SiteId>> in_link_;  // conn id -> (src,dst)
   std::vector<std::chrono::nanoseconds> delay_;  // link index -> delay

@@ -15,19 +15,37 @@ void Mailbox::post(Task fn) {
 }
 
 void Mailbox::run() {
+  // Tracks whether the idle hook already ran for the current dry spell, so
+  // an empty queue flushes exactly once and then blocks.
+  bool idle_ran = false;
   for (;;) {
     Task task;
+    bool run_idle = false;
     {
       MutexLock lock(&mu_);
-      cv_.wait(lock, [this]() REQUIRES(mu_) { return stopped_ || !q_.empty(); });
-      if (stopped_) return;
-      task = std::move(q_.front());
-      q_.pop_front();
+      if (q_.empty() && !stopped_ && idle_ && !idle_ran) {
+        run_idle = true;  // flush outside the lock, then come back
+      } else {
+        cv_.wait(lock,
+                 [this]() REQUIRES(mu_) { return stopped_ || !q_.empty(); });
+        if (stopped_) break;
+        task = std::move(q_.front());
+        q_.pop_front();
+      }
     }
+    if (run_idle) {
+      idle_();
+      idle_ran = true;
+      continue;
+    }
+    idle_ran = false;
     task();
     executed_.fetch_add(1, std::memory_order_relaxed);
     if (stats_ != nullptr) stats_->record(obs::Counter::kMailboxTasks);
   }
+  // Teardown flush: anything still coalesced goes out (best-effort; the
+  // transport may already be quiescing).
+  if (idle_) idle_();
 }
 
 void Mailbox::stop() {

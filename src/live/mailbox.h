@@ -51,6 +51,15 @@ class Mailbox {
   /// every task it runs. Set before run() spins up; not owned.
   void set_stats(obs::StatsSlot* s) { stats_ = s; }
 
+  /// Optional idle hook, run on the consumer thread whenever the queue runs
+  /// dry — after the last queued task, before blocking — and once more at
+  /// stop(). This is the flush point for per-destination message coalescing
+  /// (live vote/ack batching): batches fill while the site is busy and
+  /// drain the instant it has nothing left to do, so batching never delays
+  /// a message the protocol is waiting on. Set before run(); must not post
+  /// back into this mailbox from the final (post-stop) invocation.
+  void set_idle(Task fn) { idle_ = std::move(fn); }
+
  private:
   mutable Mutex mu_;
   CondVar cv_;
@@ -58,6 +67,7 @@ class Mailbox {
   std::atomic<std::uint64_t> posted_{0};
   std::atomic<std::uint64_t> executed_{0};
   obs::StatsSlot* stats_ = nullptr;  // set before run(), read by consumer
+  Task idle_;                        // set before run(), run by consumer
   bool stopped_ GUARDED_BY(mu_) = false;
 };
 

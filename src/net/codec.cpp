@@ -423,4 +423,158 @@ std::optional<ControlMsg> decode_control(Reader& r) {
   return ControlMsg{*kind, *arg};
 }
 
+// ---------------------------------------------------------------------------
+// Client (front-door) protocol.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::optional<ClientOp> decode_client_op(Reader& r) {
+  const auto op = r.u8();
+  if (!op || *op < 1 || *op > 5) return std::nullopt;
+  return static_cast<ClientOp>(*op);
+}
+}  // namespace
+
+void encode_client_hello(Writer& w, const ClientHelloMsg& m) {
+  w.varint(m.version);
+  w.u32(m.site_hint);
+}
+
+std::optional<ClientHelloMsg> decode_client_hello(Reader& r) {
+  const auto version = r.varint();
+  const auto site = r.u32();
+  if (!version || !site) return std::nullopt;
+  return ClientHelloMsg{*version, *site};
+}
+
+void encode_client_welcome(Writer& w, const ClientWelcomeMsg& m) {
+  w.varint(m.session);
+  w.varint(m.window);
+  w.u32(m.site);
+  w.str(m.protocol);
+}
+
+std::optional<ClientWelcomeMsg> decode_client_welcome(Reader& r) {
+  ClientWelcomeMsg m;
+  const auto session = r.varint();
+  const auto window = r.varint();
+  const auto site = r.u32();
+  auto protocol = r.str();
+  if (!session || !window || *window > (1u << 20) || !site || !protocol)
+    return std::nullopt;
+  m.session = *session;
+  m.window = static_cast<std::uint32_t>(*window);
+  m.site = *site;
+  m.protocol = *std::move(protocol);
+  return m;
+}
+
+void encode_client_req(Writer& w, const ClientReqMsg& m) {
+  w.varint(m.cookie);
+  w.u8(static_cast<std::uint8_t>(m.op));
+  w.varint(m.txn);
+  w.varint(m.obj);
+  w.varint(m.reads.size());
+  for (ObjectId o : m.reads) w.varint(o);
+  w.varint(m.writes.size());
+  for (ObjectId o : m.writes) w.varint(o);
+}
+
+std::optional<ClientReqMsg> decode_client_req(Reader& r) {
+  ClientReqMsg m;
+  const auto cookie = r.varint();
+  const auto op = decode_client_op(r);
+  const auto txn = r.varint();
+  const auto obj = r.varint();
+  if (!cookie || !op || !txn || !obj) return std::nullopt;
+  m.cookie = *cookie;
+  m.op = *op;
+  m.txn = *txn;
+  m.obj = *obj;
+  const auto nr = r.varint();
+  if (!nr) return std::nullopt;
+  m.reads.reserve(
+      static_cast<std::size_t>(std::min(*nr, std::uint64_t{r.remaining()})));
+  for (std::uint64_t i = 0; i < *nr; ++i) {
+    const auto o = r.varint();
+    if (!o) return std::nullopt;
+    m.reads.push_back(*o);
+  }
+  const auto nw = r.varint();
+  if (!nw) return std::nullopt;
+  m.writes.reserve(
+      static_cast<std::size_t>(std::min(*nw, std::uint64_t{r.remaining()})));
+  for (std::uint64_t i = 0; i < *nw; ++i) {
+    const auto o = r.varint();
+    if (!o) return std::nullopt;
+    m.writes.push_back(*o);
+  }
+  return m;
+}
+
+void encode_client_resp(Writer& w, const ClientRespMsg& m) {
+  w.varint(m.cookie);
+  w.u8(static_cast<std::uint8_t>(m.op));
+  w.u8(m.ok ? 1 : 0);
+  w.varint(m.txn);
+  w.varint(m.payload_bytes);
+}
+
+std::optional<ClientRespMsg> decode_client_resp(Reader& r) {
+  const auto cookie = r.varint();
+  const auto op = decode_client_op(r);
+  const auto ok = r.u8();
+  const auto txn = r.varint();
+  const auto payload = r.varint();
+  if (!cookie || !op || !ok || *ok > 1 || !txn || !payload)
+    return std::nullopt;
+  return ClientRespMsg{*cookie, *op, *ok != 0, *txn, *payload};
+}
+
+void encode_pushback(Writer& w, const PushbackMsg& m) {
+  w.u8(m.stop ? 1 : 0);
+  w.varint(m.depth);
+}
+
+std::optional<PushbackMsg> decode_pushback(Reader& r) {
+  const auto stop = r.u8();
+  const auto depth = r.varint();
+  if (!stop || *stop > 1 || !depth) return std::nullopt;
+  return PushbackMsg{*stop != 0, *depth};
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced (batch) frames.
+// ---------------------------------------------------------------------------
+
+void encode_batch(Writer& w,
+                  const std::vector<std::vector<std::uint8_t>>& frames) {
+  w.varint(frames.size());
+  for (const auto& f : frames) {
+    w.varint(f.size());
+    w.bytes(f.data(), f.size());
+  }
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> decode_batch(Reader& r) {
+  const auto n = r.varint();
+  if (!n || *n == 0 || *n > (1u << 20)) return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(
+      static_cast<std::size_t>(std::min(*n, std::uint64_t{r.remaining()})));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto len = r.varint();
+    if (!len || *len == 0 || r.remaining() < *len) return std::nullopt;
+    std::vector<std::uint8_t> item;
+    item.reserve(static_cast<std::size_t>(*len));
+    for (std::uint64_t k = 0; k < *len; ++k) item.push_back(*r.u8());
+    // A batch inside a batch is a protocol error (and a recursion hazard).
+    if (item[0] == static_cast<std::uint8_t>(MsgType::kBatch))
+      return std::nullopt;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
 }  // namespace gdur::net::codec
+

@@ -32,6 +32,9 @@ class Writer {
   void str(const std::string& s);
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  /// Moves the buffer out (zero-copy handoff to Reactor::send_frame); the
+  /// writer is empty afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
  private:
@@ -85,7 +88,8 @@ std::uint64_t encoded_txn_size(const core::TxnRecord& t,
 // followed by the body encoded below. Every class here round-trips
 // byte-exactly and rejects malformed input with nullopt (tests/test_codec).
 
-/// Frame type tag — first byte of every live frame.
+/// Frame type tag — first byte of every live frame. Values 1–15 are
+/// inter-site protocol traffic; 32+ is the client (front-door) protocol.
 enum class MsgType : std::uint8_t {
   kTermDeliver = 1,  // body: encode_txn (termination record)
   kTermSubmit = 2,   // body: TermSubmitMsg (origin -> sequencer)
@@ -97,6 +101,12 @@ enum class MsgType : std::uint8_t {
   kReadReply = 8,    // body: ReadReplyMsg
   kPropagate = 9,    // body: PropagateMsg
   kControl = 10,     // body: ControlMsg (connection handshake etc.)
+  kBatch = 11,       // body: coalesced inner frames (encode_batch)
+  kClientHello = 32,    // body: ClientHelloMsg (client -> server)
+  kClientWelcome = 33,  // body: ClientWelcomeMsg (server -> client)
+  kClientReq = 34,      // body: ClientReqMsg
+  kClientResp = 35,     // body: ClientRespMsg
+  kPushback = 36,       // body: PushbackMsg (server -> client)
 };
 
 /// A certification vote (GC participant vote or 2PC vote to the coord).
@@ -161,6 +171,72 @@ struct ControlMsg {
   std::uint64_t arg = 0;
 };
 
+// --- client (front-door) protocol --------------------------------------------
+//
+// A GdurClient connection speaks these frames against front::FrontServer:
+// hello/welcome establishes a session pinned to one site, then pipelined
+// requests carry a client-chosen cookie echoed in the response. Pushback
+// frames are the server's explicit backpressure signal (cert queues past a
+// watermark): clients stop submitting until the resume frame.
+
+/// Operations a client request can carry. kStored runs a one-shot stored
+/// transaction (all reads then all writes then commit) entirely server-side
+/// — one round trip instead of 2 + reads + writes.
+enum class ClientOp : std::uint8_t {
+  kBegin = 1,
+  kRead = 2,
+  kWrite = 3,
+  kCommit = 4,
+  kStored = 5,
+};
+
+/// First client frame on a connection. `site_hint` requests a coordinator
+/// site (kNoSite = server picks one).
+struct ClientHelloMsg {
+  std::uint64_t version = 1;
+  SiteId site_hint = kNoSite;
+};
+
+/// Server's session grant: the session id, the agreed per-session in-flight
+/// window, the coordinator site and its protocol name.
+struct ClientWelcomeMsg {
+  std::uint64_t session = 0;
+  std::uint32_t window = 0;
+  SiteId site = 0;
+  std::string protocol;
+};
+
+/// One pipelined request. `txn` is the server-issued transaction handle
+/// (from the kBegin response); `obj` is the object of kRead/kWrite;
+/// `reads`/`writes` are the footprint of a kStored transaction.
+struct ClientReqMsg {
+  std::uint64_t cookie = 0;
+  ClientOp op = ClientOp::kBegin;
+  std::uint64_t txn = 0;
+  ObjectId obj = 0;
+  std::vector<ObjectId> reads;
+  std::vector<ObjectId> writes;
+};
+
+/// Response to one request, correlated by cookie. `ok` is the operation
+/// verdict (for kCommit/kStored: committed). `txn` echoes the handle
+/// (kBegin: the newly issued one). `payload_bytes` sizes the after-value a
+/// kRead returns, same length-marker convention as read replies.
+struct ClientRespMsg {
+  std::uint64_t cookie = 0;
+  ClientOp op = ClientOp::kBegin;
+  bool ok = false;
+  std::uint64_t txn = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Server backpressure: stop (or resume) submitting on this session.
+/// `depth` is the certification-queue depth that tripped the watermark.
+struct PushbackMsg {
+  bool stop = false;
+  std::uint64_t depth = 0;
+};
+
 void encode_version(Writer& w, const store::Version& v);
 std::optional<store::Version> decode_version(Reader& r);
 
@@ -188,5 +264,28 @@ std::optional<PropagateMsg> decode_propagate(Reader& r);
 
 void encode_control(Writer& w, const ControlMsg& m);
 std::optional<ControlMsg> decode_control(Reader& r);
+
+void encode_client_hello(Writer& w, const ClientHelloMsg& m);
+std::optional<ClientHelloMsg> decode_client_hello(Reader& r);
+
+void encode_client_welcome(Writer& w, const ClientWelcomeMsg& m);
+std::optional<ClientWelcomeMsg> decode_client_welcome(Reader& r);
+
+void encode_client_req(Writer& w, const ClientReqMsg& m);
+std::optional<ClientReqMsg> decode_client_req(Reader& r);
+
+void encode_client_resp(Writer& w, const ClientRespMsg& m);
+std::optional<ClientRespMsg> decode_client_resp(Reader& r);
+
+void encode_pushback(Writer& w, const PushbackMsg& m);
+std::optional<PushbackMsg> decode_pushback(Reader& r);
+
+/// Coalesced frame (vote/ack batching): `frames` are complete tagged frame
+/// bodies (type byte + payload) sharing one wire frame and one length
+/// prefix. Body layout: varint count, then per item varint len + bytes.
+/// Nested batches are rejected on decode, as are empty items.
+void encode_batch(Writer& w,
+                  const std::vector<std::vector<std::uint8_t>>& frames);
+std::optional<std::vector<std::vector<std::uint8_t>>> decode_batch(Reader& r);
 
 }  // namespace gdur::net::codec

@@ -31,6 +31,9 @@ const char* counter_name(Counter c) {
     case Counter::kFlightDumps: return "flight_dumps";
     case Counter::kInvariantViolations: return "invariant_violations";
     case Counter::kWatchdogTrips: return "watchdog_trips";
+    case Counter::kClientSessions: return "client_sessions";
+    case Counter::kClientOps: return "client_ops";
+    case Counter::kClientPushbacks: return "client_pushbacks";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -62,6 +62,9 @@ enum class Counter : std::uint8_t {
   kFlightDumps,        // flight-recorder dumps emitted
   kInvariantViolations,// online invariant monitor trips
   kWatchdogTrips,      // stall watchdog trips
+  kClientSessions,     // front-door client sessions accepted
+  kClientOps,          // front-door client requests admitted
+  kClientPushbacks,    // front-door admission pushback engagements
   kCount
 };
 [[nodiscard]] const char* counter_name(Counter c);

@@ -578,5 +578,255 @@ TEST(WireSizes, TerminationWithinTwoXForAllSeeds) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Client protocol frames (front door, MsgTypes 32-36) and kBatch: byte-exact
+// round trips, truncation-anywhere rejection, garbage-fuzz safety. These
+// frames cross a trust boundary — arbitrary processes can dial the front
+// door — so the honesty contract (nullopt on any malformed byte, never a
+// crash or over-read) is load-bearing, not hygiene.
+// ---------------------------------------------------------------------------
+
+ClientReqMsg sample_req(Rng& rng) {
+  ClientReqMsg m;
+  m.cookie = rng.next_below(1ULL << 50);
+  m.op = static_cast<ClientOp>(1 + rng.next_below(5));
+  m.txn = rng.next_below(1ULL << 40);
+  m.obj = rng.next_below(1 << 24);
+  const auto nr = rng.next_below(5);
+  for (std::uint64_t i = 0; i < nr; ++i)
+    m.reads.push_back(rng.next_below(10'000));
+  const auto nw = rng.next_below(4);
+  for (std::uint64_t i = 0; i < nw; ++i)
+    m.writes.push_back(rng.next_below(10'000));
+  return m;
+}
+
+TEST(ClientCodec, HelloRoundTrip) {
+  ClientHelloMsg m;
+  m.version = 1;
+  m.site_hint = 2;
+  Writer w;
+  encode_client_hello(w, m);
+  Reader r(w.data());
+  const auto got = decode_client_hello(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->version, m.version);
+  EXPECT_EQ(got->site_hint, m.site_hint);
+}
+
+TEST(ClientCodec, WelcomeRoundTrip) {
+  ClientWelcomeMsg m;
+  m.session = 0xfeedbeef12ULL;
+  m.window = 64;
+  m.site = 1;
+  m.protocol = "Walter";
+  Writer w;
+  encode_client_welcome(w, m);
+  Reader r(w.data());
+  const auto got = decode_client_welcome(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->session, m.session);
+  EXPECT_EQ(got->window, m.window);
+  EXPECT_EQ(got->site, m.site);
+  EXPECT_EQ(got->protocol, m.protocol);
+}
+
+TEST(ClientCodec, ReqRoundTripAllOps) {
+  Rng rng(23);
+  for (int trial = 0; trial < 32; ++trial) {
+    const auto m = sample_req(rng);
+    Writer w;
+    encode_client_req(w, m);
+    Reader r(w.data());
+    const auto got = decode_client_req(r);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(got->cookie, m.cookie);
+    EXPECT_EQ(got->op, m.op);
+    EXPECT_EQ(got->txn, m.txn);
+    EXPECT_EQ(got->obj, m.obj);
+    EXPECT_EQ(got->reads, m.reads);
+    EXPECT_EQ(got->writes, m.writes);
+  }
+}
+
+TEST(ClientCodec, RespAndPushbackRoundTrip) {
+  ClientRespMsg m;
+  m.cookie = 99;
+  m.op = ClientOp::kCommit;
+  m.ok = true;
+  m.txn = 1234;
+  m.payload_bytes = 4096;
+  Writer w;
+  encode_client_resp(w, m);
+  Reader r(w.data());
+  const auto got = decode_client_resp(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(got->cookie, m.cookie);
+  EXPECT_EQ(got->op, m.op);
+  EXPECT_EQ(got->ok, m.ok);
+  EXPECT_EQ(got->txn, m.txn);
+  EXPECT_EQ(got->payload_bytes, m.payload_bytes);
+
+  PushbackMsg p;
+  p.stop = true;
+  p.depth = 777;
+  Writer wp;
+  encode_pushback(wp, p);
+  Reader rp(wp.data());
+  const auto gp = decode_pushback(rp);
+  ASSERT_TRUE(gp.has_value());
+  EXPECT_TRUE(rp.exhausted());
+  EXPECT_EQ(gp->stop, p.stop);
+  EXPECT_EQ(gp->depth, p.depth);
+}
+
+TEST(ClientCodec, TruncationAnywhereYieldsNullopt) {
+  // Every strict prefix of every client frame must decode to nullopt:
+  // the wire-honesty contract, checked exhaustively, not at sampled cut
+  // points.
+  Rng rng(29);
+  ClientHelloMsg h;
+  h.site_hint = 3;
+  ClientWelcomeMsg wl;
+  wl.session = 1;
+  wl.window = 8;
+  wl.protocol = "GMU";
+  const auto req = sample_req(rng);
+  ClientRespMsg resp;
+  resp.cookie = 5;
+  resp.ok = true;
+  resp.payload_bytes = 64;
+  PushbackMsg pb;
+  pb.stop = true;
+  pb.depth = 3;
+
+  Writer wh, ww, wr, ws, wp;
+  encode_client_hello(wh, h);
+  encode_client_welcome(ww, wl);
+  encode_client_req(wr, req);
+  encode_client_resp(ws, resp);
+  encode_pushback(wp, pb);
+
+  auto expect_prefixes_fail = [](const std::vector<std::uint8_t>& full,
+                                 auto decode, const char* what) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      std::vector<std::uint8_t> pre(full.begin(),
+                                    full.begin() + static_cast<long>(cut));
+      Reader r(pre);
+      EXPECT_FALSE(decode(r).has_value()) << what << " cut=" << cut;
+    }
+  };
+  expect_prefixes_fail(wh.data(), [](Reader& r) {
+    return decode_client_hello(r);
+  }, "hello");
+  expect_prefixes_fail(ww.data(), [](Reader& r) {
+    return decode_client_welcome(r);
+  }, "welcome");
+  expect_prefixes_fail(wr.data(), [](Reader& r) {
+    return decode_client_req(r);
+  }, "req");
+  expect_prefixes_fail(ws.data(), [](Reader& r) {
+    return decode_client_resp(r);
+  }, "resp");
+  expect_prefixes_fail(wp.data(), [](Reader& r) {
+    return decode_pushback(r);
+  }, "pushback");
+}
+
+TEST(ClientCodec, GarbageFuzzNeverCrashes) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(48));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    {
+      Reader r(junk);
+      (void)decode_client_hello(r);
+    }
+    {
+      Reader r(junk);
+      (void)decode_client_welcome(r);
+    }
+    {
+      Reader r(junk);
+      (void)decode_client_req(r);
+    }
+    {
+      Reader r(junk);
+      (void)decode_client_resp(r);
+    }
+    {
+      Reader r(junk);
+      (void)decode_pushback(r);
+    }
+    {
+      Reader r(junk);
+      (void)decode_batch(r);
+    }
+  }
+  SUCCEED();
+}
+
+std::vector<std::uint8_t> tagged_vote_frame(Rng& rng) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kVote));
+  encode_vote(w, {{static_cast<SiteId>(rng.next_below(4)),
+                   rng.next_below(1000)},
+                  static_cast<SiteId>(rng.next_below(4)),
+                  rng.next_bool(0.5)});
+  return w.data();
+}
+
+TEST(BatchCodec, RoundTripPreservesOrderAndBytes) {
+  Rng rng(37);
+  std::vector<std::vector<std::uint8_t>> items;
+  for (int i = 0; i < 17; ++i) items.push_back(tagged_vote_frame(rng));
+  Writer w;
+  encode_batch(w, items);
+  Reader r(w.data());
+  const auto got = decode_batch(r);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(*got, items);  // byte-exact, order preserved
+}
+
+TEST(BatchCodec, RejectsNestedBatchAndEmptyItems) {
+  Rng rng(41);
+  // An inner frame tagged kBatch is a protocol error (recursion hazard).
+  std::vector<std::vector<std::uint8_t>> nested;
+  nested.push_back(tagged_vote_frame(rng));
+  nested.push_back({static_cast<std::uint8_t>(MsgType::kBatch), 1, 1, 0});
+  Writer wn;
+  encode_batch(wn, nested);
+  Reader rn(wn.data());
+  EXPECT_FALSE(decode_batch(rn).has_value());
+
+  // Zero-length items are rejected too.
+  std::vector<std::vector<std::uint8_t>> empty_item;
+  empty_item.push_back({});
+  Writer we;
+  encode_batch(we, empty_item);
+  Reader re(we.data());
+  EXPECT_FALSE(decode_batch(re).has_value());
+}
+
+TEST(BatchCodec, TruncationAnywhereYieldsNullopt) {
+  Rng rng(43);
+  std::vector<std::vector<std::uint8_t>> items;
+  for (int i = 0; i < 3; ++i) items.push_back(tagged_vote_frame(rng));
+  Writer w;
+  encode_batch(w, items);
+  const auto& full = w.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> pre(full.begin(),
+                                  full.begin() + static_cast<long>(cut));
+    Reader r(pre);
+    EXPECT_FALSE(decode_batch(r).has_value()) << "cut=" << cut;
+  }
+}
+
 }  // namespace
 }  // namespace gdur::net::codec

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Boot a multi-process G-DUR cluster on localhost and prove it healthy.
+
+One OS process per site (examples/gdur_site), an external load generator
+(examples/gdur_loadgen), per-process history dumps merged and checked
+offline (examples/gdur_checkhist), and obs snapshots validated against the
+shape contract (tools/obs/validate_snapshot.py --require-clean).
+
+Usage:
+    local_cluster.py --build build [--sites 3] [--protocol P-Store]
+                     [--txns 10000] [--clients 8] [--coalesce]
+                     [--kill-one] [--keep] [--workdir DIR]
+
+Sequence:
+  1. Write one config per site, start every gdur_site, wait for READY.
+  2. Run gdur_loadgen until the transaction budget is met.
+  3. With --kill-one: SIGTERM one site mid-run-end and require a clean
+     (exit 0) drain from it — the rolling-restart story.
+  4. SIGTERM the remaining sites; require exit 0 from each.
+  5. gdur_checkhist over all dumps must report a clean criterion check.
+  6. validate_snapshot.py --require-clean over each site's obs snapshot.
+
+Exit 0 iff every step held. This is the CI multi-process smoke gate.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def free_ports(n):
+    """Grab n distinct ephemeral ports (release before use; raceable but
+    fine for CI smoke on a quiet host)."""
+    import socket
+
+    socks, ports = [], []
+    for _ in range(n):
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+        ports.append(s.getsockname()[1])
+    for s in socks:
+        s.close()
+    return ports
+
+
+def wait_ready(proc, name, deadline_s=30.0):
+    """Block until the process prints READY port=N; return the port."""
+    t0 = time.time()
+    line = ""
+    while time.time() - t0 < deadline_s:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("READY port="):
+            return int(line.split("=", 1)[1])
+    raise RuntimeError(f"{name} never became ready (last line: {line!r})")
+
+
+def stop_site(proc, name, timeout_s=20.0):
+    """SIGTERM a site and require a clean-drain exit 0."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise RuntimeError(f"{name} hung on SIGTERM")
+    if rc != 0:
+        raise RuntimeError(f"{name} exited {rc} on SIGTERM (dirty drain)")
+    print(f"  {name}: clean drain (exit 0)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build", help="CMake build directory")
+    ap.add_argument("--sites", type=int, default=3)
+    ap.add_argument("--protocol", default="P-Store")
+    ap.add_argument("--txns", type=int, default=10000)
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--objects-per-site", type=int, default=1024)
+    ap.add_argument("--partitions", type=int, default=2)
+    ap.add_argument("--coalesce", action="store_true")
+    ap.add_argument("--kill-one", action="store_true",
+                    help="SIGTERM site N-1 first and separately")
+    ap.add_argument("--workdir", default=None,
+                    help="artifact directory (default: a temp dir)")
+    ap.add_argument("--keep", action="store_true",
+                    help="keep the artifact directory")
+    args = ap.parse_args()
+
+    build = os.path.abspath(args.build)
+    exes = {n: os.path.join(build, "examples", f"gdur_{n}")
+            for n in ("site", "loadgen", "checkhist")}
+    for n, p in exes.items():
+        if not os.path.exists(p):
+            sys.exit(f"missing {p}; build the tree first")
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    validate = os.path.join(repo, "tools", "obs", "validate_snapshot.py")
+
+    work = args.workdir or tempfile.mkdtemp(prefix="gdur_cluster_")
+    os.makedirs(work, exist_ok=True)
+    print(f"local_cluster: {args.sites} sites, protocol {args.protocol}, "
+          f"artifacts in {work}")
+
+    mesh = free_ports(args.sites)
+    sites = []
+    ok = False
+    try:
+        for s in range(args.sites):
+            conf = os.path.join(work, f"site{s}.conf")
+            with open(conf, "w") as f:
+                f.write(f"sites={args.sites}\nself={s}\n")
+                for p in range(args.sites):
+                    f.write(f"peer.{p}=127.0.0.1:{mesh[p]}\n")
+                f.write(f"protocol={args.protocol}\n"
+                        f"client_port=0\n"
+                        f"objects_per_site={args.objects_per_site}\n"
+                        f"partitions_per_site={args.partitions}\n"
+                        f"coalesce={1 if args.coalesce else 0}\n"
+                        f"history={work}/site{s}.hist\n"
+                        f"snapshot={work}/site{s}\n")
+            sites.append(subprocess.Popen(
+                [exes["site"], "--config", conf],
+                stdout=subprocess.PIPE,
+                stderr=open(os.path.join(work, f"site{s}.err"), "w"),
+                text=True))
+        fronts = [wait_ready(p, f"site{s}")
+                  for s, p in enumerate(sites)]
+        print(f"  front doors: {fronts}")
+
+        cmd = [exes["loadgen"], "--clients", str(args.clients),
+               "--txns", str(args.txns), "--secs", "0",
+               "--objects", str(args.objects_per_site * args.sites),
+               "--partitions", str(args.partitions),
+               "--json", os.path.join(work, "loadgen.json")]
+        for port in fronts:
+            cmd += ["--site", f"127.0.0.1:{port}"]
+        rc = subprocess.run(cmd).returncode
+        if rc != 0:
+            raise RuntimeError(f"loadgen exited {rc}")
+        with open(os.path.join(work, "loadgen.json")) as f:
+            res = json.load(f)
+        if res["committed"] < args.txns * 0.9:
+            raise RuntimeError(
+                f"only {res['committed']} committed of {args.txns} asked")
+
+        if args.kill_one:
+            print(f"  SIGTERM site{args.sites - 1} (rolling-restart probe)")
+            stop_site(sites[-1], f"site{args.sites - 1}")
+        for s, p in enumerate(sites[:-1] if args.kill_one else sites):
+            stop_site(p, f"site{s}")
+
+        dumps = [os.path.join(work, f"site{s}.hist")
+                 for s in range(args.sites)]
+        rc = subprocess.run([exes["checkhist"]] + dumps).returncode
+        if rc != 0:
+            raise RuntimeError(f"checkhist exited {rc}")
+
+        for s in range(args.sites):
+            snap = os.path.join(work, f"site{s}.json")
+            rc = subprocess.run(
+                [sys.executable, validate, snap, "--require-clean"],
+                stdout=subprocess.DEVNULL).returncode
+            if rc != 0:
+                raise RuntimeError(f"snapshot {snap} failed validation")
+        print(f"local_cluster: PASS ({res['committed']} committed, "
+              f"checker clean, {args.sites} clean drains)")
+        ok = True
+    finally:
+        for p in sites:
+            if p.poll() is None:
+                p.kill()
+        if not ok:
+            for s in range(args.sites):
+                err = os.path.join(work, f"site{s}.err")
+                if os.path.exists(err):
+                    with open(err) as f:
+                        tail = f.readlines()[-5:]
+                    sys.stderr.write(f"--- site{s}.err ---\n" + "".join(tail))
+        if not args.keep and not args.workdir and ok:
+            shutil.rmtree(work, ignore_errors=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

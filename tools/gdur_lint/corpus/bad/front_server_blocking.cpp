@@ -1,0 +1,22 @@
+// lint-as: src/front/server.cpp
+//
+// Lint fixture (never compiled): blocking the front-door dispatch path.
+// FrontServer handlers run on the site mailbox thread — a sleep or blocking
+// syscall there stalls the whole replica, not just one client.
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+namespace gdur::corpus {
+
+void handle_req(int fd) {
+  char buf[64];
+  // Reading the socket directly would block the site thread; bytes arrive
+  // through the reactor's frame handler instead.
+  ::read(fd, buf, sizeof buf);  // expect: live/blocking-call
+  // "Wait for the certifier to catch up" must be pushback, never a sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect: live/blocking-call
+}
+
+}  // namespace gdur::corpus

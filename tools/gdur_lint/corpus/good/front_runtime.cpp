@@ -1,0 +1,23 @@
+// lint-as: src/front/client.cpp
+//
+// Lint fixture (never compiled): the front-door exemptions. Client-side
+// library code reads real clocks (determinism/wallclock stops at src/front/
+// just like src/live/) and blocks by design — a synchronous client API is
+// supposed to wait on its socket.
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+namespace gdur::corpus {
+
+double wait_for_response(int fd) {
+  const auto t0 = std::chrono::steady_clock::now();
+  char buf[64];
+  ::read(fd, buf, sizeof buf);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace gdur::corpus

@@ -11,15 +11,32 @@ accessed under its mutex).
 Rules
 -----
   determinism/wallclock    rand()/random_device/system_clock/steady_clock &c.
-                           anywhere under src/ except src/live/ (the live
-                           runtime is *supposed* to read real clocks).
+                           anywhere under src/ except src/live/ and
+                           src/front/ (the live runtime and the production
+                           front door are *supposed* to read real clocks).
   determinism/unordered-iter
                            range-for over a std::unordered_{map,set} in
                            src/{core,sim,protocols,obs,comm,checker} — hash
                            order must never feed message schedules, traces,
                            certification order, or checker output.
   live/blocking-call       blocking syscalls / sleeps in src/live/ outside
-                           event_loop.cpp (the poll loop owns blocking).
+                           event_loop.cpp (the poll loop owns blocking), and
+                           in the front-door dispatch path — src/front/
+                           outside reactor.cpp (the reactor's wait owns
+                           blocking), client.cpp (client-side code blocks by
+                           design) and signals.cpp (interruptible_sleep is a
+                           sanctioned sleep). FrontServer handlers run on
+                           the site mailbox thread; a sleep or blocking
+                           syscall there stalls the whole replica.
+  front/dispatch-alloc     allocation or sleep inside the reactor demux
+                           functions (run_epoll, drain_control,
+                           update_interest in src/front/reactor.cpp) — the
+                           wait / interest re-arm / readiness fan-out path
+                           is allocation-free by contract (reactor.h);
+                           buffer growth belongs to the per-connection
+                           read/write handlers. The poll() fallback
+                           (run_poll) is exempt: it rebuilds its interest
+                           vectors each iteration with retained capacity.
   protocol/spec-complete   a factory that builds a fresh core::ProtocolSpec
                            must assign every realization point (name, theta,
                            choose, ac, xcast, certifying, vote_snd,
@@ -96,6 +113,7 @@ RULES = {
     "determinism/wallclock",
     "determinism/unordered-iter",
     "live/blocking-call",
+    "front/dispatch-alloc",
     "protocol/spec-complete",
     "membership/hardcoded-sites",
     "obs/hot-path-alloc",
@@ -157,6 +175,23 @@ HOT_PATH_PATTERNS = [
      "lock acquisition"),
     (re.compile(r"(?:\.|->)\s*lock\s*\(\s*\)"), "explicit .lock()"),
     (re.compile(r"\bnow\s*\(\s*\)"), "clock read (pass the timestamp in)"),
+]
+
+# Reactor demux functions (front/dispatch-alloc): the wait / interest
+# re-arm / readiness fan-out path is allocation-free by contract
+# (front/reactor.h). run_poll is deliberately absent — the portable fallback
+# rebuilds its pollfd/interest vectors each iteration (capacity retained).
+DISPATCH_FN_RE = re.compile(r"^(?:run_epoll|drain_control|update_interest)$")
+
+DISPATCH_ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "malloc-family call"),
+    (re.compile(r"\b(?:push_back|emplace_back|emplace|insert|resize"
+                r"|reserve|push_front)\s*\("), "container growth"),
+    (re.compile(r"\bstd\s*::\s*string\b"), "std::string construction"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "heap allocation"),
+    (re.compile(r"\bsleep_(?:for|until)\s*\("), "sleep"),
+    (re.compile(r"\b(?:usleep|nanosleep)\s*\("), "sleep"),
 ]
 
 MEMBERSHIP_DIRS = ("src/core/", "src/protocols/", "src/comm/")
@@ -520,6 +555,23 @@ def check_hot_path(sf: SourceFile, diags: list[Diag]) -> None:
                     f"not a record path"))
 
 
+def check_dispatch_alloc(sf: SourceFile, diags: list[Diag]) -> None:
+    for fn in segment_functions(sf.code):
+        _qual, name = func_name_of(fn.sig)
+        if not name or not DISPATCH_FN_RE.match(name):
+            continue
+        for rx, label in DISPATCH_ALLOC_PATTERNS:
+            for m in rx.finditer(fn.body):
+                line = sf.line_of(fn.body_start + m.start())
+                diags.append(Diag(
+                    sf.path, line, "front/dispatch-alloc",
+                    f"{label} inside reactor demux function {name}(): the "
+                    f"wait/re-arm/fan-out path is allocation-free by "
+                    f"contract (front/reactor.h); preallocate the buffer or "
+                    f"move the work into a per-connection read/write "
+                    f"handler"))
+
+
 # Shard affinity (thread/shard-affinity). Two textual contracts from the
 # sharded certification pipeline (DESIGN.md §14):
 #   (a) certify functions gate every footprint walk on ctx.owns(obj) so the
@@ -766,7 +818,8 @@ def norm(path: str) -> str:
 
 
 def in_scope_wallclock(path: str) -> bool:
-    return path.startswith("src/") and not path.startswith("src/live/")
+    return (path.startswith("src/")
+            and not path.startswith(("src/live/", "src/front/")))
 
 
 def in_scope_unordered(path: str) -> bool:
@@ -774,8 +827,19 @@ def in_scope_unordered(path: str) -> bool:
 
 
 def in_scope_blocking(path: str) -> bool:
-    return (path.startswith("src/live/")
-            and os.path.basename(path) != "event_loop.cpp")
+    if (path.startswith("src/live/")
+            and os.path.basename(path) != "event_loop.cpp"):
+        return True
+    # Front-door dispatch path: everything under src/front/ except the
+    # reactor (its wait owns blocking), the client library (client-side code
+    # blocks by design) and signals.cpp (interruptible_sleep).
+    return (path.startswith("src/front/")
+            and os.path.basename(path) not in (
+                "reactor.cpp", "client.cpp", "client.h", "signals.cpp"))
+
+
+def in_scope_dispatch(path: str) -> bool:
+    return path == "src/front/reactor.cpp"
 
 
 def in_scope_spec(path: str) -> bool:
@@ -818,6 +882,8 @@ def run_rules(files: list[SourceFile]) -> list[Diag]:
                 sf, BLOCKING_PATTERNS, "live/blocking-call",
                 "can block the event-loop thread; only event_loop.cpp may "
                 "block (in poll())", diags)
+        if in_scope_dispatch(sf.path):
+            check_dispatch_alloc(sf, diags)
         if in_scope_spec(sf.path):
             check_spec_complete(sf, diags)
         if in_scope_membership(sf.path):
