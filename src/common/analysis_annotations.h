@@ -1,0 +1,85 @@
+// Annotation vocabulary for gdur-analyze (tools/gdur_analyze).
+//
+// These macros attach clang `annotate` attributes that the standalone
+// gdur-analyze tool (built behind GDUR_ANALYZE when Clang dev headers are
+// present) reads to drive its interprocedural checks. Under gcc — or any
+// compiler without the attribute — they expand to nothing, exactly like
+// GDUR_TSA in thread_annotations.h, so annotated code builds everywhere.
+//
+// Vocabulary (DESIGN.md §16):
+//
+//   GDUR_HOT_PATH("classes")  Function is a hot-path *root*. gdur-analyze
+//                             walks the per-TU call graph from it and
+//                             reports any transitively reachable sink whose
+//                             class is banned. `classes` is a comma list:
+//                               noalloc  — no heap allocation
+//                               nolock   — no mutex/lock acquisition
+//                               noclock  — no real-clock read
+//                               noblock  — no blocking syscall (implies
+//                                          nosleep)
+//                               nosleep  — no hard sleep (usleep/nanosleep/
+//                                          sleep_for/...)
+//                             Pick the classes the contract actually
+//                             promises: the reactor demux blocks in
+//                             epoll_wait by design, so it is "noalloc,
+//                             nosleep", while a stats record path is the
+//                             full "noalloc,nolock,noclock,noblock".
+//
+//   GDUR_BLOCKING             Declares a function a blocking sink even if
+//                             the analyzer cannot see why (e.g. it wraps a
+//                             syscall through a table). Traversal stops
+//                             here and reports if `noblock` is banned.
+//
+//   GDUR_ALLOCATES            Declares a function an allocation sink by
+//                             contract; traversal stops here and reports
+//                             if `noalloc` is banned. Use on interfaces
+//                             whose implementations allocate.
+//
+//   GDUR_HOT_BOUNDARY         Sanctioned exit from a hot path: traversal
+//                             stops here and never reports. Use where a
+//                             hot root hands off to code that is allowed
+//                             to allocate/block (e.g. the reactor's accept
+//                             handler, which sets up a new connection).
+//
+//   GDUR_CONFINED("lane")     For functions: runs only on the named lane
+//                             (e.g. "site-thread", "shard-lane").
+//                             For fields/globals: may only be accessed by
+//                             functions proven confined to that lane — the
+//                             access is legal iff the accessor, or every
+//                             transitive in-TU caller chain above it, is
+//                             annotated with the same lane. Constructors
+//                             and destructors of the owning class are
+//                             exempt (the object is not yet/no longer
+//                             shared).
+//
+//   GDUR_ORDER_SINK           Marks a function as an ordering-sensitive
+//                             emission point (wire frame, trace, WAL) for
+//                             gdur-determinism-escape, in addition to the
+//                             tool's built-in sink list.
+//
+// Suppressions: a finding can be silenced at its primary line (or the line
+// above) with
+//     // gdur-analyze: allow(check-name) reason
+// The reason is mandatory; gdur-analyze rejects bare allows. This is
+// deliberately a different tag from gdur-lint's allow comment, so the
+// portable regex fallback and the AST tool never swallow each other's
+// suppressions.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(annotate)
+#define GDUR_ANNOTATE(x) __attribute__((annotate(x)))
+#else
+#define GDUR_ANNOTATE(x)
+#endif
+#else
+#define GDUR_ANNOTATE(x)
+#endif
+
+#define GDUR_HOT_PATH(classes) GDUR_ANNOTATE("gdur::hot_path:" classes)
+#define GDUR_BLOCKING GDUR_ANNOTATE("gdur::blocking")
+#define GDUR_ALLOCATES GDUR_ANNOTATE("gdur::allocates")
+#define GDUR_HOT_BOUNDARY GDUR_ANNOTATE("gdur::hot_boundary")
+#define GDUR_CONFINED(lane) GDUR_ANNOTATE("gdur::confined:" lane)
+#define GDUR_ORDER_SINK GDUR_ANNOTATE("gdur::order_sink")

@@ -6,35 +6,42 @@
 // its replicas.
 #pragma once
 
+#include "common/analysis_annotations.h"
 #include "core/protocol_spec.h"
 
 namespace gdur::core::certifiers {
 
 /// Always passes. RC and the GMU** ablation.
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool always(const CertContext& ctx);
 
 /// SER-style test (P-Store Alg. 5 line 7, GMU Alg. 7 line 6): every object
 /// read must still be at the version the transaction observed — i.e. no
 /// concurrently committed transaction installed a newer version.
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool reads_latest(const CertContext& ctx);
 
 /// Write-write test against the snapshot (Walter Alg. 9 line 6, Serrano
 /// Alg. 8 line 7): for every locally hosted written object, the latest
 /// committed version must be visible in the transaction's snapshot.
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool ww_visible(const CertContext& ctx);
 
 /// Write-write test for NMSI (Jessy2pc Alg. 10 line 6): like ww_visible,
 /// but a version that committed before the transaction began is never a
 /// conflict even if the (freely chosen) snapshot does not include it.
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool ww_nmsi(const CertContext& ctx);
 
 /// Serrano's local variant of ww_visible, using the replica-wide version
 /// index (spec.track_all_objects) so every written object can be checked at
 /// every site, deterministically.
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool ww_all_objects(const CertContext& ctx);
 
 /// S-DUR (Alg. 6 line 7): no committed transaction concurrent with T may
 /// conflict with it (read-write or write-read).
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
 bool sdur(const CertContext& ctx);
 
 }  // namespace gdur::core::certifiers

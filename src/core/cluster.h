@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "comm/atomic_broadcast.h"
 #include "comm/reliable_multicast.h"
 #include "comm/skeen_multicast.h"
@@ -311,7 +312,10 @@ class Cluster {
 
   /// Sim lane clock for (site, shard): the time that shard's certifier/
   /// applier lane becomes free. Sized sites * shards_ when lanes are on.
-  [[nodiscard]] SimTime& lane(SiteId at, int shard) {
+  /// Simulator-thread-only (gdur-thread-confinement, lane "sim-thread"):
+  /// lane accounting is scheduling state, never read by live threads.
+  [[nodiscard]] GDUR_CONFINED("sim-thread") SimTime& lane(SiteId at,
+                                                          int shard) {
     return lane_free_[static_cast<std::size_t>(at) *
                           static_cast<std::size_t>(shards_) +
                       static_cast<std::size_t>(shard)];
@@ -323,7 +327,7 @@ class Cluster {
   int shards_ = 1;
   bool shard_lanes_ = true;
   bool live_certify_model_ = false;
-  std::vector<SimTime> lane_free_;
+  GDUR_CONFINED("sim-thread") std::vector<SimTime> lane_free_;
   std::unique_ptr<net::Transport> net_;
   std::unique_ptr<versioning::VersionOracle> oracle_;
   std::vector<std::unique_ptr<Replica>> replicas_;

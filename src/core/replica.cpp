@@ -402,8 +402,16 @@ void Replica::gc_try_votes() {
 bool Replica::evaluate_certify(const TxnRecord& t) const {
   const auto& spec = cl_.spec();
   const int shards = cl_.shards_per_site();
+  // One clock read per certification, taken before the sub-vote fan-out.
+  // Reading cl_.now() inside the per-shard lambda (as this used to) is a
+  // real clock syscall per touched shard under live::LiveCluster, and the
+  // sub-votes would each see a *different* timestamp — a certify() that
+  // consults ctx.now could then disagree with its own unsharded verdict.
+  // gdur-analyze: allow(gdur-hotpath-reachability) the single sanctioned
+  // clock read of the certification path; everything below is noclock.
+  const SimTime now = cl_.now();
   if (shards <= 1 || !spec.certify_shardable)
-    return spec.certify(CertContext{*this, t, cl_.now()});
+    return spec.certify(CertContext{*this, t, now});
   // Sub-vote combination (DESIGN.md §14): one shard-restricted certify()
   // per touched keyspace slice, ANDed in ascending shard order. Every
   // shardable certify() is a per-object conjunction, so the combined
@@ -412,7 +420,7 @@ bool Replica::evaluate_certify(const TxnRecord& t) const {
   bool v = true;
   touched_shards(t, shards).for_each([&](int sh) {
     if (!v) return;
-    v = spec.certify(CertContext{*this, t, cl_.now(), sh, shards});
+    v = spec.certify(CertContext{*this, t, now, sh, shards});
   });
   return v;
 }

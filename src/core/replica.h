@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/obj_set.h"
 #include "common/types.h"
 #include "core/conflict_index.h"
@@ -229,6 +230,11 @@ class Replica {
   }
 
  private:
+  /// Test seam: tests/test_certify_clock.cpp drives evaluate_certify
+  /// directly (with a ticking clock) to pin the one-timestamp-per-
+  /// certification contract.
+  friend struct CertifyTestPeer;
+
   struct TermState {
     TxnPtr txn;
     std::uint64_t q_pos = 0;  // enqueue position (= ConflictIndex position)
@@ -281,7 +287,11 @@ class Replica {
   /// the AND of per-shard sub-votes, each the spec's certify() restricted
   /// to one touched keyspace slice, combined in ascending shard order
   /// (DESIGN.md §14). Pure — safe to evaluate on a shard certifier thread.
-  [[nodiscard]] bool evaluate_certify(const TxnRecord& t) const;
+  /// Hot root: runs once per touched shard per certification; one clock
+  /// read at the top, then noclock all the way down (the sub-vote lambda
+  /// must see a single timestamp).
+  [[nodiscard]] GDUR_HOT_PATH("noalloc,nolock,noclock,nosleep")
+  bool evaluate_certify(const TxnRecord& t) const;
   /// Second half of cast_vote, after the (optional) durable log write.
   void announce_vote(const TxnPtr& t, bool vote);
   /// Just the vote messages (no decide / queue bookkeeping) — shared by the

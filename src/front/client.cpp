@@ -206,7 +206,9 @@ void GdurClient::fail_all() {
     inflight_gauge_.store(0, std::memory_order_relaxed);
   }
   cv_.notify_all();
-  for (auto& [cookie, cb] : orphans) {  // gdur-lint: allow(determinism/unordered-iter) teardown fan-out, order immaterial
+  // Teardown fan-out: per-callback delivery, hash order immaterial (each
+  // callback belongs to a distinct caller).
+  for (auto& [cookie, cb] : orphans) {
     if (!cb) continue;
     Resp r;
     r.cookie = cookie;

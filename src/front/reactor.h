@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/thread_annotations.h"
 
 namespace gdur::obs {
@@ -188,15 +189,22 @@ class Reactor {
   };
 
   void loop();
-  void run_epoll();
+  // Hot roots (gdur-hotpath-reachability, DESIGN.md §16): the epoll demux
+  // loop and its re-arm helpers must stay allocation- and sleep-free.
+  // run_poll is exempt by documented contract — it rebuilds pollfd vectors
+  // per iteration and is the compatibility backend, not the fast path.
+  GDUR_HOT_PATH("noalloc,nosleep") void run_epoll();
   void run_poll();
+  GDUR_HOT_PATH("noalloc,nosleep")
   void drain_control();  // tasks + dirty-interest re-arm (reactor thread)
-  void handle_listener(int lfd);
-  void handle_readable(Conn& c, int conn_id);
+  // Boundaries: accept and read paths grow connection state by design
+  // (session setup, amortized input-buffer growth, frame extraction).
+  GDUR_HOT_BOUNDARY void handle_listener(int lfd);
+  GDUR_HOT_BOUNDARY void handle_readable(Conn& c, int conn_id);
   /// Returns false on a fatal write error (caller should mark_dead).
   bool flush_writable(Conn& c) EXCLUDES(c.out_mu);
   void mark_dead(Conn& c, int conn_id);
-  void update_interest(Conn& c, int conn_id);
+  GDUR_HOT_PATH("noalloc,nosleep") void update_interest(Conn& c, int conn_id);
   [[nodiscard]] bool wants_read(const Conn& c) const;
   [[nodiscard]] bool wants_write(Conn& c) EXCLUDES(c.out_mu);
   void mark_dirty(int conn_id);

@@ -320,12 +320,17 @@ void FrontServer::check_pushback() {
     pushed_.store(true, std::memory_order_relaxed);
     pushback_trips_.fetch_add(1, std::memory_order_relaxed);
     if (stats_ != nullptr) stats_->record(obs::Counter::kClientPushbacks);
-    for (auto& [c, s] : sessions_) {  // gdur-lint: allow(determinism/unordered-iter) live-only broadcast, order immaterial
+    // Broadcast over live client sessions: each frame goes to a distinct
+    // connection, so cross-session send order is unobservable on any wire.
+    // gdur-analyze: allow(gdur-determinism-escape) per-connection frames
+    for (auto& [c, s] : sessions_) {
       if (s.hello_done && !s.closing) send_pushback(s, true);
     }
   } else if (cur && depth <= cfg_.pushback_lo) {
     pushed_.store(false, std::memory_order_relaxed);
-    for (auto& [c, s] : sessions_) {  // gdur-lint: allow(determinism/unordered-iter) live-only broadcast, order immaterial
+    // Same per-connection argument as above for the resume broadcast.
+    // gdur-analyze: allow(gdur-determinism-escape) per-connection frames
+    for (auto& [c, s] : sessions_) {
       if (s.hello_done && !s.closing && s.pushed) send_pushback(s, false);
     }
   }

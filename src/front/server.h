@@ -31,6 +31,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/analysis_annotations.h"
 #include "front/arena.h"
 #include "front/reactor.h"
 #include "front/session.h"
@@ -133,20 +134,28 @@ class FrontServer {
     core::MutTxnPtr txn;
   };
 
-  // All private handlers run on the site mailbox thread.
-  void on_accept(int conn);
-  void on_close(int conn);
+  // All private handlers run on the site mailbox thread. The
+  // GDUR_CONFINED annotations make that sentence machine-checked:
+  // gdur-thread-confinement proves every access to the site-thread state
+  // below happens inside one of these (or a function they dominate).
+  GDUR_CONFINED("site-thread") void on_accept(int conn);
+  GDUR_CONFINED("site-thread") void on_close(int conn);
+  GDUR_CONFINED("site-thread")
   void on_frame(int conn, std::vector<std::uint8_t> frame);
+  GDUR_CONFINED("site-thread")
   void handle_hello(Session& s, const net::codec::ClientHelloMsg& m);
+  GDUR_CONFINED("site-thread")
   void handle_req(Session& s, const net::codec::ClientReqMsg& m);
-  void step_stored(RequestCtx* ctx);
+  GDUR_CONFINED("site-thread") void step_stored(RequestCtx* ctx);
+  GDUR_CONFINED("site-thread")
   void respond(RequestCtx* ctx, bool ok, std::uint64_t txn,
                std::uint64_t payload);
-  void send_to(int conn, net::codec::Writer& w);
+  GDUR_CONFINED("site-thread") void send_to(int conn, net::codec::Writer& w);
+  GDUR_CONFINED("site-thread")
   void finish_txn(Session* s, RequestCtx* ctx, bool ok);
-  void check_pushback();
-  void send_pushback(Session& s, bool stop);
-  [[nodiscard]] Session* session_of(int conn);
+  GDUR_CONFINED("site-thread") void check_pushback();
+  GDUR_CONFINED("site-thread") void send_pushback(Session& s, bool stop);
+  [[nodiscard]] GDUR_CONFINED("site-thread") Session* session_of(int conn);
 
   live::LiveCluster& cl_;
   FrontConfig cfg_;
@@ -158,10 +167,12 @@ class FrontServer {
   TxnObserver observer_;
   obs::StatsSlot* stats_ = nullptr;
 
-  // Site-thread-only state.
+  // Site-thread-only state (proof: gdur-thread-confinement, lane
+  // "site-thread" — only the annotated handlers above may touch these).
+  GDUR_CONFINED("site-thread")
   std::unordered_map<int, Session> sessions_;  // conn id → session
-  std::uint64_t next_session_ = 1;
-  Pool<RequestCtx> pool_;
+  GDUR_CONFINED("site-thread") std::uint64_t next_session_ = 1;
+  GDUR_CONFINED("site-thread") Pool<RequestCtx> pool_;
 
   // Gauges (site thread writes, any thread reads).
   std::atomic<std::uint64_t> sessions_opened_{0};

@@ -40,7 +40,8 @@ bool interruptible_sleep(double secs) {
                             std::chrono::duration<double>(secs));
   while (std::chrono::steady_clock::now() < deadline) {
     if (shutdown_requested()) return true;
-    // gdur-lint: allow(live/blocking-call) main-thread wait loop, not runtime code
+    // Main-thread wait loop, not runtime code (signals.cpp is outside the
+    // blocking-call scope for exactly this function).
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   return shutdown_requested();

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/thread_annotations.h"
 #include "core/cluster.h"
 #include "core/shard.h"
@@ -86,9 +87,11 @@ class LiveCluster : public core::Cluster {
   ~LiveCluster() override;
 
   /// Spawns site threads, the event loop and the timer wheel. Call once.
-  void start();
+  /// Lifecycle lane (gdur-thread-confinement): the thread tables below are
+  /// only mutated here, in stop() and in the constructor/destructor.
+  GDUR_CONFINED("lifecycle") void start();
   /// Quiesces and joins everything. Idempotent; the destructor calls it.
-  void stop();
+  GDUR_CONFINED("lifecycle") void stop();
 
   /// Posts `fn` to site `at`'s mailbox (any thread).
   void post(SiteId at, std::function<void()> fn);
@@ -249,8 +252,11 @@ class LiveCluster : public core::Cluster {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Mailbox>> shard_mailboxes_;
   std::vector<std::unique_ptr<Mutex>> shard_mu_;
-  std::vector<std::thread> threads_;
-  std::vector<std::thread> shard_threads_;
+  // Thread tables: confined to the lifecycle lane (ctor/start/stop/dtor).
+  // shard_mailboxes_ and shard_mu_ are deliberately NOT confined — they
+  // are the cross-thread rendezvous, reached from every certifier lane.
+  GDUR_CONFINED("lifecycle") std::vector<std::thread> threads_;
+  GDUR_CONFINED("lifecycle") std::vector<std::thread> shard_threads_;
   std::vector<SiteState> dispatch_state_;
   std::vector<Batcher> batchers_;
   TimerWheel wheel_;

@@ -28,6 +28,7 @@ using std::chrono::steady_clock;
 
 void write_all(int fd, const std::uint8_t* p, std::size_t n) {
   while (n > 0) {
+    // gdur-lint: allow(live/blocking-call) handshake runs on the caller's setup thread, before the reactor starts
     const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 
+#include "common/analysis_annotations.h"
 #include "common/thread_annotations.h"
 
 namespace gdur::obs {
@@ -29,8 +30,10 @@ class Mailbox {
   void post(Task fn);
 
   /// Consumer loop: runs tasks in FIFO order until stop(). Call from
-  /// exactly one thread.
-  void run();
+  /// exactly one thread. Blocks on the queue condvar when idle (that is
+  /// its job) but must never sleep for a fixed duration — latency under
+  /// load comes from the tasks, not the loop.
+  GDUR_HOT_PATH("nosleep") void run();
 
   /// Wakes the consumer and ends run(). Remaining queued tasks are
   /// discarded (teardown semantics: in-flight work past the quiesce grace

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "core/transaction.h"
 #include "store/mv_store.h"
 
@@ -64,17 +65,23 @@ class Reader {
 
 // --- protocol message encodings ---------------------------------------------
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_stamp(Writer& w, const versioning::Stamp& s);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<versioning::Stamp> decode_stamp(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_snapshot(Writer& w, const versioning::TxnSnapshot& s);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<versioning::TxnSnapshot> decode_snapshot(Reader& r);
 
 /// Full termination record: ids, read/write sets, read entries, snapshot,
 /// stamp. After-values are represented by their size only (they carry no
 /// information the simulator uses), encoded as a length marker per write.
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_txn(Writer& w, const core::TxnRecord& t,
                 std::uint64_t payload_bytes_per_write);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<core::TxnRecord> decode_txn(Reader& r);
 
 /// Exact wire size of a termination message under this codec.
@@ -237,53 +244,82 @@ struct PushbackMsg {
   std::uint64_t depth = 0;
 };
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_version(Writer& w, const store::Version& v);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<store::Version> decode_version(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_vote(Writer& w, const VoteMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<VoteMsg> decode_vote(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_decision(Writer& w, const DecisionMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<DecisionMsg> decode_decision(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_paxos(Writer& w, const PaxosMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<PaxosMsg> decode_paxos(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_read_request(Writer& w, const ReadRequestMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ReadRequestMsg> decode_read_request(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_read_reply(Writer& w, const ReadReplyMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ReadReplyMsg> decode_read_reply(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_term_submit(Writer& w, const TermSubmitMsg& m,
                         std::uint64_t payload_bytes_per_write);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<TermSubmitMsg> decode_term_submit(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_propagate(Writer& w, const PropagateMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<PropagateMsg> decode_propagate(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_control(Writer& w, const ControlMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ControlMsg> decode_control(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_client_hello(Writer& w, const ClientHelloMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ClientHelloMsg> decode_client_hello(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_client_welcome(Writer& w, const ClientWelcomeMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ClientWelcomeMsg> decode_client_welcome(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_client_req(Writer& w, const ClientReqMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ClientReqMsg> decode_client_req(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_client_resp(Writer& w, const ClientRespMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<ClientRespMsg> decode_client_resp(Reader& r);
 
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_pushback(Writer& w, const PushbackMsg& m);
+GDUR_HOT_PATH("nolock,noclock,noblock")
 std::optional<PushbackMsg> decode_pushback(Reader& r);
 
 /// Coalesced frame (vote/ack batching): `frames` are complete tagged frame
 /// bodies (type byte + payload) sharing one wire frame and one length
 /// prefix. Body layout: varint count, then per item varint len + bytes.
 /// Nested batches are rejected on decode, as are empty items.
+GDUR_HOT_PATH("nolock,noclock,noblock")
 void encode_batch(Writer& w,
                   const std::vector<std::vector<std::uint8_t>>& frames);
 std::optional<std::vector<std::vector<std::uint8_t>>> decode_batch(Reader& r);

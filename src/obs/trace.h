@@ -170,7 +170,7 @@ class TraceRecorder {
   /// protect.
   [[nodiscard]] const std::vector<TraceEvent>& events() const
       NO_THREAD_SAFETY_ANALYSIS {
-    return events_;  // gdur-lint: allow(thread/guarded-by) quiescent-only accessor, see contract above
+    return events_;  // quiescent-only accessor, see contract above
   }
   /// Chrome trace-event JSON (one {"traceEvents": [...]} object), loadable
   /// in Perfetto / chrome://tracing. Deterministic byte-for-byte.

@@ -1,0 +1,118 @@
+// gdur-thread-confinement — every access to a GDUR_CONFINED("lane")
+// field/global must come from a function *proven* confined to that lane,
+// replacing gdur-lint's thread/shard-affinity heuristic.
+//
+// Proof rule (coinductive over the per-TU reverse call graph): a function
+// is confined to lane L iff it is annotated GDUR_CONFINED(L), or it has at
+// least one in-TU caller and every caller is (recursively) confined to L.
+// A function with no in-TU callers and no annotation is unproven — the
+// tool cannot know which thread enters it, so the access is flagged.
+// Constructors and destructors of the class that owns a confined field are
+// exempt: the object is not yet (or no longer) shared when they run.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "llvm/ADT/DenseMap.h"
+
+namespace gdur_analyze {
+
+using clang::CXXConstructorDecl;
+using clang::CXXDestructorDecl;
+using clang::CXXMethodDecl;
+using clang::CXXRecordDecl;
+using clang::FieldDecl;
+using clang::FunctionDecl;
+
+namespace {
+
+enum class Proof : char { kProven, kRefuted, kInProgress };
+
+struct Prover {
+  TuModel* m;
+  std::string lane;
+  llvm::DenseMap<const FunctionDecl*, Proof> memo;
+
+  Prover(TuModel* model, std::string l) : m(model), lane(std::move(l)) {}
+
+  bool proven(const FunctionDecl* fn) {
+    auto found = memo.find(fn);
+    if (found != memo.end()) {
+      // A cycle member is assumed confined while the cycle's external
+      // entries are being checked — the greatest fixpoint: a loop with no
+      // unproven way in cannot be entered from the wrong lane.
+      return found->second != Proof::kRefuted;
+    }
+    memo[fn] = Proof::kInProgress;
+    bool ok;
+    if (auto ann = TuModel::annotation_of(fn, "gdur::confined:")) {
+      ok = *ann == lane;
+    } else {
+      auto callers = m->callers().find(fn);
+      ok = callers != m->callers().end() && !callers->second.empty();
+      if (ok)
+        for (const FunctionDecl* caller : callers->second)
+          if (!proven(caller)) {
+            ok = false;
+            break;
+          }
+    }
+    memo[fn] = ok ? Proof::kProven : Proof::kRefuted;
+    return ok;
+  }
+};
+
+bool is_lifecycle_exempt(const FunctionDecl* fn,
+                         const clang::ValueDecl* target) {
+  const auto* field = llvm::dyn_cast<FieldDecl>(target);
+  if (field == nullptr) return false;
+  const auto* owner = llvm::dyn_cast<CXXRecordDecl>(field->getParent());
+  if (owner == nullptr) return false;
+  const auto* method = llvm::dyn_cast<CXXMethodDecl>(fn);
+  if (method == nullptr) return false;
+  if (!llvm::isa<CXXConstructorDecl>(method) &&
+      !llvm::isa<CXXDestructorDecl>(method))
+    return false;
+  return method->getParent()->getCanonicalDecl() ==
+         owner->getCanonicalDecl();
+}
+
+}  // namespace
+
+void check_confinement(TuModel& m, std::vector<Finding>& out) {
+  // One prover (memo table) per distinct lane.
+  std::map<std::string, std::unique_ptr<Prover>> provers;
+
+  for (auto& entry : m.fns) {
+    const FunctionDecl* fn = entry.first;
+    for (const ConfinedAccess& access : entry.second.confined) {
+      auto lane_opt =
+          TuModel::annotation_of(access.target, "gdur::confined:");
+      if (!lane_opt) continue;
+      const std::string& lane = *lane_opt;
+      if (is_lifecycle_exempt(fn, access.target)) continue;
+      auto& prover = provers[lane];
+      if (!prover) prover = std::make_unique<Prover>(&m, lane);
+      if (prover->proven(fn)) continue;
+
+      Finding f;
+      f.check = kConfinementCheck;
+      f.loc = access.loc;
+      f.msg = "'" + access.target->getNameAsString() +
+              "' is confined to lane '" + lane + "' but '" +
+              TuModel::qual_name(fn) +
+              "' is not proven to run there; annotate it GDUR_CONFINED(\"" +
+              lane + "\") or route the access through a confined entry point";
+      f.notes.push_back(
+          {fn->getLocation(),
+           "a function is proven confined when it is annotated, or when "
+           "every in-TU caller chain above it reaches an annotated "
+           "function"});
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace gdur_analyze

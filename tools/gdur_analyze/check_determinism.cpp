@@ -1,0 +1,110 @@
+// gdur-determinism-escape — flags a range-for over an unordered container
+// whose body (transitively, within the TU) reaches an ordering-sensitive
+// emission point: wire-frame encoding, WAL appends, trace/flight records,
+// or dump_* routines. Unordered iteration order is a function of hasher
+// seed and insertion history, so letting it flow into anything externally
+// observable breaks the byte-identical-trace determinism contract.
+//
+// Sinks are matched by qualified name (codec writers/encoders, Wal appends,
+// FlightRing::append, TraceRecorder, dump_*) plus anything annotated
+// GDUR_ORDER_SINK. The fix is to iterate a sorted copy — or, where order is
+// provably immaterial (per-connection live streams), suppress with a
+// written reason.
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace gdur_analyze {
+
+using clang::FunctionDecl;
+
+namespace {
+
+bool is_order_sink(const FunctionDecl* fd, const std::string& qual) {
+  if (TuModel::has_annotation(fd, "gdur::order_sink")) return true;
+  llvm::StringRef q(qual);
+  const std::string base_str = fd->getNameAsString();
+  llvm::StringRef base(base_str);
+  if (q.contains("codec::Writer::")) return true;
+  if (q.contains("codec::") && base.startswith("encode")) return true;
+  if (q.contains("Wal") && base.startswith("append")) return true;
+  if (q.contains("FlightRing::append")) return true;
+  if (q.contains("TraceRecorder::")) return true;
+  if (base.startswith("dump_")) return true;
+  return false;
+}
+
+/// DFS from the loop-body call window to the first order sink; fills
+/// `chain` with the qualified names leading there.
+struct SinkSearch {
+  TuModel& m;
+  llvm::DenseSet<const FunctionDecl*> visited;
+
+  const FunctionDecl* find(const FunctionDecl* fn, int depth) {
+    if (fn == nullptr || depth > 64 || !visited.insert(fn).second)
+      return nullptr;
+    auto it = m.fns.find(fn);
+    if (it == m.fns.end()) return nullptr;
+    for (const CallSite& cs : it->second.calls) {
+      if (const FunctionDecl* hit = step(cs, depth)) return hit;
+    }
+    return nullptr;
+  }
+
+  const FunctionDecl* step(const CallSite& cs, int depth) {
+    if (cs.callee == nullptr) return nullptr;
+    const std::string qual = TuModel::qual_name(cs.callee);
+    if (is_order_sink(cs.callee, qual)) return cs.callee;
+    // Sinks never live inside the standard library; skip its bodies.
+    if (llvm::StringRef(qual).startswith("std::")) return nullptr;
+    if (const FunctionDecl* hit = find(cs.callee, depth + 1)) return hit;
+    if (m.fns.find(cs.callee) == m.fns.end()) {
+      auto inst = m.instantiations.find(cs.callee);
+      if (inst != m.instantiations.end())
+        for (const FunctionDecl* fd : inst->second)
+          if (const FunctionDecl* hit = find(fd, depth + 1)) return hit;
+    }
+    if (cs.is_virtual) {
+      auto over = m.overriders.find(cs.callee);
+      if (over != m.overriders.end())
+        for (const FunctionDecl* fd : over->second)
+          if (const FunctionDecl* hit = find(fd, depth + 1)) return hit;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+void check_determinism(TuModel& m, std::vector<Finding>& out) {
+  for (auto& entry : m.fns) {
+    const FnInfo& fn = entry.second;
+    for (const LoopRecord& loop : fn.loops) {
+      if (llvm::StringRef(loop.container).find("std::unordered_") ==
+          llvm::StringRef::npos)
+        continue;
+      SinkSearch search{m, {}};
+      const FunctionDecl* sink = nullptr;
+      for (unsigned i = loop.first_call;
+           i < loop.last_call && i < fn.calls.size() && sink == nullptr; ++i)
+        sink = search.step(fn.calls[i], 0);
+      if (sink == nullptr) continue;
+
+      Finding f;
+      f.check = kDeterminismCheck;
+      f.loc = loop.loc;
+      f.msg = "iteration over unordered container ('" + loop.container +
+              "') flows into ordering-sensitive emission '" +
+              TuModel::qual_name(sink) +
+              "'; iterate a sorted copy or suppress with a reason if the "
+              "order is provably immaterial";
+      f.notes.push_back({sink->getLocation(),
+                         "emission point reached from the loop body"});
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace gdur_analyze

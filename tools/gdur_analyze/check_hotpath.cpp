@@ -1,0 +1,161 @@
+// gdur-hotpath-reachability — proves that no sink of a banned class is
+// transitively reachable from a GDUR_HOT_PATH root, upgrading gdur-lint's
+// one-hop front/dispatch-alloc and obs/hot-path-alloc regex rules.
+//
+// Per banned sink class, a DFS from the root follows: direct calls,
+// constructor calls, virtual calls expanded to every overrider this TU
+// knows, lambda creation edges (the lambda's code is chargeable to the
+// function that spells it), and template instantiations — so an innocent
+// `v.push_back(x)` is tracked through the vector's reallocation path down
+// to `operator new`. Traversal stops at declared contracts (GDUR_BLOCKING,
+// GDUR_ALLOCATES — terminal sinks) and sanctioned hand-offs
+// (GDUR_HOT_BOUNDARY). Callees with no body in the TU are classified by
+// name (syscalls, clocks, allocator entry points); anything else unseen is
+// an opaque boundary, which is exactly the per-TU contract the annotation
+// vocabulary exists to patch.
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace gdur_analyze {
+
+using clang::FunctionDecl;
+
+namespace {
+
+const char* kind_word(unsigned kind) {
+  switch (kind) {
+    case kAlloc:
+      return "allocation";
+    case kLock:
+      return "lock acquisition";
+    case kClock:
+      return "clock read";
+    case kBlock:
+      return "blocking call";
+    case kSleep:
+      return "hard sleep";
+    default:
+      return "sink";
+  }
+}
+
+unsigned parse_classes(llvm::StringRef classes) {
+  unsigned banned = kNone;
+  llvm::SmallVector<llvm::StringRef, 6> parts;
+  classes.split(parts, ',', -1, /*KeepEmpty=*/false);
+  for (llvm::StringRef c : parts) {
+    c = c.trim();
+    if (c == "noalloc")
+      banned |= kAlloc;
+    else if (c == "nolock")
+      banned |= kLock;
+    else if (c == "noclock")
+      banned |= kClock;
+    else if (c == "noblock")
+      banned |= kBlock | kSleep;
+    else if (c == "nosleep")
+      banned |= kSleep;
+  }
+  return banned;
+}
+
+struct Hop {
+  const FunctionDecl* fn;
+  clang::SourceLocation loc;  // call site inside `fn`
+  std::string what;           // callee description
+};
+
+/// DFS for one (root, sink-class) pair. `path` holds the call chain from
+/// the root to the sink on success; path.front().loc (the first hop inside
+/// the root) is the finding's primary — and suppression — location.
+struct Search {
+  TuModel& m;
+  unsigned kind;
+  llvm::DenseSet<const FunctionDecl*> visited;
+  std::vector<Hop> path;
+
+  bool from(const FunctionDecl* fn) {
+    if (fn == nullptr || !visited.insert(fn).second) return false;
+    auto it = m.fns.find(fn);
+    if (it == m.fns.end()) return false;
+    if (path.size() > 192) return false;  // degenerate template towers
+    for (const CallSite& cs : it->second.calls) {
+      if (cs.intrinsic & kind) {
+        path.push_back({fn, cs.loc, "operator new"});
+        return true;
+      }
+      if (cs.callee == nullptr) continue;  // fn ptr / std::function: opaque
+      bool boundary = false;
+      const unsigned declared =
+          TuModel::classify_by_annotation(cs.callee, boundary);
+      const std::string qual = TuModel::qual_name(cs.callee);
+      if (declared & kind) {
+        path.push_back({fn, cs.loc, qual + " (declared contract)"});
+        return true;
+      }
+      if (boundary) continue;  // GDUR_HOT_BOUNDARY or terminal contract
+      if (TuModel::classify_by_name(qual) & kind) {
+        path.push_back({fn, cs.loc, qual});
+        return true;
+      }
+      path.push_back({fn, cs.loc, qual});
+      if (from(cs.callee)) return true;
+      if (m.fns.find(cs.callee) == m.fns.end()) {
+        // Bodyless under this decl: descend into instantiations the TU
+        // materialized from the same pattern.
+        auto inst = m.instantiations.find(cs.callee);
+        if (inst != m.instantiations.end())
+          for (const FunctionDecl* fd : inst->second)
+            if (from(fd)) return true;
+      }
+      if (cs.is_virtual) {
+        auto over = m.overriders.find(cs.callee);
+        if (over != m.overriders.end())
+          for (const FunctionDecl* fd : over->second)
+            if (from(fd)) return true;
+      }
+      path.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void check_hotpath(TuModel& m, std::vector<Finding>& out) {
+  for (const auto& entry : m.fns) {
+    const FunctionDecl* root = entry.first;
+    auto classes = TuModel::annotation_of(root, "gdur::hot_path:");
+    if (!classes) continue;
+    const unsigned banned = parse_classes(*classes);
+    for (unsigned kind : {kAlloc, kLock, kClock, kBlock, kSleep}) {
+      if ((banned & kind) == 0) continue;
+      Search s{m, kind, {}, {}};
+      if (!s.from(root)) continue;
+
+      Finding f;
+      f.check = kHotpathCheck;
+      f.loc = s.path.front().loc;
+      f.msg = "hot path '" + TuModel::qual_name(root) + "' (" + *classes +
+              ") reaches " + std::string(kind_word(kind)) + ": " +
+              s.path.back().what;
+      // Elide interior std:: frames beyond a short prefix — the first hops
+      // (our code) and the final sink are what the reader needs.
+      std::size_t shown = 0;
+      for (std::size_t i = 0; i < s.path.size(); ++i) {
+        const Hop& h = s.path[i];
+        const bool last = i + 1 == s.path.size();
+        if (!last && shown >= 6 && llvm::StringRef(h.what).startswith("std::"))
+          continue;
+        ++shown;
+        f.notes.push_back({h.loc, (last ? "sink: " : "via: ") + h.what});
+      }
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace gdur_analyze

@@ -1,0 +1,35 @@
+// Check interface: each check is a pure query over a built TuModel that
+// appends Findings. The driver (gdur_analyze.cpp) owns printing,
+// suppression (`// gdur-analyze: allow(check) reason`) and exit status.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tu_model.h"
+
+namespace gdur_analyze {
+
+struct Note {
+  clang::SourceLocation loc;
+  std::string msg;
+};
+
+struct Finding {
+  std::string check;  // e.g. "gdur-hotpath-reachability"
+  clang::SourceLocation loc;
+  std::string msg;
+  std::vector<Note> notes;
+};
+
+inline const char* kHotpathCheck = "gdur-hotpath-reachability";
+inline const char* kConfinementCheck = "gdur-thread-confinement";
+inline const char* kDeterminismCheck = "gdur-determinism-escape";
+inline const char* kSpecCheck = "gdur-spec-realization";
+
+void check_hotpath(TuModel& m, std::vector<Finding>& out);
+void check_confinement(TuModel& m, std::vector<Finding>& out);
+void check_determinism(TuModel& m, std::vector<Finding>& out);
+void check_spec(TuModel& m, std::vector<Finding>& out);
+
+}  // namespace gdur_analyze

@@ -1,0 +1,20 @@
+// gdur-analyze corpus: lane-confined state touched from functions the
+// call graph cannot prove confined.
+// expect: gdur-thread-confinement
+#include "common/analysis_annotations.h"
+
+namespace corpus {
+
+struct Server {
+  GDUR_CONFINED("site-thread") int sessions_ = 0;
+
+  GDUR_CONFINED("site-thread") void on_accept() { sessions_ += 1; }
+
+  // Unannotated, and its only caller is an unannotated entry point: the
+  // tool cannot prove which thread runs this — finding.
+  void gauge() { sessions_ -= 1; }
+};
+
+void external_entry(Server& s) { s.gauge(); }
+
+}  // namespace corpus

@@ -1,0 +1,66 @@
+// gdur-analyze corpus: unordered-container iteration order escaping into
+// ordering-sensitive emission points (wire encode, WAL append), directly
+// and through a helper.
+// expect: gdur-determinism-escape
+#include "common/analysis_annotations.h"
+
+// Freestanding mock: the check matches the container by qualified record
+// name, so a minimal std::unordered_map is enough.
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    value_type* p = nullptr;
+    bool operator!=(const iterator& o) const { return p != o.p; }
+    iterator& operator++() { return *this; }
+    value_type& operator*() { return *p; }
+  };
+  iterator begin() { return {}; }
+  iterator end() { return {}; }
+};
+}  // namespace std
+
+namespace gdur::net::codec {
+struct Writer {
+  void u32(unsigned v) { last = v; }
+  unsigned last = 0;
+};
+inline void encode_entry(Writer& w, unsigned v) { w.u32(v); }
+}  // namespace gdur::net::codec
+
+namespace corpus {
+
+struct Wal {
+  void append_record(unsigned v) { tail = v; }
+  unsigned tail = 0;
+};
+
+// Direct: encode inside the loop body.
+void emit_all(std::unordered_map<int, unsigned>& m,
+              gdur::net::codec::Writer& w) {
+  for (auto& kv : m) {
+    gdur::net::codec::encode_entry(w, kv.second);
+  }
+}
+
+// Transitive: the loop calls a helper that bottoms out in a Writer method.
+inline void note(gdur::net::codec::Writer& w, unsigned v) { w.u32(v); }
+void emit_indirect(std::unordered_map<int, unsigned>& m,
+                   gdur::net::codec::Writer& w) {
+  for (auto& kv : m) {
+    note(w, kv.second);
+  }
+}
+
+// WAL append from unordered order.
+void persist(std::unordered_map<int, unsigned>& m, Wal& wal) {
+  for (auto& kv : m) {
+    wal.append_record(kv.second);
+  }
+}
+
+}  // namespace corpus

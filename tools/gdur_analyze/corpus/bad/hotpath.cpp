@@ -1,0 +1,57 @@
+// gdur-analyze corpus (never compiled into the build): every hot-path
+// reachability shape the check must catch.
+// expect: gdur-hotpath-reachability
+#include "common/analysis_annotations.h"
+
+extern "C" void* malloc(unsigned long n);
+extern "C" int usleep(unsigned usec);
+
+namespace corpus {
+
+// One call deep — the shape the old regex rules could not see.
+inline void* helper_alloc() { return malloc(16); }
+
+// Template instantiation: the allocation happens inside the instantiated
+// body, two hops from the root.
+template <typename T>
+T* make_one() {
+  return new T();
+}
+
+// Virtual dispatch: the static callee is clean, an overrider allocates.
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void hit() {}
+};
+struct AllocSink : Sink {
+  void hit() override { helper_alloc(); }
+};
+
+// Declared contract: no body anywhere, but annotated blocking.
+GDUR_BLOCKING void wrapped_syscall();
+
+GDUR_HOT_PATH("noalloc,nosleep")
+void demux(Sink& s) {
+  s.hit();  // resolves to AllocSink::hit -> helper_alloc -> malloc
+}
+
+GDUR_HOT_PATH("noalloc")
+int record_path() {
+  int* p = make_one<int>();
+  return *p;
+}
+
+GDUR_HOT_PATH("noblock")
+void no_block_path() { wrapped_syscall(); }
+
+GDUR_HOT_PATH("nosleep")
+void no_sleep_path() { usleep(1); }
+
+// Lambda creation edge: the lambda's body is chargeable to its creator.
+GDUR_HOT_PATH("noalloc")
+void lambda_path() {
+  auto fn = [] { helper_alloc(); };
+  fn();
+}
+
+}  // namespace corpus

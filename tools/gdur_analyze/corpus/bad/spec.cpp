@@ -1,0 +1,35 @@
+// gdur-analyze corpus: a ProtocolSpec built from scratch that leaves
+// realization points of the plug-in table unpinned.
+// expect: gdur-spec-realization
+#include "common/analysis_annotations.h"
+
+// Freestanding mock matched by qualified name.
+namespace gdur::core {
+struct ProtocolSpec {
+  const char* name = nullptr;
+  int theta = 0;
+  int choose = 0;
+  int ac = 0;
+  int xcast = 0;
+  int certifying = 0;
+  int vote_snd = 0;
+  int vote_recv = 0;
+  int commute = 0;
+  int certify = 0;
+  bool trivial_certify = false;
+};
+}  // namespace gdur::core
+
+namespace corpus {
+
+gdur::core::ProtocolSpec half_pinned() {
+  gdur::core::ProtocolSpec s;
+  s.name = "HALF";
+  s.theta = 1;
+  s.choose = 2;
+  s.ac = 3;
+  // xcast, certifying, vote_snd, vote_recv, commute, certify: unpinned.
+  return s;
+}
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// gdur-analyze corpus: every confined access provable — annotated
+// accessors, helpers reached only from annotated callers, and the
+// constructor/destructor exemption.
+// expect-clean
+#include "common/analysis_annotations.h"
+
+namespace corpus {
+
+struct Server {
+  GDUR_CONFINED("site-thread") int sessions_ = 0;
+
+  Server() { sessions_ = 1; }   // ctor exempt: not yet shared
+  ~Server() { sessions_ = 0; }  // dtor exempt: no longer shared
+
+  GDUR_CONFINED("site-thread") void on_accept() { bump(); }
+  GDUR_CONFINED("site-thread") void on_close() { bump(); }
+
+  // Unannotated, but every in-TU caller chain above it ends in an
+  // annotated function — proven by the reverse call graph.
+  void bump() { sessions_ += 1; }
+};
+
+}  // namespace corpus

@@ -1,0 +1,64 @@
+// gdur-analyze corpus: deterministic iteration patterns the check must
+// accept — sorted copies feeding emitters, unordered iteration that never
+// reaches an emission point.
+// expect-clean
+#include "common/analysis_annotations.h"
+
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    value_type* p = nullptr;
+    bool operator!=(const iterator& o) const { return p != o.p; }
+    iterator& operator++() { return *this; }
+    value_type& operator*() { return *p; }
+  };
+  iterator begin() { return {}; }
+  iterator end() { return {}; }
+};
+template <class T>
+struct vector {
+  T* b = nullptr;
+  T* e = nullptr;
+  T* begin() { return b; }
+  T* end() { return e; }
+  void push_back(const T&) {}
+};
+}  // namespace std
+
+namespace gdur::net::codec {
+struct Writer {
+  void u32(unsigned v) { last = v; }
+  unsigned last = 0;
+};
+}  // namespace gdur::net::codec
+
+namespace corpus {
+
+// Sorted-copy idiom: collect (order-insensitive), sort, then emit from the
+// ordered container.
+void emit_sorted(std::unordered_map<int, unsigned>& m,
+                 gdur::net::codec::Writer& w) {
+  std::vector<unsigned> keys;
+  for (auto& kv : m) {
+    keys.push_back(kv.second);  // accumulation only — no emission
+  }
+  for (unsigned v : keys) {
+    w.u32(v);  // ordered source
+  }
+}
+
+// Unordered iteration whose result never leaves the function.
+unsigned sum(std::unordered_map<int, unsigned>& m) {
+  unsigned total = 0;
+  for (auto& kv : m) {
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace corpus

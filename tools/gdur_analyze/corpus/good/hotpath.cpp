@@ -1,0 +1,53 @@
+// gdur-analyze corpus: hot paths that honor their contracts — the tool
+// must stay silent on every function here.
+// expect-clean
+#include "common/analysis_annotations.h"
+
+extern "C" void* malloc(unsigned long n);
+
+namespace corpus {
+
+inline void* helper_alloc() { return malloc(16); }
+
+inline int helper_clean(int x) { return x * 2 + 1; }
+
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void hit() {}
+};
+struct CleanSink : Sink {
+  int v = 0;
+  void hit() override { v = helper_clean(v); }
+};
+
+// Sanctioned hand-off: the boundary target allocates, but traversal stops
+// at GDUR_HOT_BOUNDARY by design (accept-handler shape).
+GDUR_HOT_BOUNDARY void setup_connection() { helper_alloc(); }
+
+GDUR_HOT_PATH("noalloc,nosleep")
+void demux(Sink& s) {
+  s.hit();  // every overrider this TU knows is clean
+  setup_connection();
+}
+
+// The root only bans what its contract promises: blocking is fine for a
+// poller that parks in the kernel.
+GDUR_BLOCKING void wrapped_syscall();
+GDUR_HOT_PATH("noalloc")
+void parker() { wrapped_syscall(); }
+
+// Written-reason suppression at the first hop's line.
+GDUR_HOT_PATH("noalloc")
+void with_sanctioned_alloc(bool fatal) {
+  if (fatal) {
+    // gdur-analyze: allow(gdur-hotpath-reachability) cold fatal path; the loop exits right after
+    helper_alloc();
+  }
+}
+
+GDUR_HOT_PATH("noalloc,nolock,noclock,noblock")
+int record(int x) {
+  return helper_clean(x);
+}
+
+}  // namespace corpus

@@ -1,0 +1,47 @@
+// gdur-analyze corpus: complete spec factories — all ten points pinned
+// from scratch, and the ablation idiom (copy a base spec, tweak a point).
+// expect-clean
+#include "common/analysis_annotations.h"
+
+namespace gdur::core {
+struct ProtocolSpec {
+  const char* name = nullptr;
+  int theta = 0;
+  int choose = 0;
+  int ac = 0;
+  int xcast = 0;
+  int certifying = 0;
+  int vote_snd = 0;
+  int vote_recv = 0;
+  int commute = 0;
+  int certify = 0;
+  bool trivial_certify = false;
+};
+}  // namespace gdur::core
+
+namespace corpus {
+
+gdur::core::ProtocolSpec full() {
+  gdur::core::ProtocolSpec s;
+  s.name = "FULL";
+  s.theta = 1;
+  s.choose = 2;
+  s.ac = 3;
+  s.xcast = 4;
+  s.certifying = 5;
+  s.vote_snd = 6;
+  s.vote_recv = 7;
+  s.commute = 8;
+  s.certify = 9;
+  return s;
+}
+
+// GMU*-style ablation: starts as a copy, inherits the base's points.
+gdur::core::ProtocolSpec derived() {
+  auto s = full();
+  s.name = "FULL*";
+  s.choose = 1;
+  return s;
+}
+
+}  // namespace corpus

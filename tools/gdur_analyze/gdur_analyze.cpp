@@ -1,0 +1,226 @@
+// gdur-analyze — standalone Clang tool hosting the four AST-accurate
+// checks (DESIGN.md §16): gdur-hotpath-reachability,
+// gdur-thread-confinement, gdur-determinism-escape, gdur-spec-realization.
+//
+// Built as a ClangTool binary rather than a clang-tidy `-load` module
+// because Debian/Ubuntu do not package the clang-tidy plugin headers; the
+// output format is clang-tidy's (`file:line:col: warning: ... [check]`) so
+// editors and CI greps treat it identically.
+//
+// Suppressions: `// gdur-analyze: allow(check-name) reason` on the
+// finding's primary line or the line above. The reason is mandatory — a
+// bare allow is itself reported. The tag deliberately differs from
+// `// gdur-lint: allow(...)` so the portable regex fallback and this tool
+// never swallow each other's suppressions.
+//
+// Exit status: 0 clean, 1 findings, 2 tool/compilation failure.
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "clang/AST/ASTConsumer.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/Error.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory kCategory("gdur-analyze options");
+
+llvm::cl::list<std::string> kOnlyChecks(
+    "check",
+    llvm::cl::desc("Run only the named check (repeatable); default: all"),
+    llvm::cl::cat(kCategory));
+
+struct Stats {
+  unsigned findings = 0;
+  unsigned suppressed = 0;
+  std::set<std::string> seen;  // cross-TU dedup (headers repeat per TU)
+};
+
+bool check_enabled(const std::string& name) {
+  if (kOnlyChecks.empty()) return true;
+  for (const std::string& c : kOnlyChecks)
+    if (c == name) return true;
+  return false;
+}
+
+std::string line_at(const clang::SourceManager& sm, clang::FileID fid,
+                    unsigned line) {
+  if (line == 0) return {};
+  bool invalid = false;
+  llvm::StringRef buf = sm.getBufferData(fid, &invalid);
+  if (invalid) return {};
+  unsigned cur = 1;
+  std::size_t start = 0;
+  while (cur < line) {
+    const std::size_t nl = buf.find('\n', start);
+    if (nl == llvm::StringRef::npos) return {};
+    start = nl + 1;
+    ++cur;
+  }
+  const std::size_t end = buf.find('\n', start);
+  return buf
+      .substr(start,
+              end == llvm::StringRef::npos ? llvm::StringRef::npos
+                                           : end - start)
+      .str();
+}
+
+/// Parses `// gdur-analyze: allow(a,b) reason` out of `text`. Returns true
+/// when a tag is present; fills the allowed check names and whether a
+/// non-empty reason follows.
+bool parse_allow(llvm::StringRef text,
+                 llvm::SmallVectorImpl<std::string>& checks,
+                 bool& has_reason) {
+  static const char kTag[] = "// gdur-analyze: allow(";
+  const std::size_t pos = text.find(kTag);
+  if (pos == llvm::StringRef::npos) return false;
+  llvm::StringRef rest = text.substr(pos + sizeof(kTag) - 1);
+  const std::size_t close = rest.find(')');
+  if (close == llvm::StringRef::npos) return false;
+  llvm::SmallVector<llvm::StringRef, 4> parts;
+  rest.substr(0, close).split(parts, ',', -1, /*KeepEmpty=*/false);
+  for (llvm::StringRef p : parts) checks.push_back(p.trim().str());
+  has_reason = !rest.substr(close + 1).trim().empty();
+  return true;
+}
+
+void report(clang::ASTContext& ctx, std::vector<gdur_analyze::Finding>& fs,
+            Stats& stats) {
+  const clang::SourceManager& sm = ctx.getSourceManager();
+  for (const gdur_analyze::Finding& f : fs) {
+    if (!check_enabled(f.check)) continue;
+    const clang::SourceLocation loc = sm.getExpansionLoc(f.loc);
+    if (loc.isInvalid() || sm.isInSystemHeader(loc)) continue;
+    const clang::PresumedLoc ploc = sm.getPresumedLoc(loc);
+    if (ploc.isInvalid()) continue;
+
+    const std::string key = std::string(ploc.getFilename()) + ":" +
+                            std::to_string(ploc.getLine()) + ":" + f.check +
+                            ":" + f.msg;
+    if (!stats.seen.insert(key).second) continue;
+
+    // Suppression: the primary line or the line above it.
+    const auto decomposed = sm.getDecomposedExpansionLoc(loc);
+    bool suppressed = false;
+    bool bad_allow = false;
+    for (unsigned line : {ploc.getLine(), ploc.getLine() - 1}) {
+      llvm::SmallVector<std::string, 4> allowed;
+      bool has_reason = false;
+      if (!parse_allow(line_at(sm, decomposed.first, line), allowed,
+                       has_reason))
+        continue;
+      for (const std::string& name : allowed) {
+        if (name != f.check) continue;
+        if (has_reason)
+          suppressed = true;
+        else
+          bad_allow = true;
+      }
+      if (suppressed || bad_allow) break;
+    }
+    if (suppressed) {
+      ++stats.suppressed;
+      continue;
+    }
+
+    auto pos = [&](clang::SourceLocation l) {
+      const clang::PresumedLoc p = sm.getPresumedLoc(sm.getExpansionLoc(l));
+      if (p.isInvalid()) return std::string("<unknown>");
+      return std::string(p.getFilename()) + ":" +
+             std::to_string(p.getLine()) + ":" +
+             std::to_string(p.getColumn());
+    };
+
+    ++stats.findings;
+    llvm::outs() << pos(f.loc) << ": warning: " << f.msg << " [" << f.check
+                 << "]\n";
+    if (bad_allow) {
+      ++stats.findings;
+      llvm::outs() << pos(f.loc)
+                   << ": warning: suppression without a reason; write "
+                      "'// gdur-analyze: allow("
+                   << f.check << ") <reason>' [gdur-analyze-bad-allow]\n";
+    }
+    for (const gdur_analyze::Note& n : f.notes)
+      llvm::outs() << pos(n.loc) << ": note: " << n.msg << "\n";
+  }
+  llvm::outs().flush();
+}
+
+class Consumer : public clang::ASTConsumer {
+ public:
+  explicit Consumer(Stats& stats) : stats_(stats) {}
+
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    gdur_analyze::TuModel model;
+    model.build(ctx);
+    std::vector<gdur_analyze::Finding> findings;
+    gdur_analyze::check_hotpath(model, findings);
+    gdur_analyze::check_confinement(model, findings);
+    gdur_analyze::check_determinism(model, findings);
+    gdur_analyze::check_spec(model, findings);
+    report(ctx, findings, stats_);
+  }
+
+ private:
+  Stats& stats_;
+};
+
+class Action : public clang::ASTFrontendAction {
+ public:
+  explicit Action(Stats& stats) : stats_(stats) {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<Consumer>(stats_);
+  }
+
+ private:
+  Stats& stats_;
+};
+
+class Factory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit Factory(Stats& stats) : stats_(stats) {}
+
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<Action>(stats_);
+  }
+
+ private:
+  Stats& stats_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto parser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, kCategory, llvm::cl::OneOrMore,
+      "AST-grade interprocedural checks for the G-DUR middleware "
+      "(hot-path reachability, thread confinement, determinism escapes, "
+      "ProtocolSpec realization).");
+  if (!parser) {
+    llvm::errs() << llvm::toString(parser.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::ClangTool tool(parser->getCompilations(),
+                                 parser->getSourcePathList());
+  Stats stats;
+  Factory factory(stats);
+  const int status = tool.run(&factory);
+  llvm::errs() << "gdur-analyze: " << stats.findings << " finding(s), "
+               << stats.suppressed << " suppressed\n";
+  if (stats.findings > 0) return 1;
+  return status != 0 ? 2 : 0;
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Corpus self-test and tree runner for gdur-analyze.
+
+Corpus mode (default): every fixture under corpus/bad/ must produce each
+check named in its `// expect:` headers (exit 1), and every fixture under
+corpus/good/ must come back clean (exit 0, no warnings). Fixtures are
+freestanding — their only include is src/common/analysis_annotations.h —
+so no system header path is required.
+
+Tree mode (--tree): runs the tool over every src/**/*.cpp with the build
+directory's compilation database; the tool's exit status is the verdict
+(findings-as-errors).
+
+When the tool binary is absent (Clang dev headers were not installed, so
+the build skipped it), exits 77 — registered with ctest as
+SKIP_RETURN_CODE — after printing a visible notice. gdur-lint remains the
+portable fallback in that configuration.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+SKIP = 77
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+EXPECT_RE = re.compile(r"^//\s*expect:\s*(\S+)\s*$", re.M)
+
+
+def tool_missing(path: str) -> bool:
+    return not (os.path.isfile(path) and os.access(path, os.X_OK))
+
+
+def run_fixture(tool: str, path: str, src_dir: str):
+    cmd = [tool, path, "--", "-std=c++17", "-I", src_dir, "-w"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def corpus_mode(tool: str) -> int:
+    src_dir = os.path.join(REPO, "src")
+    failures = []
+    checked = 0
+
+    bad_dir = os.path.join(HERE, "corpus", "bad")
+    for name in sorted(os.listdir(bad_dir)):
+        if not name.endswith(".cpp"):
+            continue
+        path = os.path.join(bad_dir, name)
+        with open(path, encoding="utf-8") as f:
+            expected = EXPECT_RE.findall(f.read())
+        if not expected:
+            failures.append(f"bad/{name}: no '// expect:' header")
+            continue
+        code, out, err = run_fixture(tool, path, src_dir)
+        if code == 2:
+            failures.append(f"bad/{name}: tool failed to parse fixture:\n{err}")
+            continue
+        if code != 1:
+            failures.append(
+                f"bad/{name}: expected findings (exit 1), got exit {code}\n{out}{err}")
+            continue
+        for check in expected:
+            checked += 1
+            if f"[{check}]" not in out:
+                failures.append(
+                    f"bad/{name}: expected a [{check}] finding, got:\n{out}")
+
+    good_dir = os.path.join(HERE, "corpus", "good")
+    for name in sorted(os.listdir(good_dir)):
+        if not name.endswith(".cpp"):
+            continue
+        path = os.path.join(good_dir, name)
+        code, out, err = run_fixture(tool, path, src_dir)
+        checked += 1
+        if code != 0 or " warning: " in out:
+            failures.append(
+                f"good/{name}: expected clean (exit 0), got exit {code}\n{out}{err}")
+
+    if failures:
+        print("gdur-analyze self-test FAILED:")
+        for f in failures:
+            print("  *", f)
+        return 1
+    print(f"gdur-analyze self-test OK ({checked} expectations)")
+    return 0
+
+
+def tree_mode(tool: str, build_dir: str) -> int:
+    sources = []
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for name in sorted(files):
+            if name.endswith(".cpp"):
+                sources.append(os.path.join(root, name))
+    if not os.path.isfile(os.path.join(build_dir, "compile_commands.json")):
+        print(f"gdur-analyze: no compile_commands.json in {build_dir} — skip")
+        return SKIP
+    cmd = [tool, "-p", build_dir] + sources
+    proc = subprocess.run(cmd)
+    return proc.returncode
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tool", default=os.path.join(
+        REPO, "build", "tools", "gdur_analyze", "gdur-analyze"))
+    ap.add_argument("--tree", action="store_true")
+    ap.add_argument("--build", default=os.path.join(REPO, "build"))
+    args = ap.parse_args()
+
+    if tool_missing(args.tool):
+        print("=" * 70)
+        print("gdur-analyze SKIPPED: tool not built at")
+        print(f"  {args.tool}")
+        print("Install Clang dev headers (llvm-dev libclang-dev clang) and")
+        print("reconfigure with -DGDUR_ANALYZE=ON to enable the AST checks;")
+        print("gdur-lint remains the portable fallback meanwhile.")
+        print("=" * 70)
+        return SKIP
+
+    if args.tree:
+        return tree_mode(args.tool, args.build)
+    return corpus_mode(args.tool)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+#include "tu_model.h"
+
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/Stmt.h"
+#include "clang/AST/StmtCXX.h"
+
+namespace gdur_analyze {
+
+using namespace clang;
+
+namespace {
+
+/// Qualified record name of a (possibly sugared/reference) type, or "".
+std::string record_name_of(QualType qt) {
+  if (qt.isNull()) return {};
+  QualType t = qt.getNonReferenceType().getCanonicalType();
+  if (const auto* rd = t->getAsCXXRecordDecl())
+    return rd->getQualifiedNameAsString();
+  if (const auto* rd = t->getAsRecordDecl())
+    return rd->getQualifiedNameAsString();
+  return {};
+}
+
+/// The ten ProtocolSpec realization points (mirrors gdur-lint SPEC_POINTS).
+bool is_spec_type(QualType qt) {
+  return record_name_of(qt) == "gdur::core::ProtocolSpec";
+}
+
+class Builder : public RecursiveASTVisitor<Builder> {
+ public:
+  explicit Builder(TuModel& m) : m_(m) {}
+
+  bool shouldVisitTemplateInstantiations() const { return true; }
+  bool shouldVisitImplicitCode() const { return true; }
+
+  bool VisitFunctionDecl(FunctionDecl* fd) {
+    if (!fd->isThisDeclarationADefinition() || !fd->hasBody()) return true;
+    if (fd->getBuiltinID() != 0) return true;
+    const FunctionDecl* key = fd->getCanonicalDecl();
+    FnInfo& fn = m_.fns[key];
+    fn.decl = key;
+    cur_ = &fn;
+    if (const auto* ctor = dyn_cast<CXXConstructorDecl>(fd)) {
+      for (const CXXCtorInitializer* init : ctor->inits())
+        walk(init->getInit());
+    }
+    walk(fd->getBody());
+    cur_ = nullptr;
+
+    if (const auto* md = dyn_cast<CXXMethodDecl>(fd)) {
+      for (const CXXMethodDecl* over : md->overridden_methods())
+        add_overrider(over, key);
+    }
+    if (const FunctionDecl* pattern = fd->getTemplateInstantiationPattern())
+      m_.instantiations[pattern->getCanonicalDecl()].push_back(key);
+    return true;
+  }
+
+  bool VisitFieldDecl(FieldDecl* fd) {
+    if (TuModel::annotation_of(fd, "gdur::confined:"))
+      m_.confined_decls.push_back(fd);
+    return true;
+  }
+
+  bool VisitVarDecl(VarDecl* vd) {
+    if (vd->hasGlobalStorage() &&
+        TuModel::annotation_of(vd, "gdur::confined:"))
+      m_.confined_decls.push_back(vd);
+    return true;
+  }
+
+ private:
+  void add_overrider(const CXXMethodDecl* base, const FunctionDecl* derived) {
+    m_.overriders[base->getCanonicalDecl()].push_back(derived);
+    // Transitive: an override of B::f where B::f overrides A::f also
+    // satisfies a call through A::f.
+    for (const CXXMethodDecl* up : base->overridden_methods())
+      add_overrider(up, derived);
+  }
+
+  void add_call(const FunctionDecl* callee, SourceLocation loc,
+                unsigned intrinsic = kNone, bool is_virtual = false) {
+    CallSite cs;
+    cs.callee = callee != nullptr ? callee->getCanonicalDecl() : nullptr;
+    cs.loc = loc;
+    cs.intrinsic = intrinsic;
+    cs.is_virtual = is_virtual;
+    cur_->calls.push_back(cs);
+  }
+
+  /// Body walker. RecursiveASTVisitor enumerates the function definitions;
+  /// this walker owns everything inside a body so that each fact lands on
+  /// the right function (lambda bodies are separate functions connected by
+  /// a creation edge at the LambdaExpr).
+  void walk(const Stmt* s) {
+    if (s == nullptr || cur_ == nullptr) return;
+
+    if (const auto* le = dyn_cast<LambdaExpr>(s)) {
+      // Creation edge: whatever the lambda does is chargeable to the
+      // function that spells it (conservative for deferred execution).
+      if (const CXXMethodDecl* op = le->getCallOperator())
+        add_call(op, le->getBeginLoc());
+      for (const Expr* init : le->capture_inits()) walk(init);
+      return;  // body visited as its own function
+    }
+
+    if (const auto* ne = dyn_cast<CXXNewExpr>(s)) {
+      const FunctionDecl* op = ne->getOperatorNew();
+      const bool placement =
+          op != nullptr && op->isReservedGlobalPlacementOperator();
+      if (!placement) add_call(op, ne->getBeginLoc(), kAlloc);
+      for (const Stmt* child : s->children()) walk(child);
+      return;
+    }
+
+    if (const auto* ce = dyn_cast<CallExpr>(s)) {
+      const FunctionDecl* callee = ce->getDirectCallee();
+      bool virt = false;
+      if (const auto* mc = dyn_cast<CXXMemberCallExpr>(ce)) {
+        if (const CXXMethodDecl* md = mc->getMethodDecl()) {
+          virt = md->isVirtual();
+          if (const auto* me =
+                  dyn_cast<MemberExpr>(mc->getCallee()->IgnoreParens()))
+            if (me->hasQualifier()) virt = false;  // A::f() devirtualizes
+        }
+      }
+      if (callee != nullptr && callee->getBuiltinID() == 0)
+        add_call(callee, ce->getBeginLoc(), kNone, virt);
+      else if (callee == nullptr)
+        add_call(nullptr, ce->getBeginLoc());  // opaque (fn ptr / std::function)
+    } else if (const auto* cc = dyn_cast<CXXConstructExpr>(s)) {
+      add_call(cc->getConstructor(), cc->getBeginLoc());
+    } else if (const auto* fr = dyn_cast<CXXForRangeStmt>(s)) {
+      LoopRecord loop;
+      loop.loc = fr->getForLoc();
+      if (const Expr* range = fr->getRangeInit())
+        loop.container = record_name_of(range->getType());
+      loop.first_call = static_cast<unsigned>(cur_->calls.size());
+      for (const Stmt* child : s->children()) walk(child);
+      loop.last_call = static_cast<unsigned>(cur_->calls.size());
+      cur_->loops.push_back(loop);
+      return;
+    } else if (const auto* me = dyn_cast<MemberExpr>(s)) {
+      note_confined(me->getMemberDecl(), me->getMemberLoc());
+    } else if (const auto* dre = dyn_cast<DeclRefExpr>(s)) {
+      note_confined(dre->getDecl(), dre->getLocation());
+    } else if (const auto* ds = dyn_cast<DeclStmt>(s)) {
+      for (const Decl* d : ds->decls())
+        if (const auto* vd = dyn_cast<VarDecl>(d)) note_spec_var(vd);
+    } else if (const auto* bo = dyn_cast<BinaryOperator>(s)) {
+      if (bo->isAssignmentOp()) note_spec_assign(bo);
+    }
+
+    for (const Stmt* child : s->children()) walk(child);
+  }
+
+  void note_confined(const ValueDecl* vd, SourceLocation loc) {
+    if (vd == nullptr) return;
+    if (!TuModel::annotation_of(vd, "gdur::confined:")) return;
+    ConfinedAccess a;
+    a.target = vd;
+    a.loc = loc;
+    cur_->confined.push_back(a);
+  }
+
+  void note_spec_var(const VarDecl* vd) {
+    if (!is_spec_type(vd->getType())) return;
+    SpecVar sv;
+    sv.var = vd->getCanonicalDecl();
+    sv.loc = vd->getLocation();
+    const Expr* init = vd->getInit();
+    if (init != nullptr) {
+      const Expr* e = init->IgnoreImplicit();
+      if (const auto* cc = dyn_cast<CXXConstructExpr>(e)) {
+        // `ProtocolSpec s;` (default ctor) starts fresh — every
+        // realization point must be pinned. Copy/move construction from
+        // another spec inherits its points.
+        sv.inherited = cc->getNumArgs() > 0;
+      } else {
+        // Factory call (`auto s = gmu();`), copy from a DeclRefExpr, etc.
+        sv.inherited = true;
+      }
+    }
+    cur_->spec_vars.push_back(sv);
+  }
+
+  void note_spec_assign(const BinaryOperator* bo) {
+    const auto* me = dyn_cast<MemberExpr>(bo->getLHS()->IgnoreImplicit());
+    if (me == nullptr) return;
+    const auto* dre =
+        dyn_cast<DeclRefExpr>(me->getBase()->IgnoreImpCasts());
+    if (dre == nullptr) return;
+    const auto* vd = dyn_cast<VarDecl>(dre->getDecl());
+    if (vd == nullptr) return;
+    const VarDecl* key = vd->getCanonicalDecl();
+    for (SpecVar& sv : cur_->spec_vars)
+      if (sv.var == key)
+        sv.pinned.insert(me->getMemberDecl()->getNameAsString());
+  }
+
+  TuModel& m_;
+  FnInfo* cur_ = nullptr;
+};
+
+}  // namespace
+
+void TuModel::build(ASTContext& context) {
+  ctx = &context;
+  Builder b(*this);
+  b.TraverseDecl(context.getTranslationUnitDecl());
+}
+
+const llvm::DenseMap<const FunctionDecl*,
+                     llvm::SmallVector<const FunctionDecl*, 4>>&
+TuModel::callers() {
+  if (!callers_built_) {
+    callers_built_ = true;
+    for (const auto& entry : fns) {
+      const FunctionDecl* caller = entry.first;
+      for (const CallSite& cs : entry.second.calls) {
+        if (cs.callee == nullptr) continue;
+        callers_[cs.callee].push_back(caller);
+        if (cs.is_virtual) {
+          auto it = overriders.find(cs.callee);
+          if (it != overriders.end())
+            for (const FunctionDecl* over : it->second)
+              callers_[over].push_back(caller);
+        }
+      }
+    }
+  }
+  return callers_;
+}
+
+std::optional<std::string> TuModel::annotation_of(const Decl* d,
+                                                  llvm::StringRef prefix) {
+  auto check = [&](const Decl* decl) -> std::optional<std::string> {
+    for (const auto* attr : decl->specific_attrs<AnnotateAttr>()) {
+      llvm::StringRef ann = attr->getAnnotation();
+      if (ann.startswith(prefix)) return ann.drop_front(prefix.size()).str();
+    }
+    return std::nullopt;
+  };
+  if (const auto* fd = dyn_cast<FunctionDecl>(d)) {
+    for (const FunctionDecl* re : fd->redecls())
+      if (auto a = check(re)) return a;
+    // Template instantiations may not copy every attribute; consult the
+    // pattern the user actually annotated.
+    if (const FunctionDecl* pattern = fd->getTemplateInstantiationPattern())
+      for (const FunctionDecl* re : pattern->redecls())
+        if (auto a = check(re)) return a;
+    return std::nullopt;
+  }
+  return check(d);
+}
+
+bool TuModel::has_annotation(const Decl* d, llvm::StringRef full) {
+  auto a = annotation_of(d, full);
+  return a.has_value() && a->empty();
+}
+
+std::string TuModel::qual_name(const NamedDecl* d) {
+  return d->getQualifiedNameAsString();
+}
+
+unsigned TuModel::classify_by_name(llvm::StringRef qual) {
+  // Bare C/POSIX calls: the qualified name IS the bare name (methods named
+  // `read`/`send`/`time` never match — their qualified name is longer).
+  static const struct {
+    const char* name;
+    unsigned mask;
+  } kBare[] = {
+      // allocation
+      {"malloc", kAlloc},
+      {"calloc", kAlloc},
+      {"realloc", kAlloc},
+      {"strdup", kAlloc},
+      {"strndup", kAlloc},
+      {"aligned_alloc", kAlloc},
+      {"posix_memalign", kAlloc},
+      {"asprintf", kAlloc},
+      {"vasprintf", kAlloc},
+      // locks
+      {"pthread_mutex_lock", kLock},
+      {"pthread_mutex_timedlock", kLock},
+      {"pthread_rwlock_rdlock", kLock},
+      {"pthread_rwlock_wrlock", kLock},
+      {"pthread_spin_lock", kLock},
+      {"pthread_cond_wait", kLock | kBlock},
+      {"pthread_cond_timedwait", kLock | kBlock},
+      // clock reads
+      {"clock_gettime", kClock},
+      {"gettimeofday", kClock},
+      {"time", kClock},
+      {"timespec_get", kClock},
+      {"ftime", kClock},
+      // blocking syscalls
+      {"read", kBlock},
+      {"write", kBlock},
+      {"readv", kBlock},
+      {"writev", kBlock},
+      {"pread", kBlock},
+      {"pwrite", kBlock},
+      {"preadv", kBlock},
+      {"pwritev", kBlock},
+      {"recv", kBlock},
+      {"recvfrom", kBlock},
+      {"recvmsg", kBlock},
+      {"send", kBlock},
+      {"sendto", kBlock},
+      {"sendmsg", kBlock},
+      {"poll", kBlock},
+      {"ppoll", kBlock},
+      {"select", kBlock},
+      {"pselect", kBlock},
+      {"epoll_wait", kBlock},
+      {"epoll_pwait", kBlock},
+      {"accept", kBlock},
+      {"accept4", kBlock},
+      {"connect", kBlock},
+      {"fsync", kBlock},
+      {"fdatasync", kBlock},
+      {"flock", kBlock},
+      {"sem_wait", kBlock},
+      {"wait", kBlock},
+      {"waitpid", kBlock},
+      // hard sleeps
+      {"usleep", kBlock | kSleep},
+      {"nanosleep", kBlock | kSleep},
+      {"sleep", kBlock | kSleep},
+      {"clock_nanosleep", kBlock | kSleep},
+  };
+  for (const auto& e : kBare)
+    if (qual == e.name) return e.mask;
+
+  // Global operator new (direct calls and the CXXNewExpr operator decl).
+  if (qual == "operator new" || qual == "operator new[]") return kAlloc;
+
+  // std::chrono clocks: steady_clock::now / system_clock::now / ... are
+  // out-of-line in libstdc++, so name rules are the only handle.
+  if (qual.endswith("::now") && qual.contains("clock")) return kClock;
+
+  // std::this_thread sleeps (sleep_for is a header template that bottoms
+  // out in __sleep_for, which is out-of-line).
+  if (qual.contains("this_thread") &&
+      (qual.contains("sleep_for") || qual.contains("sleep_until") ||
+       qual.contains("__sleep_for")))
+    return kBlock | kSleep;
+
+  // Backstop for lock types whose acquisition is out-of-line in some
+  // standard library builds (the usual libstdc++ path bottoms out in
+  // pthread_mutex_lock and is caught above).
+  if (qual.startswith("std::") &&
+      (qual.contains("mutex") || qual.contains("lock_guard") ||
+       qual.contains("unique_lock") || qual.contains("scoped_lock") ||
+       qual.contains("shared_lock")) &&
+      (qual.endswith("::lock") || qual.endswith("::try_lock")))
+    return kLock;
+  if (qual.contains("condition_variable") && qual.contains("::wait"))
+    return kLock | kBlock;
+
+  return kNone;
+}
+
+unsigned TuModel::classify_by_annotation(const FunctionDecl* fd,
+                                         bool& boundary) {
+  boundary = false;
+  if (fd == nullptr) return kNone;
+  if (has_annotation(fd, "gdur::hot_boundary")) {
+    boundary = true;
+    return kNone;
+  }
+  unsigned mask = kNone;
+  if (has_annotation(fd, "gdur::blocking")) mask |= kBlock;
+  if (has_annotation(fd, "gdur::allocates")) mask |= kAlloc;
+  if (mask != kNone) boundary = true;  // declared contracts are terminal
+  return mask;
+}
+
+}  // namespace gdur_analyze

@@ -1,0 +1,144 @@
+// Per-translation-unit model shared by every gdur-analyze check.
+//
+// One RecursiveASTVisitor pass over the TU collects, per function
+// definition: outgoing call edges (with virtual-dispatch and lambda
+// creation edges), intrinsic sinks (operator new), range-for loops over
+// unordered containers, accesses to lane-confined declarations, and local
+// ProtocolSpec variables with the set of realization points assigned to
+// them. The four checks then run as pure graph/set queries over this
+// model — none of them re-walks the AST.
+//
+// Scope is deliberately per-TU (the same contract the checks document):
+// bodies the TU cannot see are opaque boundaries, virtual calls resolve to
+// the overriders the TU knows, and std::function targets are invisible.
+// The annotation vocabulary (src/common/analysis_annotations.h) exists to
+// close exactly those gaps where they matter.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/Basic/SourceLocation.h"
+#include "llvm/ADT/DenseMap.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace gdur_analyze {
+
+/// Sink classification bitmask for hot-path reachability.
+enum SinkKind : unsigned {
+  kNone = 0,
+  kAlloc = 1u << 0,  // heap allocation
+  kLock = 1u << 1,   // mutex/lock acquisition
+  kClock = 1u << 2,  // real-clock read
+  kBlock = 1u << 3,  // blocking syscall
+  kSleep = 1u << 4,  // hard sleep (subset of blocking, separately bannable)
+};
+
+/// One outgoing edge of a function body.
+struct CallSite {
+  /// Canonical callee decl; null for calls with no direct callee
+  /// (function pointers, std::function) — opaque boundaries.
+  const clang::FunctionDecl* callee = nullptr;
+  clang::SourceLocation loc;
+  /// Intrinsic sink mask carried by the expression itself (CXXNewExpr).
+  unsigned intrinsic = kNone;
+  bool is_virtual = false;
+};
+
+/// A range-for over a container; checks filter on the container type.
+struct LoopRecord {
+  clang::SourceLocation loc;
+  std::string container;  // qualified record name of the range expression
+  unsigned first_call = 0, last_call = 0;  // call-index window of the body
+};
+
+/// One access to a GDUR_CONFINED declaration.
+struct ConfinedAccess {
+  const clang::ValueDecl* target = nullptr;
+  clang::SourceLocation loc;
+};
+
+/// A local ProtocolSpec variable and the realization points pinned on it.
+struct SpecVar {
+  const clang::VarDecl* var = nullptr;
+  clang::SourceLocation loc;
+  /// True when the spec starts as a copy of another spec (factory call or
+  /// copy construction) — realization points are inherited, not required.
+  bool inherited = false;
+  std::set<std::string> pinned;
+};
+
+struct FnInfo {
+  const clang::FunctionDecl* decl = nullptr;
+  std::vector<CallSite> calls;
+  std::vector<LoopRecord> loops;
+  std::vector<ConfinedAccess> confined;
+  std::vector<SpecVar> spec_vars;
+};
+
+class TuModel {
+ public:
+  void build(clang::ASTContext& ctx);
+
+  clang::ASTContext* ctx = nullptr;
+
+  /// Canonical FunctionDecl → body facts. Covers template instantiations
+  /// and lambda call operators (reached through a creation edge from the
+  /// function that spells the lambda).
+  llvm::DenseMap<const clang::FunctionDecl*, FnInfo> fns;
+
+  /// Virtual method (canonical) → overriders with bodies in this TU.
+  llvm::DenseMap<const clang::FunctionDecl*,
+                 llvm::SmallVector<const clang::FunctionDecl*, 4>>
+      overriders;
+
+  /// Template pattern (canonical) → instantiations seen in this TU.
+  llvm::DenseMap<const clang::FunctionDecl*,
+                 llvm::SmallVector<const clang::FunctionDecl*, 4>>
+      instantiations;
+
+  /// Reverse call graph over `fns` (callee → callers), creation and
+  /// virtual-overrider edges included. Built on first use.
+  const llvm::DenseMap<const clang::FunctionDecl*,
+                       llvm::SmallVector<const clang::FunctionDecl*, 4>>&
+  callers();
+
+  /// All GDUR_CONFINED fields/globals declared in this TU.
+  std::vector<const clang::ValueDecl*> confined_decls;
+
+  // --- annotation helpers -------------------------------------------------
+
+  /// First `annotate` attribute value starting with `prefix`, with the
+  /// prefix stripped; checks every redeclaration for functions.
+  static std::optional<std::string> annotation_of(const clang::Decl* d,
+                                                  llvm::StringRef prefix);
+  static bool has_annotation(const clang::Decl* d, llvm::StringRef full);
+
+  static std::string qual_name(const clang::NamedDecl* d);
+
+  /// Name-based sink classification for callees whose body (or contract)
+  /// the TU cannot see. `qual` is the qualified name.
+  static unsigned classify_by_name(llvm::StringRef qual);
+
+  /// Annotation-based sink/boundary classification. Returns the sink mask
+  /// and sets `boundary` when traversal must stop (hot_boundary, blocking,
+  /// allocates — declared contracts are terminal).
+  static unsigned classify_by_annotation(const clang::FunctionDecl* fd,
+                                         bool& boundary);
+
+ private:
+  llvm::DenseMap<const clang::FunctionDecl*,
+                 llvm::SmallVector<const clang::FunctionDecl*, 4>>
+      callers_;
+  bool callers_built_ = false;
+};
+
+}  // namespace gdur_analyze

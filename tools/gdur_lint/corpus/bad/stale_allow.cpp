@@ -1,0 +1,23 @@
+// lint-as: src/core/stale_allow.cpp
+//
+// Lint fixture (never compiled): a well-formed allow() whose rule no longer
+// fires on the line it guards — dead weight that would silently mask a
+// future regression. Reported only under --check-allows (the self-test and
+// the tree gate both run with it).
+
+#include <vector>
+
+namespace gdur::corpus {
+
+struct Registry {
+  std::vector<int> decided_;  // ordered now; the allow below outlived the fix
+
+  int count_all() const {
+    int n = 0;
+    // gdur-lint: allow(determinism/unordered-iter) decided_ used to be an unordered_set  // expect: lint/stale-allow
+    for (int id : decided_) ++n;
+    return n;
+  }
+};
+
+}  // namespace gdur::corpus

@@ -1,0 +1,29 @@
+// lint-as: src/live/member_send_poll.cpp
+//
+// Lint fixture (never compiled): identifiers and member calls that merely
+// *look* like the blocking syscalls. The patterns anchor on the `::` scope
+// qualifier (and reject a preceding `.`), so an in-process mailbox `send`,
+// a non-blocking edge `poll()` on an object, or a variable named
+// `usleep_budget` must not fire live/blocking-call.
+
+namespace gdur::corpus {
+
+struct Mailbox {
+  void send(int) {}       // in-process post, never blocks
+  bool poll() { return false; }  // non-blocking readiness probe
+  int recvmsg_count = 0;  // counter, not the syscall
+};
+
+struct Wheel {
+  int usleep_budget = 0;  // identifier containing a pattern name
+  void select(int) {}     // overload resolution test, not ::select
+};
+
+void pump(Mailbox& mb, Wheel& w) {
+  mb.send(1);
+  if (mb.poll()) ++mb.recvmsg_count;
+  w.select(2);
+  w.usleep_budget += 1;
+}
+
+}  // namespace gdur::corpus

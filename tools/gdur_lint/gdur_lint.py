@@ -77,6 +77,12 @@ Rules
                            holds even under GCC-only toolchains.
   lint/bad-allow           an allow comment with no reason, or naming an
                            unknown rule.
+  lint/stale-allow         (only with --check-allows) an allow comment that
+                           suppressed nothing — the rule no longer fires on
+                           that line, so the comment is dead weight that
+                           would silently re-arm if the code regressed
+                           somewhere else. Delete it (or fix the line number
+                           drift that orphaned it).
   build/untracked-tu       (only with --compile-commands) a src/**/*.cpp not
                            listed in compile_commands.json — catches stale
                            globs that silently drop a TU from the build.
@@ -120,6 +126,7 @@ RULES = {
     "thread/shard-affinity",
     "thread/guarded-by",
     "lint/bad-allow",
+    "lint/stale-allow",
     "build/untracked-tu",
 }
 
@@ -151,6 +158,11 @@ BLOCKING_PATTERNS = [
     (re.compile(r"\bnanosleep\s*\("), "nanosleep()"),
     (re.compile(r"(?<![\w.])::read\s*\("), "blocking ::read()"),
     (re.compile(r"(?<![\w.])::recv\s*\("), "blocking ::recv()"),
+    (re.compile(r"(?<![\w.])::recvfrom\s*\("), "blocking ::recvfrom()"),
+    (re.compile(r"(?<![\w.])::recvmsg\s*\("), "blocking ::recvmsg()"),
+    (re.compile(r"(?<![\w.])::send\s*\("), "blocking ::send()"),
+    (re.compile(r"(?<![\w.])::sendto\s*\("), "blocking ::sendto()"),
+    (re.compile(r"(?<![\w.])::sendmsg\s*\("), "blocking ::sendmsg()"),
     (re.compile(r"(?<![\w.])::accept\s*\("), "blocking ::accept()"),
     (re.compile(r"(?<![\w.])::connect\s*\("), "blocking ::connect()"),
 ]
@@ -431,6 +443,9 @@ def segment_functions(code: str) -> list[FuncBody]:
 FUNC_NAME_RE = re.compile(r"(~?[A-Za-z_]\w*)\s*(?:::\s*(~?[A-Za-z_]\w*)\s*)?\($")
 
 
+MACRO_HEAD_RE = re.compile(r"^[A-Z][A-Z0-9_]{2,}$")
+
+
 def func_name_of(sig: str) -> tuple[str, str]:
     """(qualifier, name) of the function a signature introduces; best-effort."""
     # First '(' that is not part of an attribute/annotation macro.
@@ -440,6 +455,12 @@ def func_name_of(sig: str) -> tuple[str, str]:
         m = re.search(r"(~?[A-Za-z_]\w*)$", head)
         if m:
             name = m.group(1)
+            # ALL-CAPS head = an annotation macro prefixing the declaration
+            # (GDUR_HOT_PATH("..."), GDUR_CONFINED("...")): skip past its
+            # argument list and keep looking for the real function name.
+            if MACRO_HEAD_RE.match(name):
+                p = sig.find("(", p + 1)
+                continue
             rest = head[:m.start()].rstrip()
             qual = ""
             if rest.endswith("::"):
@@ -858,7 +879,8 @@ def in_scope_shard(path: str) -> bool:
     return path.startswith(("src/core/", "src/protocols/", "src/live/"))
 
 
-def run_rules(files: list[SourceFile]) -> list[Diag]:
+def run_rules(files: list[SourceFile],
+              check_allows: bool = False) -> list[Diag]:
     diags: list[Diag] = []
     unordered = collect_unordered_names(files)
     requires_map = collect_requires_decls(files)
@@ -921,6 +943,19 @@ def run_rules(files: list[SourceFile]) -> list[Diag]:
                 if r not in RULES:
                     out.append(Diag(sf.path, ln, "lint/bad-allow",
                                     f"allow() names unknown rule '{r}'"))
+    if check_allows:
+        # Stale suppressions: a well-formed allow that matched no diagnostic
+        # this run. Bad allows are already reported above; skip them.
+        for sf in files:
+            for ln, (rules, _reason) in sorted(sf.allows.items()):
+                if ln in sf.bad_allows or (sf.path, ln) in used_allows:
+                    continue
+                out.append(Diag(
+                    sf.path, ln, "lint/stale-allow",
+                    f"allow({', '.join(rules)}) suppressed nothing — the "
+                    f"rule no longer fires on the next line; delete the "
+                    f"comment so it cannot silently mask a future "
+                    f"regression elsewhere in the function"))
     out.sort(key=lambda d: (d.path, d.line, d.rule))
     return out
 
@@ -988,7 +1023,7 @@ def self_test(corpus_dir: str) -> int:
         m = LINT_AS_RE.search(raw)
         lint_path = m.group(1) if m else "src/core/" + os.path.basename(full)
         sf = SourceFile(path=lint_path, raw=raw)
-        got = {(d.line, d.rule) for d in run_rules([sf])}
+        got = {(d.line, d.rule) for d in run_rules([sf], check_allows=True)}
         want = set()
         if sub == "bad":
             for i, line in enumerate(raw.splitlines(), start=1):
@@ -1023,6 +1058,9 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--self-test", action="store_true",
                     help="run the rules over tools/gdur_lint/corpus/ and "
                          "verify expected diagnostics")
+    ap.add_argument("--check-allows", action="store_true",
+                    help="also report allow() comments that suppressed "
+                         "nothing (lint/stale-allow)")
     args = ap.parse_args(argv)
 
     here = os.path.dirname(os.path.abspath(__file__))
@@ -1036,7 +1074,7 @@ def main(argv: list[str]) -> int:
     if not files:
         print(f"gdur-lint: no sources under {root}/src", file=sys.stderr)
         return 2
-    diags = run_rules(files)
+    diags = run_rules(files, check_allows=args.check_allows)
     if args.compile_commands:
         diags += check_compile_commands(root, args.compile_commands, files)
         diags.sort(key=lambda d: (d.path, d.line, d.rule))
